@@ -1,0 +1,44 @@
+"""Ablation: minimax edge weight — proximity index vs Euclidean distance.
+
+The paper argues the proximity index handles partially-overlapping boxes
+that point distances cannot distinguish.  We compare minimax under both
+weights on the skewed datasets.
+"""
+
+import numpy as np
+from conftest import DISKS, N_QUERIES, SEED, once
+
+from repro.core import Minimax
+from repro.datasets import build_gridfile, load
+from repro.experiments import render_sweep
+from repro.sim import square_queries, sweep_methods
+
+
+def _run():
+    out = {}
+    for name in ("hot.2d", "dsmc.3d"):
+        ds = load(name, rng=SEED)
+        gf = build_gridfile(ds)
+        queries = square_queries(N_QUERIES, 0.01, ds.domain_lo, ds.domain_hi, rng=SEED)
+        out[name] = sweep_methods(
+            gf,
+            [Minimax(weight="proximity"), Minimax(weight="euclidean")],
+            DISKS,
+            queries,
+            rng=SEED,
+        )
+    return out
+
+
+def test_ablation_minimax_weight(benchmark, report_sink):
+    sweeps = once(benchmark, _run)
+    text = "\n\n".join(
+        render_sweep(s, f"Ablation: minimax weight ({name}, r=0.01)")
+        for name, s in sweeps.items()
+    )
+    report_sink("ablation_proximity", text)
+    for name, sweep in sweeps.items():
+        prox = float(np.mean(sweep.curves["MiniMax"].response))
+        eucl = float(np.mean(sweep.curves["MiniMax[euclidean,random]"].response))
+        # Proximity is competitive with (usually better than) Euclidean.
+        assert prox <= eucl * 1.08, (name, prox, eucl)

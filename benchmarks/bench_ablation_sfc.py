@@ -1,0 +1,37 @@
+"""Ablation: the linearization inside HCAM (Hilbert vs Z-order, Gray, scan).
+
+The paper cites the folklore (Faloutsos & Roseman; Jagadish) that the
+Hilbert curve clusters best among linearizations.  We measure it: HCAM over
+each curve, response time on hot.2d at r = 0.05.
+"""
+
+import numpy as np
+from conftest import DISKS, N_QUERIES, SEED, once
+
+from repro.core.hcam import HCAM
+from repro.datasets import build_gridfile, load
+from repro.experiments import render_sweep
+from repro.sim import square_queries, sweep_methods
+
+
+def _run():
+    ds = load("hot.2d", rng=SEED)
+    gf = build_gridfile(ds)
+    queries = square_queries(N_QUERIES, 0.05, ds.domain_lo, ds.domain_hi, rng=SEED)
+    methods = [HCAM(curve=c) for c in ("hilbert", "zorder", "gray", "scan")]
+    return sweep_methods(gf, methods, DISKS, queries, rng=SEED)
+
+
+def test_ablation_hcam_linearization(benchmark, report_sink):
+    sweep = once(benchmark, _run)
+    report_sink(
+        "ablation_sfc",
+        render_sweep(sweep, "Ablation: HCAM linearization (hot.2d, r=0.05)"),
+    )
+    means = {name: float(np.mean(c.response)) for name, c in sweep.curves.items()}
+    hilbert = means["HCAM/D"]
+    # Hilbert is the best (or statistically tied-best) linearization.
+    assert hilbert <= min(means.values()) * 1.03
+    # Scan (worst clustering) trails Hilbert.
+    scan = [v for k, v in means.items() if "Scan" in k][0]
+    assert hilbert <= scan

@@ -1,0 +1,62 @@
+"""Ablation: grid-file split policy (midpoint vs median boundaries).
+
+The classic grid file puts new scale boundaries at interval midpoints;
+the median policy adapts boundaries to the data (equi-depth).  On the
+paper's datasets the midpoint policy reproduces the published structure
+(uniform.2d almost unmerged); this bench quantifies the structural and
+response-time differences.
+"""
+
+import numpy as np
+from conftest import SEED, once
+
+from repro._util import format_table
+from repro.datasets import load
+from repro.gridfile import GridFile
+from repro.sim import evaluate_queries, square_queries
+from repro.core import Minimax
+
+
+def _run():
+    rows = []
+    for name in ("uniform.2d", "hot.2d", "correl.2d"):
+        ds = load(name, rng=SEED)
+        queries = square_queries(250, 0.05, ds.domain_lo, ds.domain_hi, rng=SEED)
+        for policy in ("midpoint", "median"):
+            gf = GridFile.from_points(
+                ds.points, ds.domain_lo, ds.domain_hi, ds.capacity, split_policy=policy
+            )
+            a = Minimax().assign(gf, 16, rng=SEED)
+            ev = evaluate_queries(gf, a, queries, 16)
+            s = gf.stats()
+            rows.append(
+                [
+                    name,
+                    policy,
+                    s.n_nonempty_buckets,
+                    s.n_merged_buckets,
+                    s.n_cells,
+                    round(ev.mean_response, 3),
+                ]
+            )
+    return rows
+
+
+def test_ablation_split_policy(benchmark, report_sink):
+    rows = once(benchmark, _run)
+    report_sink(
+        "ablation_split",
+        format_table(
+            ["dataset", "policy", "buckets", "merged", "cells", "resp@16 (minimax)"],
+            rows,
+            title="Ablation: grid-file split policy",
+        ),
+    )
+    by = {(r[0], r[1]): r for r in rows}
+    # Midpoint keeps the uniform file nearly Cartesian (few merged buckets).
+    assert by[("uniform.2d", "midpoint")][3] < by[("uniform.2d", "median")][3]
+    # Both policies give comparable response times (within 25%).
+    for name in ("uniform.2d", "hot.2d", "correl.2d"):
+        a = by[(name, "midpoint")][5]
+        b = by[(name, "median")][5]
+        assert abs(a - b) <= 0.25 * max(a, b)

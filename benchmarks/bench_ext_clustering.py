@@ -1,0 +1,49 @@
+"""Extension: exact clustering analysis of the HCAM linearizations.
+
+The paper ends §2.3 noting its HCAM scalability analysis was in progress;
+the quantity that analysis rests on is the mean number of *clusters* (runs
+of consecutive curve positions) a query decomposes into.  This bench
+computes it exactly for all four curves and checks the Hilbert asymptote
+``surface / (2d)`` (= q for a 2-d q x q query).
+"""
+
+from conftest import once
+
+from repro._util import format_table
+from repro.analysis import hilbert_cluster_asymptote, mean_clusters
+from repro.sfc import CURVES
+
+GRID_BITS = 5  # 32 x 32 grid
+QUERIES = (2, 4, 8)
+
+
+def _run():
+    rows = []
+    for q in QUERIES:
+        row = [f"{q}x{q}"]
+        for name in ("hilbert", "zorder", "gray", "scan"):
+            curve = CURVES[name](2, GRID_BITS)
+            row.append(round(mean_clusters(curve, (q, q)), 3))
+        row.append(hilbert_cluster_asymptote((q, q)))
+        rows.append(row)
+    return rows
+
+
+def test_ext_curve_clustering(benchmark, report_sink):
+    rows = once(benchmark, _run)
+    report_sink(
+        "ext_clustering",
+        format_table(
+            ["query", "hilbert", "zorder", "gray", "scan", "hilbert asymptote"],
+            rows,
+            title="Extension: mean clusters per query (32x32 grid)",
+        ),
+    )
+    for row in rows:
+        _, hilbert, zorder, gray, scan, asym = row
+        # Hilbert at or below every alternative.
+        assert hilbert <= zorder + 1e-9
+        assert hilbert <= gray + 1e-9
+        assert hilbert <= scan + 1e-9
+        # ... and within 25% of the surface/(2d) asymptote.
+        assert abs(hilbert - asym) <= 0.25 * asym

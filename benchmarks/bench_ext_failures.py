@@ -1,0 +1,54 @@
+"""Extension: degraded-mode response under disk failures.
+
+Composes replication (chained vs mirrored) with minimax declustering and
+measures response time with 0, 1 and 2 failed disks — the availability story
+a production deployment of the paper's system needs.
+"""
+
+import numpy as np
+from conftest import N_QUERIES, SEED, once
+
+from repro._util import format_table
+from repro.core import Minimax
+from repro.datasets import build_gridfile, load
+from repro.parallel import apply_failures
+from repro.sim import evaluate_queries, square_queries
+
+M = 16
+
+
+def _run():
+    ds = load("hot.2d", rng=SEED)
+    gf = build_gridfile(ds)
+    queries = square_queries(N_QUERIES, 0.05, ds.domain_lo, ds.domain_hi, rng=SEED)
+    assignment = Minimax().assign(gf, M, rng=SEED)
+
+    rows = []
+    for scheme in ("chained", "mirrored"):
+        for failed in ([], [3], [3, 9]):
+            eff = apply_failures(assignment, M, failed, scheme)
+            ev = evaluate_queries(gf, eff, queries, M)
+            rows.append(
+                [scheme, len(failed), round(ev.mean_response, 3), round(ev.mean_optimal, 3)]
+            )
+    return rows
+
+
+def test_ext_failure_degradation(benchmark, report_sink):
+    rows = once(benchmark, _run)
+    report_sink(
+        "ext_failures",
+        format_table(
+            ["replication", "failed disks", "mean response", "optimal"],
+            rows,
+            title=f"Extension: degraded-mode response (hot.2d, minimax, M={M})",
+        ),
+    )
+    by = {(r[0], r[1]): r[2] for r in rows}
+    for scheme in ("chained", "mirrored"):
+        # Healthy baselines agree (failures=0 is scheme-independent).
+        assert by[(scheme, 0)] == by[("chained", 0)]
+        # Each failure degrades response monotonically but boundedly:
+        # losing 2 of 16 disks costs well under 2x.
+        assert by[(scheme, 0)] <= by[(scheme, 1)] <= by[(scheme, 2)]
+        assert by[(scheme, 2)] < 2.0 * by[(scheme, 0)]

@@ -1,0 +1,62 @@
+"""Extension: particle-tracing access pattern (the paper's future work).
+
+"We will continue to work on various access patterns such as particle
+tracing" (§4).  A trace follows a probe through the 4-d volume, querying its
+small spatial neighbourhood at every time step.  We run trace workloads on
+the simulated cluster and compare declustering methods plus the cache
+behaviour of the coarse temporal scale.
+"""
+
+from conftest import CAPACITY_4D, SEED, once
+
+from repro._util import format_table
+from repro.core import make_method
+from repro.datasets import build_gridfile, load
+from repro.parallel import ClusterParams, ParallelGridFile
+from repro.sim import evaluate_queries, trace_queries
+
+
+def _run():
+    ds = load("dsmc.4d", rng=SEED, n=120_000)
+    gf = build_gridfile(ds, capacity=CAPACITY_4D or 40)
+    queries = trace_queries(ds.domain_lo, ds.domain_hi, 0.08, n_traces=8, rng=SEED)
+    rows = []
+    for spec in ("hcam/D", "ssp", "minimax"):
+        method = make_method(spec)
+        for procs in (4, 16):
+            assignment = method.assign(gf, procs, rng=SEED)
+            ev = evaluate_queries(gf, assignment, queries, procs)
+            rep = ParallelGridFile(gf, assignment, procs, ClusterParams()).run_queries(
+                queries
+            )
+            rows.append(
+                [
+                    method.name,
+                    procs,
+                    round(ev.mean_response, 2),
+                    rep.blocks_fetched,
+                    round(rep.elapsed_time, 2),
+                    round(rep.cache_hit_rate, 2),
+                ]
+            )
+    return rows
+
+
+def test_ext_particle_tracing(benchmark, report_sink):
+    rows = once(benchmark, _run)
+    report_sink(
+        "ext_tracing",
+        format_table(
+            ["method", "procs", "mean resp", "blocks", "elapsed (s)", "cache hits"],
+            rows,
+            title="Extension: particle-tracing workload (dsmc.4d, 8 traces, r=0.08)",
+        ),
+    )
+    by = {(r[0], r[1]): r for r in rows}
+    # minimax keeps its edge on the trace pattern at scale.
+    assert by[("MiniMax", 16)][2] <= by[("HCAM/D", 16)][2] * 1.05
+    # Traces revisit overlapping neighbourhoods: caches absorb a good share.
+    assert all(r[5] > 0.25 for r in rows)
+    # More processors cut elapsed time for every method.
+    for name in ("HCAM/D", "SSP", "MiniMax"):
+        assert by[(name, 16)][4] < by[(name, 4)][4]

@@ -1,0 +1,45 @@
+"""Figure 3: conflict-resolution heuristics on hot.2d (r = 0.05).
+
+Paper shapes: *data balance* has the best response time everywhere; HCAM is
+insensitive to the heuristic choice (left graph) while FX is the most
+sensitive (right graph).
+"""
+
+import numpy as np
+from conftest import DISKS, FULL, N_QUERIES, SEED, once
+
+from repro.datasets import build_gridfile, load
+from repro.experiments import render_sweep
+from repro.sim import square_queries, sweep_methods
+
+
+def _run():
+    ds = load("hot.2d", rng=SEED)
+    gf = build_gridfile(ds)
+    queries = square_queries(N_QUERIES, 0.05, ds.domain_lo, ds.domain_hi, rng=SEED)
+    out = {}
+    for base in ("hcam", "fx"):
+        methods = [f"{base}/R", f"{base}/F", f"{base}/D", f"{base}/A"]
+        out[base.upper()] = sweep_methods(gf, methods, DISKS, queries, rng=SEED)
+    return out
+
+
+def _spread(sweep):
+    curves = np.array([c.response for c in sweep.curves.values()])
+    return float((curves.max(axis=0) - curves.min(axis=0)).mean())
+
+
+def test_fig3_conflict_heuristics(benchmark, report_sink):
+    sweeps = once(benchmark, _run)
+    text = "\n\n".join(
+        render_sweep(sweep, f"Figure 3: conflict heuristics under {base} (hot.2d, r=0.05)")
+        for base, sweep in sweeps.items()
+    )
+    report_sink("fig3_conflict", text)
+
+    # Data balance is the winner (within noise) for both schemes.
+    for base, sweep in sweeps.items():
+        means = {name: np.mean(c.response) for name, c in sweep.curves.items()}
+        assert means[f"{base}/D"] <= min(means.values()) * 1.05
+    # HCAM insensitive, FX sensitive.
+    assert _spread(sweeps["FX"]) > _spread(sweeps["HCAM"])

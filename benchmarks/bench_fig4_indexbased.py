@@ -1,0 +1,59 @@
+"""Figure 4: DM/D vs FX/D vs HCAM/D vs optimal (r = 0.05).
+
+Paper shapes: DM best for small disk counts (near-optimal on uniform.2d);
+DM/FX saturate as disks grow while HCAM keeps improving; the gap between
+HCAM and optimal grows with skew.
+"""
+
+import numpy as np
+from conftest import DISKS, N_QUERIES, SEED, once
+
+from repro.analysis import saturation_point
+from repro.datasets import build_gridfile, load
+from repro.experiments import render_sweep
+from repro.sim import square_queries, sweep_methods
+
+DATASETS = ("uniform.2d", "hot.2d", "correl.2d")
+
+
+def _run():
+    out = {}
+    for name in DATASETS:
+        ds = load(name, rng=SEED)
+        gf = build_gridfile(ds)
+        queries = square_queries(N_QUERIES, 0.05, ds.domain_lo, ds.domain_hi, rng=SEED)
+        out[name] = sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], DISKS, queries, rng=SEED)
+    return out
+
+
+def test_fig4_index_based(benchmark, report_sink):
+    sweeps = once(benchmark, _run)
+    text = "\n\n".join(
+        render_sweep(sweep, f"Figure 4: index-based declustering ({name}, r=0.05)")
+        for name, sweep in sweeps.items()
+    )
+    report_sink("fig4_indexbased", text)
+
+    for name, sweep in sweeps.items():
+        dm = sweep.curves["DM/D"].response
+        fx = sweep.curves["FX/D"].response
+        hcam = sweep.curves["HCAM/D"].response
+        # DM saturates before the end of the sweep (generous tolerance:
+        # past the knee the curve only wiggles).
+        assert saturation_point(sweep.disks, dm, 0.08) <= 24
+        # FX's knee is noisier; assert the substance instead: quadrupling
+        # the disks from 8 to 32 buys FX well under the ideal 4x (vs the
+        # optimum, which keeps falling).
+        i8 = sweep.disks.index(8)
+        assert fx[-1] > 0.55 * fx[i8]
+        assert fx[-1] > 1.8 * sweep.optimal[-1]
+        # The saturation is real: the last three DM points are flat and DM
+        # ends far above the optimum (the paper's growing gap).
+        assert min(dm[-3:]) > 0.85 * dm[-3]
+        assert dm[-1] > 1.8 * sweep.optimal[-1]
+        # HCAM wins at the largest configurations.
+        assert hcam[-1] < dm[-1]
+        assert hcam[-1] < fx[-1]
+    # On uniform data DM starts near-optimal.
+    uni = sweeps["uniform.2d"]
+    assert uni.curves["DM/D"].response[0] <= uni.optimal[0] * 1.15

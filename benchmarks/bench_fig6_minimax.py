@@ -1,0 +1,45 @@
+"""Figure 6: five-way comparison at r = 0.01 (hot.2d, DSMC.3d, stock.3d).
+
+Paper shapes: minimax consistently achieves the smallest response time (a
+few small-disk exceptions allowed); SSP is second best with HCAM/D close
+behind; DM and FX come a distant fourth and fifth; DSMC.3d's index-based
+curves flatten earlier than hot.2d's (its uniform fraction is larger).
+"""
+
+import numpy as np
+from conftest import DISKS, N_QUERIES, SEED, once
+
+from repro.datasets import build_gridfile, load
+from repro.experiments import render_sweep
+from repro.sim import square_queries, sweep_methods
+
+METHODS = ["dm/D", "fx/D", "hcam/D", "ssp", "minimax"]
+DATASETS = ("hot.2d", "dsmc.3d", "stock.3d")
+
+
+def _run():
+    out = {}
+    for name in DATASETS:
+        ds = load(name, rng=SEED)
+        gf = build_gridfile(ds)
+        queries = square_queries(N_QUERIES, 0.01, ds.domain_lo, ds.domain_hi, rng=SEED)
+        out[name] = sweep_methods(gf, METHODS, DISKS, queries, rng=SEED)
+    return out
+
+
+def test_fig6_proximity_vs_index_based(benchmark, report_sink):
+    sweeps = once(benchmark, _run)
+    text = "\n\n".join(
+        render_sweep(sweep, f"Figure 6: declustering comparison ({name}, r=0.01)")
+        for name, sweep in sweeps.items()
+    )
+    report_sink("fig6_minimax", text)
+
+    for name, sweep in sweeps.items():
+        means = {n: float(np.mean(c.response[2:])) for n, c in sweep.curves.items()}
+        # minimax is the overall winner beyond the smallest configurations.
+        assert means["MiniMax"] == min(means.values()), (name, means)
+        # DM and FX trail the proximity-based methods.
+        assert means["MiniMax"] < means["DM/D"]
+        assert means["MiniMax"] < means["FX/D"]
+        assert means["SSP"] < means["DM/D"]

@@ -1,0 +1,53 @@
+"""Figure 7: effect of query size on stock.3d — HCAM/D vs minimax.
+
+Paper shapes: minimax beats HCAM/D in both response time and speedup for
+every query size; its relative advantage grows as the query ratio shrinks.
+"""
+
+import numpy as np
+from conftest import DISKS, N_QUERIES, SEED, once
+
+from repro.datasets import build_gridfile, load
+from repro.experiments import series_text
+from repro.sim import speedup_series, square_queries, sweep_methods
+
+RATIOS = (0.01, 0.05, 0.1)
+
+
+def _run():
+    ds = load("stock.3d", rng=SEED)
+    gf = build_gridfile(ds)
+    out = {}
+    for r in RATIOS:
+        queries = square_queries(N_QUERIES, r, ds.domain_lo, ds.domain_hi, rng=SEED)
+        out[r] = sweep_methods(gf, ["hcam/D", "minimax"], DISKS, queries, rng=SEED)
+    return out
+
+
+def test_fig7_query_size_effect(benchmark, report_sink):
+    sweeps = once(benchmark, _run)
+    disks = sweeps[RATIOS[0]].disks
+    response = {}
+    speedup = {}
+    for r, sweep in sweeps.items():
+        for name, curve in sweep.curves.items():
+            response[f"{name} r={r}"] = curve.response
+            speedup[f"{name} r={r}"] = list(speedup_series(curve.response))
+    text = (
+        series_text("disks", disks, response, title="Figure 7: response time (stock.3d)")
+        + "\n\n"
+        + series_text("disks", disks, speedup, title="Figure 7: speedup vs 4 disks (stock.3d)")
+    )
+    report_sink("fig7_querysize", text)
+
+    margins = {}
+    for r, sweep in sweeps.items():
+        h = np.array(sweep.curves["HCAM/D"].response)
+        m = np.array(sweep.curves["MiniMax"].response)
+        # minimax at least matches HCAM on response at every size (mean).
+        assert m.mean() <= h.mean() * 1.02
+        # ... and on speedup at the largest configuration.
+        assert speedup_series(m)[-1] >= speedup_series(h)[-1] * 0.95
+        margins[r] = float(h.mean() / m.mean())
+    # Relative benefit grows as the query gets smaller.
+    assert margins[0.01] >= margins[0.1] * 0.98

@@ -1,0 +1,126 @@
+"""Microbenchmarks of the performance-critical kernels.
+
+These are real pytest-benchmark timings (multiple rounds) of the inner
+loops that dominate end-to-end declustering cost: Hilbert indexing,
+proximity rows, minimax partitioning, grid file bulk loading, and query
+evaluation throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import proximity_index
+from repro.core.minimax import minimax_partition
+from repro.datasets import load
+from repro.gridfile import bulk_load
+from repro.sfc import HilbertCurve
+from repro.sim import square_queries
+from repro.sim.diskmodel import query_buckets
+
+
+@pytest.fixture(scope="module")
+def boxes():
+    rng = np.random.default_rng(0)
+    lo = rng.uniform(0, 9, size=(2000, 3))
+    hi = lo + rng.uniform(0.05, 0.5, size=(2000, 3))
+    return lo, np.minimum(hi, 10.0), np.array([10.0, 10.0, 10.0])
+
+
+def test_hilbert_index_throughput(benchmark):
+    """Hilbert-index one million 3-d cells."""
+    curve = HilbertCurve(dims=3, bits=10)
+    cells = np.random.default_rng(1).integers(0, 1 << 10, size=(1_000_000, 3))
+    out = benchmark(curve.index, cells)
+    assert out.shape == (1_000_000,)
+
+
+def test_proximity_row_throughput(benchmark, boxes):
+    """One bucket against 2,000 others (the minimax inner step)."""
+    lo, hi, lengths = boxes
+    out = benchmark(proximity_index, lo[0], hi[0], lo, hi, lengths)
+    assert out.shape == (2000,)
+
+
+def test_minimax_partition_2000_buckets(benchmark, boxes):
+    """Full O(N^2) minimax run on 2,000 buckets, 16 disks."""
+    lo, hi, lengths = boxes
+    out = benchmark.pedantic(
+        minimax_partition, args=(lo, hi, lengths, 16), kwargs={"rng": 0},
+        rounds=3, iterations=1,
+    )
+    assert np.bincount(out).max() <= 125
+
+
+def test_bulk_load_50k_records(benchmark):
+    """Bulk-load the DSMC.3d surrogate (52,857 records)."""
+    ds = load("dsmc.3d", rng=0)
+    gf = benchmark.pedantic(
+        bulk_load,
+        args=(ds.points, ds.domain_lo, ds.domain_hi, 170),
+        kwargs={"resolution": (16, 12, 8)},
+        rounds=3,
+        iterations=1,
+    )
+    assert gf.n_records == 52_857
+
+
+def test_query_evaluation_throughput(benchmark):
+    """Resolve 1,000 range queries against a 1,500-bucket grid file."""
+    ds = load("stock.3d", rng=0)
+    gf = bulk_load(ds.points, ds.domain_lo, ds.domain_hi, 150, resolution=(32, 22, 9))
+    queries = square_queries(1000, 0.05, ds.domain_lo, ds.domain_hi, rng=1)
+    lists = benchmark.pedantic(query_buckets, args=(gf, queries), rounds=3, iterations=1)
+    assert len(lists) == 1000
+
+
+def test_knn_query_throughput(benchmark):
+    """1,000 kNN(10) queries against a 50k-record grid file."""
+    from repro.gridfile import knn_query
+
+    ds = load("dsmc.3d", rng=0)
+    gf = bulk_load(ds.points, ds.domain_lo, ds.domain_hi, 170, resolution=(16, 12, 8))
+    rng = np.random.default_rng(1)
+    probes = rng.uniform(0, 1, size=(1000, 3))
+
+    def run():
+        return [knn_query(gf, p, 10)[0] for p in probes]
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(out) == 1000 and all(ids.size == 10 for ids in out)
+
+
+def test_kl_refinement_1500_buckets(benchmark):
+    """One KL refinement on the stock.3d-scale bucket population."""
+    from repro.core.kl import kl_refine
+    from repro.core.proximity import proximity_matrix
+
+    rng = np.random.default_rng(2)
+    n = 1500
+    lo = rng.uniform(0, 9, size=(n, 3))
+    hi = np.minimum(lo + rng.uniform(0.05, 0.5, size=(n, 3)), 10.0)
+    w = proximity_matrix(lo, hi, np.array([10.0, 10.0, 10.0]))
+    initial = np.arange(n) % 16
+
+    out, _ = benchmark.pedantic(
+        kl_refine, args=(w, initial, 16), kwargs={"passes": 1}, rounds=1, iterations=1
+    )
+    assert out.shape == (n,)
+
+
+def test_minimax_expand_2000_buckets(benchmark):
+    """Incremental 16 -> 20 disk expansion over 2,000 buckets."""
+    from repro.core import minimax_expand
+
+    rng = np.random.default_rng(3)
+    n = 2000
+    lo = rng.uniform(0, 9, size=(n, 3))
+    hi = np.minimum(lo + rng.uniform(0.05, 0.5, size=(n, 3)), 10.0)
+    initial = np.arange(n) % 16
+    out = benchmark.pedantic(
+        minimax_expand,
+        args=(lo, hi, np.array([10.0, 10.0, 10.0]), initial, 16, 20),
+        kwargs={"rng": 0},
+        rounds=3,
+        iterations=1,
+    )
+    assert np.bincount(out, minlength=20).max() <= 100

@@ -1,0 +1,35 @@
+"""Table 1: degree of data balance on hot.2d (even disk counts).
+
+Paper shape: HCAM/D achieves the best balance, then DM/D, then FX/D; all are
+exactly 1.00 at small disk counts.
+"""
+
+import numpy as np
+from conftest import DISKS, N_QUERIES, SEED, once
+
+from repro.datasets import build_gridfile, load
+from repro.experiments import render_sweep
+from repro.sim import square_queries, sweep_methods
+
+
+def _run():
+    ds = load("hot.2d", rng=SEED)
+    gf = build_gridfile(ds)
+    queries = square_queries(N_QUERIES, 0.05, ds.domain_lo, ds.domain_hi, rng=SEED)
+    return sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], DISKS, queries, rng=SEED)
+
+
+def test_table1_degree_of_data_balance(benchmark, report_sink):
+    sweep = once(benchmark, _run)
+    report_sink(
+        "table1_balance",
+        render_sweep(sweep, "Table 1: degree of data balance (hot.2d)", metric="balance"),
+    )
+    balances = sweep.balance_series()
+    # Perfect balance at the smallest configuration for every scheme.
+    for series in balances.values():
+        assert series[0] <= 1.05
+    # HCAM's mean balance is the best of the three (paper's ordering).
+    means = {name: np.mean(series) for name, series in balances.items()}
+    assert means["HCAM/D"] <= means["DM/D"] + 1e-9
+    assert means["HCAM/D"] <= means["FX/D"] + 1e-9

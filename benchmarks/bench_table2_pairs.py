@@ -1,0 +1,41 @@
+"""Table 2: closest bucket pairs mapped to the same disk (DSMC.3d).
+
+Paper shape: DM/D and FX/D collide heavily at every disk count; HCAM/D
+decays with more disks; SSP is low but rarely zero; minimax is almost
+always zero.
+"""
+
+import numpy as np
+from conftest import DISKS, SEED, once
+
+from repro.datasets import build_gridfile, load
+from repro.experiments import render_sweep
+from repro.sim import square_queries, sweep_methods
+
+METHODS = ["dm/D", "fx/D", "hcam/D", "ssp", "minimax"]
+
+
+def _run():
+    ds = load("dsmc.3d", rng=SEED)
+    gf = build_gridfile(ds)
+    queries = square_queries(50, 0.01, ds.domain_lo, ds.domain_hi, rng=SEED)
+    return sweep_methods(gf, METHODS, DISKS, queries, rng=SEED, compute_pairs=True)
+
+
+def test_table2_closest_pairs_dsmc(benchmark, report_sink):
+    sweep = once(benchmark, _run)
+    report_sink(
+        "table2_pairs",
+        render_sweep(sweep, "Table 2: closest pairs on the same disk (DSMC.3d)", metric="pairs"),
+    )
+    pairs = sweep.closest_pair_series()
+    # minimax: (near) zero beyond small disk counts.
+    assert max(pairs["MiniMax"][2:]) <= 3
+    # DM/FX collide persistently.
+    assert min(pairs["DM/D"]) > 10
+    assert min(pairs["FX/D"]) > 10
+    # Ordering of means beyond the smallest configuration (the paper allows
+    # small-M exceptions): minimax < SSP and minimax << DM, FX.
+    means = {n: float(np.mean(v[1:])) for n, v in pairs.items()}
+    assert means["MiniMax"] <= means["SSP"] + 1
+    assert means["MiniMax"] < 0.2 * means["DM/D"]

@@ -1,0 +1,43 @@
+"""Table 4: animation-type queries on the simulated SP-2 (4-d grid file).
+
+Paper rows (3M records, minimax, r = 0.1)::
+
+    procs   blocks fetched   comm (s)   elapsed (s)
+        4           202176       5.47         94.57
+        8           105755       5.78         59.09
+       16            56451       7.49         40.79
+
+We rebuild the 4-d DSMC grid file (300k-record scale model by default, 3M
+with REPRO_BENCH_FULL=1), decluster with minimax, and run the same workload
+on the discrete-event cluster.  The shape checks: blocks fetched roughly
+halve per processor doubling, elapsed time falls sublinearly, and the 7-way
+temporal partitioning of 59 snapshots produces substantial cache reuse.
+"""
+
+from conftest import CAPACITY_4D, N_RECORDS_4D, SEED, once
+
+from repro.experiments import table4_animation
+from repro.experiments.report import render_cluster_rows
+
+
+def _run():
+    return table4_animation(
+        processors=(4, 8, 16), n_records=N_RECORDS_4D, rng=SEED, capacity=CAPACITY_4D
+    )
+
+
+def test_table4_animation_queries(benchmark, report_sink):
+    rows = once(benchmark, _run)
+    text = render_cluster_rows(rows, "Table 4: animation queries (simulated SP-2)")
+    text += f"\ncache hit rates: {[round(r.cache_hit_rate, 2) for r in rows]}"
+    report_sink("table4_animation", text)
+
+    by = {r.processors: r for r in rows}
+    # Blocks fetched scale down with processors (paper: 202k -> 105k -> 56k).
+    assert by[8].blocks_fetched < 0.75 * by[4].blocks_fetched
+    assert by[16].blocks_fetched < 0.75 * by[8].blocks_fetched
+    # Elapsed time falls, but sublinearly (paper: 94.6 -> 59.1 -> 40.8).
+    assert by[16].elapsed_time < by[8].elapsed_time < by[4].elapsed_time
+    assert by[4].elapsed_time / by[16].elapsed_time < 4.0
+    # Caching effects are present (59 snapshots over ~7 temporal partitions).
+    assert all(r.cache_hit_rate > 0.2 for r in rows)

@@ -1,0 +1,56 @@
+"""Table 5: random 4-d range queries on the simulated SP-2.
+
+Paper rows (100 queries, minimax)::
+
+    procs  r     blocks   comm (s)  elapsed (s)
+      4    0.01    7145       2.74        34.39
+      4    0.05   14766       4.26        52.93
+      4    0.10   19688       5.69        64.16
+      8    0.01    3824       1.53        19.82
+      8    0.05    7694       5.25        29.59
+      8    0.10   10191       7.63        33.33
+     16    0.01    2066       2.24         9.92
+     16    0.05    4037       3.06        12.96
+     16    0.10    5333       4.22        15.27
+
+Shape checks: blocks and elapsed fall with processors at fixed r; blocks,
+communication and elapsed grow with r at fixed processors (bigger answer
+sets); blocks roughly halve per processor doubling.
+"""
+
+from conftest import CAPACITY_4D, N_RECORDS_4D, SEED, once
+
+from repro.experiments import table5_random
+from repro.experiments.report import render_cluster_rows
+
+
+def _run():
+    return table5_random(
+        processors=(4, 8, 16),
+        ratios=(0.01, 0.05, 0.1),
+        n_queries=100,
+        n_records=N_RECORDS_4D,
+        rng=SEED,
+        capacity=CAPACITY_4D,
+    )
+
+
+def test_table5_random_queries(benchmark, report_sink):
+    rows = once(benchmark, _run)
+    report_sink(
+        "table5_random",
+        render_cluster_rows(rows, "Table 5: random range queries (simulated SP-2)"),
+    )
+    by = {(r.processors, r.ratio): r for r in rows}
+    for procs in (4, 8, 16):
+        # Blocks and communication grow with the query ratio.
+        assert by[(procs, 0.01)].blocks_fetched < by[(procs, 0.1)].blocks_fetched
+        assert by[(procs, 0.01)].comm_time < by[(procs, 0.1)].comm_time
+        assert by[(procs, 0.01)].elapsed_time < by[(procs, 0.1)].elapsed_time
+    for r in (0.01, 0.05, 0.1):
+        # Scaling with processors at fixed ratio.
+        assert by[(16, r)].blocks_fetched < by[(8, r)].blocks_fetched < by[(4, r)].blocks_fetched
+        assert by[(16, r)].elapsed_time < by[(4, r)].elapsed_time
+        # Roughly halving blocks per doubling (within a loose band).
+        ratio = by[(4, r)].blocks_fetched / by[(16, r)].blocks_fetched
+        assert 2.0 < ratio < 6.0

@@ -1,0 +1,55 @@
+"""Theorem 1: DM scalability on Cartesian product files.
+
+Regenerates the analytic story behind Figure 4's DM saturation: the closed
+form matches brute force everywhere, and for a fixed l x l query the
+response stops improving once M > l while the optimum keeps falling.
+"""
+
+from conftest import once
+
+from repro._util import format_series
+from repro.analysis import dm_response_exact
+from repro.analysis.theorem1 import (
+    dm_optimal_response,
+    dm_optimality_condition,
+    dm_response_formula,
+)
+
+L_QUERY = 9  # side length in cells (~ r=0.05 on a 40x40 grid)
+DISKS = list(range(2, 37, 2))
+
+
+def _run():
+    rows = {
+        "R_DM (brute force)": [dm_response_exact(L_QUERY, m) for m in DISKS],
+        "R_DM (Theorem 1 ii)": [dm_response_formula(L_QUERY, m) for m in DISKS],
+        "R_opt": [dm_optimal_response(L_QUERY, m) for m in DISKS],
+        "strictly optimal": [int(dm_optimality_condition(L_QUERY, m)) for m in DISKS],
+    }
+    return rows
+
+
+def test_theorem1_dm_scalability(benchmark, report_sink):
+    rows = once(benchmark, _run)
+    report_sink(
+        "theorem1_dm",
+        format_series(
+            "disks",
+            DISKS,
+            rows,
+            title=f"Theorem 1: DM response for an {L_QUERY}x{L_QUERY} query",
+            precision=0,
+        ),
+    )
+    # Formula == brute force across the sweep.
+    assert rows["R_DM (brute force)"] == rows["R_DM (Theorem 1 ii)"]
+    # Saturation: R_DM == l for every M > l.
+    sat = [r for m, r in zip(DISKS, rows["R_DM (brute force)"]) if m > L_QUERY]
+    assert set(sat) == {L_QUERY}
+    # Meanwhile the optimum keeps dropping.
+    assert rows["R_opt"][-1] < rows["R_opt"][0]
+
+    # Exhaustive certification over a dense grid (the bench's heavy part).
+    for l in range(1, 41):
+        for m in range(1, 41):
+            assert dm_response_formula(l, m) == dm_response_exact(l, m)

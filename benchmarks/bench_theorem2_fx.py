@@ -1,0 +1,55 @@
+"""Theorem 2: FX scalability on power-of-two Cartesian product files.
+
+Regenerates the FX side of the analytic story: exact (and optimal) below the
+n <= m threshold, squeezed between the bounds above it, with the >= 3/4
+doubling ratio that caps scalability.
+"""
+
+from conftest import once
+
+from repro._util import format_table
+from repro.analysis import (
+    fx_expected_response,
+    fx_response_bounds,
+    fx_response_formula,
+)
+
+
+def _run():
+    rows = []
+    for m in range(1, 4):
+        for n in range(0, 6):
+            mean = fx_expected_response(m, n)
+            lo, hi = fx_response_bounds(m, n)
+            formula = fx_response_formula(m, n)
+            rows.append(
+                [
+                    2**m,
+                    2**n,
+                    round(mean, 3),
+                    formula if formula is not None else "-",
+                    lo,
+                    hi,
+                ]
+            )
+    return rows
+
+
+def test_theorem2_fx_scalability(benchmark, report_sink):
+    rows = once(benchmark, _run)
+    report_sink(
+        "theorem2_fx",
+        format_table(
+            ["query side", "disks", "E[R_FX]", "Thm 2(i)", "lower", "upper"],
+            rows,
+            title="Theorem 2: FX expected response for 2^m x 2^m queries",
+        ),
+    )
+    for side, disks, mean, formula, lo, hi in rows:
+        assert lo - 1e-9 <= mean <= hi + 1e-9
+        if formula != "-":
+            assert mean == float(formula)
+    # Property (iii): doubling disks above the threshold saves <= 25%.
+    for m in range(1, 4):
+        for n in range(m + 1, 5):
+            assert fx_expected_response(m, n + 1) >= 0.75 * fx_expected_response(m, n) - 1e-9

@@ -1,0 +1,62 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper:
+it times the heavy computation with pytest-benchmark and prints the
+regenerated rows/series (also written to ``benchmarks/results/``).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Set ``REPRO_BENCH_FULL=1`` for the paper's full workload (1000 queries,
+disks 4..32 in steps of 2, full-size datasets); the default profile is a
+reduced sweep that finishes in a few minutes and preserves every
+qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Benchmark profile: (disk sweep, queries per configuration, 4-d records).
+if FULL:
+    DISKS = list(range(4, 33, 2))
+    N_QUERIES = 1000
+    N_RECORDS_4D = 3_000_000
+    CAPACITY_4D = None  # the calibrated full-scale capacity (150 records)
+else:
+    DISKS = [4, 8, 12, 16, 20, 24, 28, 32]
+    N_QUERIES = 400
+    N_RECORDS_4D = 200_000
+    # Scale models keep the queries-touch-many-buckets regime by shrinking
+    # the bucket capacity along with the record count.
+    CAPACITY_4D = 40
+
+SEED = 1996
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Callable that prints a rendered table and archives it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, text: str):
+        profile = "full (paper-scale)" if FULL else "quick"
+        stamped = f"[profile: {profile}, seed {SEED}]\n{text}"
+        print()
+        print(stamped)
+        (RESULTS_DIR / f"{name}.txt").write_text(stamped + "\n")
+
+    return sink
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

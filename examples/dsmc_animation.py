@@ -1,0 +1,71 @@
+"""Animating a time-dependent simulation from a parallel grid file.
+
+The paper's motivating scenario (§1, §3.5): a Direct Simulation Monte Carlo
+run periodically dumps particle snapshots; an analyst later animates the
+volume, which turns into a stream of 4-d range queries (x, y, z, t).  This
+example:
+
+1. generates 59 snapshots of a rarefied flow around a moving body,
+2. bulk-loads them into a 4-d grid file (t, x, y, z),
+3. declusters the buckets over an SP-2-like cluster with minimax,
+4. replays the animation workload on the discrete-event cluster simulator,
+   showing the blocks fetched / communication / elapsed breakdown (the
+   paper's Table 4) and the buffer-cache effect of the coarse temporal
+   scale.
+
+Run::
+
+    python examples/dsmc_animation.py [--records 120000] [--full-tiling]
+"""
+
+import argparse
+
+from repro import ClusterParams, Minimax, ParallelGridFile, animation_queries
+from repro.datasets import build_gridfile, load
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--records", type=int, default=120_000, help="particle records")
+    ap.add_argument("--ratio", type=float, default=0.1, help="spatial side fraction r")
+    ap.add_argument(
+        "--full-tiling",
+        action="store_true",
+        help="exhaustively tile each snapshot instead of the paper's ~1/r sweep",
+    )
+    args = ap.parse_args()
+
+    print(f"generating {args.records} particle records over 59 snapshots...")
+    ds = load("dsmc.4d", rng=1996, n=args.records)
+    gf = build_gridfile(ds, capacity=40)
+    print("grid file:", gf.stats())
+
+    queries = animation_queries(
+        ds.domain_lo,
+        ds.domain_hi,
+        args.ratio,
+        queries_per_step=0 if args.full_tiling else None,
+        rng=1996,
+    )
+    print(f"animation workload: {len(queries)} queries "
+          f"({'full tiling' if args.full_tiling else 'paper-style sweep'})")
+
+    print(f"\n{'procs':>5} | {'blocks fetched':>14} | {'comm (s)':>8} | "
+          f"{'elapsed (s)':>11} | {'cache hits':>10}")
+    for procs in (4, 8, 16):
+        assignment = Minimax().assign(gf, procs, rng=1996)
+        cluster = ParallelGridFile(gf, assignment, procs, ClusterParams())
+        rep = cluster.run_queries(queries)
+        print(
+            f"{procs:5d} | {rep.blocks_fetched:14d} | {rep.comm_time:8.2f} | "
+            f"{rep.elapsed_time:11.2f} | {rep.cache_hit_rate:9.0%}"
+        )
+    print(
+        "\nNote the cache hit rate: 59 snapshots share ~7 temporal scale\n"
+        "partitions, so consecutive animation steps re-read the same blocks\n"
+        "from the worker buffer caches — the caching effect of paper Table 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Grid file vs parallel R-tree: same data, same disks, same queries.
+
+The paper stores multidimensional snapshots in grid files; the main
+alternative it cites is the tree-based family (Guttman's R-tree), whose
+parallel variant (Kamel & Faloutsos) declusters leaf pages along a Hilbert
+ordering.  This example builds both structures over the same DSMC snapshot,
+declusters each with its best method, and compares page counts and response
+times — then shows that the paper's minimax algorithm improves the parallel
+R-tree too (it only needs box regions, not a grid).
+
+Run::
+
+    python examples/rtree_comparison.py [--records 52857] [--disks 16]
+"""
+
+import argparse
+
+from repro import Minimax, evaluate_queries, square_queries
+from repro.datasets import build_gridfile, load
+from repro.rtree import (
+    RTree,
+    evaluate_rtree_queries,
+    hilbert_leaf_assignment,
+    minimax_leaf_assignment,
+)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--records", type=int, default=52_857)
+    ap.add_argument("--disks", type=int, default=16)
+    ap.add_argument("--ratio", type=float, default=0.01)
+    args = ap.parse_args()
+
+    print(f"generating DSMC snapshot ({args.records} particles)...")
+    ds = load("dsmc.3d", rng=1996, n=args.records)
+
+    gf = build_gridfile(ds)
+    rt = RTree.bulk_load(ds.points, max_entries=ds.capacity)
+    print(f"grid file : {gf.stats()}")
+    print(f"r-tree    : {rt}")
+
+    queries = square_queries(500, args.ratio, ds.domain_lo, ds.domain_hi, rng=7)
+    m = args.disks
+
+    gf_ev = evaluate_queries(gf, Minimax().assign(gf, m, rng=1996), queries, m)
+    rt_h = evaluate_rtree_queries(rt, hilbert_leaf_assignment(rt, m), queries, m)
+    rt_m = evaluate_rtree_queries(
+        rt, minimax_leaf_assignment(rt, m, rng=1996), queries, m
+    )
+
+    print(f"\nmean response time over {len(queries)} queries (r={args.ratio}, M={m}):")
+    print(f"  grid file + minimax      : {gf_ev.mean_response:6.3f} (optimal {gf_ev.mean_optimal:.3f})")
+    print(f"  r-tree    + Hilbert RR   : {rt_h.mean_response:6.3f} (optimal {rt_h.mean_optimal:.3f})")
+    print(f"  r-tree    + minimax      : {rt_m.mean_response:6.3f} (optimal {rt_m.mean_optimal:.3f})")
+    print(
+        "\nSTR packing gives the R-tree slightly tighter pages; minimax\n"
+        "improves the parallel R-tree the same way it improves grid files —\n"
+        "the algorithm only needs the pages' bounding boxes."
+    )
+
+
+if __name__ == "__main__":
+    main()

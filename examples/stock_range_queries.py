@@ -1,0 +1,78 @@
+"""Multi-attribute stock-market queries over a declustered grid file.
+
+The paper's stock.3d scenario: two years of quotes for 383 stocks, indexed
+by (stock id, price, date) as independent primary keys.  A grid file
+supports all the access patterns an analyst mixes:
+
+* range queries  — "stocks 100-150, priced $20-$40, in spring '94";
+* partial-match  — "every quote of stock 42" (price and date unspecified);
+* time slices    — "the whole market during one week".
+
+This example builds the file, compares every declustering method on the
+mixed workload, and shows why the proximity-based methods win on the
+id x price hot-spot structure.
+
+Run::
+
+    python examples/stock_range_queries.py
+"""
+
+import numpy as np
+
+from repro import available_methods, evaluate_queries, make_method, square_queries
+from repro.datasets import build_gridfile, load
+from repro.gridfile import PartialMatchQuery, RangeQuery
+from repro.sim import degree_of_data_balance
+
+
+def analyst_workload(ds, rng):
+    """A mixed workload: small range queries + partial matches + time slices."""
+    queries = list(square_queries(300, 0.01, ds.domain_lo, ds.domain_hi, rng=rng))
+    gen = np.random.default_rng(rng)
+    # "All quotes of stock s": pin dimension 0.
+    for _ in range(50):
+        s = float(gen.integers(0, int(ds.domain_hi[0])))
+        queries.append(PartialMatchQuery({0: s}).as_range(ds.domain_lo, ds.domain_hi))
+    # "The whole market for a week": pin a 5-day window on dimension 2.
+    for _ in range(50):
+        d0 = float(gen.uniform(0, ds.domain_hi[2] - 5))
+        lo = ds.domain_lo.copy()
+        hi = ds.domain_hi.copy()
+        lo[2], hi[2] = d0, d0 + 5
+        queries.append(RangeQuery(lo, hi))
+    return queries
+
+
+def main() -> None:
+    print("generating 127,026 stock quotes (383 random-walk stocks)...")
+    ds = load("stock.3d", rng=1996)
+    gf = build_gridfile(ds)
+    print("grid file:", gf.stats())
+
+    queries = analyst_workload(ds, rng=7)
+    print(f"workload: {len(queries)} queries (ranges + partial matches + time slices)")
+
+    n_disks = 16
+    print(f"\ndeclustering over {n_disks} disks:")
+    print(f"{'method':>10} | {'mean response':>13} | {'balance':>7}")
+    results = {}
+    for spec in available_methods():
+        method = make_method(spec)
+        assignment = method.assign(gf, n_disks, rng=1996)
+        ev = evaluate_queries(gf, assignment, queries, n_disks)
+        bal = degree_of_data_balance(assignment, n_disks, gf.bucket_sizes())
+        results[method.name] = ev.mean_response
+        print(f"{method.name:>10} | {ev.mean_response:13.2f} | {bal:7.3f}")
+    print(f"{'optimal':>10} | {ev.mean_optimal:13.2f} |")
+
+    best = min(results, key=results.get)
+    print(f"\nbest method on this workload: {best}")
+    print(
+        "The id x price plane is a string of per-stock hot spots; proximity-\n"
+        "based declustering spreads each hot spot's buckets across disks,\n"
+        "which is exactly what the arithmetic schemes (DM/FX) cannot see."
+    )
+
+
+if __name__ == "__main__":
+    main()

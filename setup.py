@@ -1,0 +1,7 @@
+"""Shim for environments without the `wheel` package (PEP 660 editable
+installs need bdist_wheel). `python setup.py develop` and legacy
+`pip install -e .` both work through this file; configuration lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""repro: scalable declustering algorithms for parallel grid files.
+
+A full reproduction of Moon, Acharya & Saltz, *Study of Scalable
+Declustering Algorithms for Parallel Grid Files* (IPPS 1996): grid files and
+Cartesian product files, the DM / FX / HCAM index-based declustering schemes
+with four conflict-resolution heuristics, the proximity-based **minimax**
+algorithm plus the SSP/MST baselines, the response-time simulator, the
+closed-form scalability theorems, and a discrete-event shared-nothing
+cluster standing in for the paper's IBM SP-2.
+
+Quick start::
+
+    import numpy as np
+    from repro import GridFile, Minimax, square_queries, evaluate_queries
+
+    points = np.random.default_rng(0).uniform(0, 2000, (10_000, 2))
+    gf = GridFile.from_points(points, [0, 0], [2000, 2000], capacity=56)
+    assignment = Minimax().assign(gf, n_disks=16, rng=0)
+    queries = square_queries(1000, 0.05, [0, 0], [2000, 2000], rng=1)
+    print(evaluate_queries(gf, assignment, queries, 16).mean_response)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from repro.core import (
+    HCAM,
+    DiskModulo,
+    FieldwiseXor,
+    Minimax,
+    MSTDecluster,
+    ShortSpanningPath,
+    available_methods,
+    make_method,
+    optimal_response_time,
+    proximity_index,
+)
+from repro.datasets import build_gridfile, load
+from repro.gridfile import (
+    GridFile,
+    PartialMatchQuery,
+    RangeQuery,
+    bulk_load,
+    cartesian_product_file,
+)
+from repro.parallel import ClusterParams, ParallelGridFile
+from repro.sim import (
+    animation_queries,
+    degree_of_data_balance,
+    evaluate_queries,
+    square_queries,
+    sweep_methods,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GridFile",
+    "RangeQuery",
+    "PartialMatchQuery",
+    "bulk_load",
+    "cartesian_product_file",
+    "DiskModulo",
+    "FieldwiseXor",
+    "HCAM",
+    "Minimax",
+    "ShortSpanningPath",
+    "MSTDecluster",
+    "make_method",
+    "available_methods",
+    "proximity_index",
+    "optimal_response_time",
+    "square_queries",
+    "animation_queries",
+    "evaluate_queries",
+    "degree_of_data_balance",
+    "sweep_methods",
+    "ParallelGridFile",
+    "ClusterParams",
+    "load",
+    "build_gridfile",
+    "__version__",
+]

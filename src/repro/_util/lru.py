@@ -1,0 +1,60 @@
+"""A fixed-capacity LRU set of keys.
+
+Shared by the cluster simulator (per-node buffer caches of disk blocks,
+:mod:`repro.parallel.cache`) and the paged-directory model
+(:mod:`repro.gridfile.paged`).  A hit refreshes recency; an overflowing
+insert evicts the least recently used key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro._util import check_positive_int
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Fixed-capacity LRU set of block ids.
+
+    Parameters
+    ----------
+    capacity:
+        Number of blocks the cache holds; 0 disables caching.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity != 0:
+            check_positive_int(capacity, "capacity")
+        self.capacity = int(capacity)
+        self._blocks: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, block_id: int) -> bool:
+        """Touch a block; returns True on a hit (and updates recency)."""
+        if self.capacity == 0:
+            self.misses += 1
+            return False
+        if block_id in self._blocks:
+            self._blocks.move_to_end(block_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._blocks[block_id] = None
+        if len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+        return False
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

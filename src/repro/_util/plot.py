@@ -1,0 +1,113 @@
+"""Terminal line charts.
+
+The paper's figures are response-time-vs-disks curves; ``line_chart``
+renders them right in the terminal so `repro-decluster experiment figN
+--plot` shows the crossovers without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro._util.validate import check_positive_int
+
+__all__ = ["line_chart"]
+
+#: Plot markers assigned to series in order.
+MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: "str | None" = None,
+    y_label: str = "",
+) -> str:
+    """Render series as an ASCII line chart.
+
+    Parameters
+    ----------
+    x_values:
+        Common x coordinates (e.g. disk counts).
+    series:
+        Name -> y values (same length as ``x_values``).
+    width, height:
+        Canvas size in characters (axes excluded).
+    title:
+        Optional title line.
+    y_label:
+        Label printed above the y axis.
+
+    Returns
+    -------
+    str
+        The chart with a legend, ready to print.
+    """
+    width = check_positive_int(width, "width", minimum=8)
+    height = check_positive_int(height, "height", minimum=4)
+    x = np.asarray(list(x_values), dtype=np.float64)
+    if x.size < 2:
+        raise ValueError("need at least two x values")
+    ys = {}
+    for name, vals in series.items():
+        arr = np.asarray(list(vals), dtype=np.float64)
+        if arr.shape != x.shape:
+            raise ValueError(f"series {name!r} length does not match x")
+        ys[name] = arr
+    if not ys:
+        raise ValueError("no series to plot")
+
+    all_y = np.concatenate(list(ys.values()))
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x.min()), float(x.max())
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def col(xv: float) -> int:
+        return int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def row(yv: float) -> int:
+        frac = (yv - y_lo) / (y_hi - y_lo)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    for idx, (name, arr) in enumerate(ys.items()):
+        marker = MARKERS[idx % len(MARKERS)]
+        # Connect consecutive points with linear interpolation.
+        for i in range(x.size - 1):
+            c0, c1 = col(x[i]), col(x[i + 1])
+            for c in range(c0, c1 + 1):
+                t = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+                yv = arr[i] + t * (arr[i + 1] - arr[i])
+                r = row(yv)
+                if canvas[r][c] == " ":
+                    canvas[r][c] = "."
+        for i in range(x.size):
+            canvas[row(arr[i])][col(x[i])] = marker
+
+    label_hi = f"{y_hi:.3g}"
+    label_lo = f"{y_lo:.3g}"
+    pad = max(len(label_hi), len(label_lo))
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"{y_label:>{pad}}")
+    for r, rowchars in enumerate(canvas):
+        label = label_hi if r == 0 else (label_lo if r == height - 1 else "")
+        lines.append(f"{label:>{pad}} |" + "".join(rowchars))
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + f"  {x_lo:<10.4g}" + " " * max(0, width - 24) + f"{x_hi:>10.4g}"
+    )
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(ys)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (dataset generators, random query
+workloads, random seeding in the minimax algorithm, the *random selection*
+conflict-resolution heuristic) accepts an ``rng`` argument that may be
+
+* ``None`` — a fresh, OS-seeded generator (non-reproducible),
+* an ``int`` — a :class:`numpy.random.Generator` seeded with that value,
+* an existing :class:`numpy.random.Generator` — used as-is.
+
+Centralising the coercion keeps experiment scripts reproducible with a single
+seed while letting interactive users not think about it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng", "spawn_rng"]
+
+
+def as_rng(rng: "int | np.random.Generator | None") -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an integer seed, or an existing generator.
+
+    Returns
+    -------
+    numpy.random.Generator
+        A generator; if one was passed in, it is returned unchanged so that
+        streams are shared (and therefore advance) across calls.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, int or numpy Generator, got {type(rng)!r}")
+
+
+def spawn_rng(rng: "int | np.random.Generator | None", n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    Used by parameter sweeps so that e.g. each (method, number-of-disks)
+    configuration sees an independent stream while the whole sweep stays
+    reproducible from one seed.
+    """
+    base = as_rng(rng)
+    return [np.random.default_rng(s) for s in base.bit_generator.seed_seq.spawn(n)]

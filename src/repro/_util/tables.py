@@ -1,0 +1,87 @@
+"""ASCII table / series rendering used by the benchmark harness and CLI.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers keep that formatting in one place so every table in
+``benchmarks/`` and ``repro.experiments.report`` looks identical.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt_cell(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; floats are formatted with ``precision``
+        digits, everything else with ``str``.
+    title:
+        Optional title line printed above the table.
+    precision:
+        Decimal places for float cells.
+
+    Returns
+    -------
+    str
+        Multi-line table string (no trailing newline).
+    """
+    str_rows = [[_fmt_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence],
+    *,
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render one x-column plus one column per named series.
+
+    This is the shape of every figure in the paper (x = number of disks,
+    one curve per declustering method).
+    """
+    headers = [x_name, *series.keys()]
+    columns = [x_values, *series.values()]
+    n = len(x_values)
+    for name, col in series.items():
+        if len(col) != n:
+            raise ValueError(f"series {name!r} has {len(col)} points, expected {n}")
+    rows = [[col[i] for col in columns] for i in range(n)]
+    return format_table(headers, rows, title=title, precision=precision)

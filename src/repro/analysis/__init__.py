@@ -1,0 +1,65 @@
+"""Analytic scalability models (paper §2.3).
+
+Closed-form response times and optimality conditions for DM and FX on
+Cartesian product files, together with exact brute-force evaluators that the
+test suite uses to certify the formulas:
+
+* **Theorem 1** — DM's response time for an l x l square query, and the
+  necessary-and-sufficient strict-optimality condition (sharper than Li et
+  al.'s CMD bounds);
+* **Theorem 2** — FX's response for 2^m x 2^m queries on 2^n disks: exact
+  below the threshold (n <= m), bounded above it, with the ≥3/4 ratio that
+  shows doubling disks stops halving response time.
+
+Both imply the headline scalability result: for a fixed query size, adding
+disks beyond a threshold no longer reduces DM/FX response time.
+"""
+
+from repro.analysis.clustering import (
+    clusters_of,
+    hilbert_cluster_asymptote,
+    mean_clusters,
+)
+from repro.analysis.bruteforce import (
+    dm_response_exact,
+    expected_response,
+    fx_response_positions,
+    response_for_query,
+)
+from repro.analysis.scalability import saturation_point, scalability_profile
+from repro.analysis.selectivity import (
+    expected_buckets_touched,
+    intersect_probabilities,
+    predicted_optimal_response,
+)
+from repro.analysis.theorem1 import (
+    dm_is_strictly_optimal,
+    dm_optimality_condition,
+    dm_response_formula,
+)
+from repro.analysis.theorem2 import (
+    fx_expected_response,
+    fx_response_bounds,
+    fx_response_formula,
+)
+
+__all__ = [
+    "dm_response_exact",
+    "dm_response_formula",
+    "dm_is_strictly_optimal",
+    "dm_optimality_condition",
+    "fx_expected_response",
+    "fx_response_formula",
+    "fx_response_bounds",
+    "fx_response_positions",
+    "expected_response",
+    "response_for_query",
+    "saturation_point",
+    "scalability_profile",
+    "mean_clusters",
+    "clusters_of",
+    "hilbert_cluster_asymptote",
+    "expected_buckets_touched",
+    "intersect_probabilities",
+    "predicted_optimal_response",
+]

@@ -1,0 +1,91 @@
+"""Clustering analysis of space-filling curves (the HCAM follow-up).
+
+The paper closes §2.3 with "we are currently working on the analysis of the
+scalability of HCAM".  The key quantity in that analysis is the *number of
+clusters*: how many maximal runs of consecutive curve positions a query
+region decomposes into.  Fewer clusters means the round-robin deal spreads a
+query's buckets more evenly, which is exactly why HCAM keeps scaling where
+DM/FX stall.
+
+This module computes the mean cluster count exactly (enumeration over all
+query placements) for any :class:`repro.sfc.SpaceFillingCurve`, plus the
+known asymptote for the Hilbert curve: for a d-dimensional box query the
+average number of clusters approaches ``surface_area / (2d)`` — for a 2-d
+``q x q`` query, exactly ``q`` (Moon, Jagadish, Faloutsos & Saltz's later
+closed-form analysis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.sfc.base import SpaceFillingCurve
+
+__all__ = ["mean_clusters", "clusters_of", "hilbert_cluster_asymptote"]
+
+
+def clusters_of(keys: np.ndarray) -> int:
+    """Number of maximal runs of consecutive values in a key set."""
+    keys = np.sort(np.asarray(keys, dtype=np.int64))
+    if keys.size == 0:
+        return 0
+    return 1 + int((np.diff(keys) > 1).sum())
+
+
+def mean_clusters(curve: SpaceFillingCurve, query_shape, grid_side: "int | None" = None) -> float:
+    """Exact mean cluster count of a box query over all grid placements.
+
+    Parameters
+    ----------
+    curve:
+        Any space-filling curve instance.
+    query_shape:
+        Query side lengths in cells, one per curve dimension.
+    grid_side:
+        Grid extent per dimension (defaults to the curve's full ``2**bits``).
+
+    Notes
+    -----
+    Cost is ``O(placements * query_volume)`` — intended for the analysis
+    regime (grids up to ~64 per side).
+    """
+    query_shape = tuple(check_positive_int(q, "query side") for q in query_shape)
+    if len(query_shape) != curve.dims:
+        raise ValueError(f"query must have {curve.dims} sides")
+    n = grid_side if grid_side is not None else (1 << curve.bits)
+    check_positive_int(n, "grid_side")
+    if n > (1 << curve.bits):
+        raise ValueError("grid_side exceeds the curve's addressable extent")
+    if any(q > n for q in query_shape):
+        raise ValueError("query larger than the grid")
+
+    offsets_axes = [np.arange(q) for q in query_shape]
+    mesh = np.meshgrid(*offsets_axes, indexing="ij")
+    offsets = np.stack([m.ravel() for m in mesh], axis=1)
+
+    place_axes = [np.arange(n - q + 1) for q in query_shape]
+    mesh = np.meshgrid(*place_axes, indexing="ij")
+    placements = np.stack([m.ravel() for m in mesh], axis=1)
+
+    total = 0
+    for origin in placements:
+        keys = curve.index(origin[None, :] + offsets)
+        total += clusters_of(keys)
+    return total / placements.shape[0]
+
+
+def hilbert_cluster_asymptote(query_shape) -> float:
+    """Asymptotic mean cluster count of the Hilbert curve for a box query.
+
+    ``surface_area / (2d)``: for a 2-d ``q1 x q2`` box this is
+    ``(q1 + q2) / 2`` (so ``q`` for a square), for a 3-d box
+    ``(q1·q2 + q1·q3 + q2·q3) / 3``.
+    """
+    q = [check_positive_int(s, "query side") for s in query_shape]
+    d = len(q)
+    if d == 0:
+        raise ValueError("query_shape must be non-empty")
+    total = np.prod(q)
+    surface = sum(2 * total // s for s in q)
+    return float(surface) / (2 * d)

@@ -1,0 +1,99 @@
+"""Partial-match optimality of the index-based schemes (paper §2 background).
+
+The paper motivates DM and FX by their partial-match guarantees:
+
+* Du & Sobolewski: DM is strictly optimal for *all* partial-match queries
+  with exactly one unspecified attribute (and for many other classes);
+* Kim & Pramanik: with power-of-two disks and field sizes, the set of
+  partial-match queries for which FX is strictly optimal is a superset of
+  DM's.
+
+This module evaluates partial-match response times exactly on Cartesian
+product files, so both claims are checked mechanically
+(``tests/test_partialmatch.py``, ``benchmarks/bench_ext_partialmatch.py``)
+and can be contrasted with the *range-query* behaviour where both schemes
+stall — the tension at the heart of the paper.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+__all__ = [
+    "partial_match_response",
+    "optimal_partial_match_response",
+    "strictly_optimal_queries",
+]
+
+
+def partial_match_response(cell_disk_fn, shape, spec: dict[int, int], n_disks: int) -> int:
+    """Exact response time of one partial-match query on a CPF.
+
+    Parameters
+    ----------
+    cell_disk_fn:
+        ``(n, d) cells -> (n,) disks`` mapping (pre-modulo values allowed).
+    shape:
+        Grid shape (cells per dimension).
+    spec:
+        Pinned attributes: dimension -> cell index.  Unspecified dimensions
+        range over the whole axis; at least one must remain unspecified.
+    n_disks:
+        Number of disks M.
+    """
+    check_positive_int(n_disks, "n_disks")
+    d = len(shape)
+    if len(spec) >= d:
+        raise ValueError("a partial-match query needs >= 1 unspecified attribute")
+    for k, v in spec.items():
+        if not 0 <= k < d:
+            raise ValueError(f"dimension {k} out of range")
+        if not 0 <= v < shape[k]:
+            raise ValueError(f"value {v} out of range for dimension {k}")
+    axes = [
+        np.array([spec[k]]) if k in spec else np.arange(shape[k]) for k in range(d)
+    ]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    cells = np.stack([m.ravel() for m in mesh], axis=1)
+    disks = np.asarray(cell_disk_fn(cells)) % n_disks
+    return int(np.bincount(disks, minlength=n_disks).max())
+
+
+def optimal_partial_match_response(shape, spec: dict[int, int], n_disks: int) -> int:
+    """``⌈(number of matching cells) / M⌉``."""
+    d = len(shape)
+    n_cells = 1
+    for k in range(d):
+        if k not in spec:
+            n_cells *= shape[k]
+    return -(-n_cells // n_disks)
+
+
+def strictly_optimal_queries(
+    cell_disk_fn, shape, n_disks: int, n_unspecified: int
+) -> tuple[int, int]:
+    """Count strictly optimal partial-match queries with a given shape.
+
+    Enumerates every query with exactly ``n_unspecified`` free attributes
+    and returns ``(optimal_count, total_count)``.
+    """
+    d = len(shape)
+    check_positive_int(n_unspecified, "n_unspecified")
+    if n_unspecified > d:
+        raise ValueError("more unspecified attributes than dimensions")
+    from itertools import combinations
+
+    optimal = total = 0
+    for free in combinations(range(d), n_unspecified):
+        pinned = [k for k in range(d) if k not in free]
+        for values in product(*(range(shape[k]) for k in pinned)):
+            spec = dict(zip(pinned, values))
+            total += 1
+            r = partial_match_response(cell_disk_fn, shape, spec, n_disks)
+            if r == optimal_partial_match_response(shape, spec, n_disks):
+                optimal += 1
+    return optimal, total

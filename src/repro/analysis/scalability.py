@@ -1,0 +1,64 @@
+"""Scalability profiling of measured response-time curves.
+
+Quantifies "the performance saturates around six disks" style observations:
+given a response curve over increasing disk counts, find the saturation
+point (the first configuration beyond which adding disks stops helping) and
+summarize how far the curve sits from the optimal reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["saturation_point", "scalability_profile", "ScalabilityProfile"]
+
+
+def saturation_point(disks, responses, tolerance: float = 0.02) -> int:
+    """First disk count beyond which response improves by < ``tolerance``.
+
+    Scans the curve for the earliest M such that no later configuration
+    improves on the response at M by more than ``tolerance`` (relative).
+    Returns the last disk count if the curve keeps improving throughout.
+    """
+    disks = list(disks)
+    responses = np.asarray(responses, dtype=np.float64)
+    if len(disks) != responses.shape[0] or not disks:
+        raise ValueError("disks and responses must be equal-length, non-empty")
+    for i in range(len(disks)):
+        later = responses[i + 1 :]
+        if later.size == 0:
+            return disks[i]
+        if later.min() >= responses[i] * (1.0 - tolerance):
+            return disks[i]
+    return disks[-1]
+
+
+@dataclass(frozen=True)
+class ScalabilityProfile:
+    """Summary of one method's scalability on one workload."""
+
+    #: Disk count at which the curve saturates.
+    saturation: int
+    #: response(M_min) / response(M_max): achieved end-to-end speedup.
+    total_speedup: float
+    #: Mean ratio of response to the optimal reference (1.0 = optimal).
+    mean_ratio_to_optimal: float
+    #: Ratio at the largest configuration.
+    final_ratio_to_optimal: float
+
+
+def scalability_profile(disks, responses, optimal, tolerance: float = 0.02) -> ScalabilityProfile:
+    """Build a :class:`ScalabilityProfile` from a sweep's curves."""
+    responses = np.asarray(responses, dtype=np.float64)
+    optimal = np.asarray(optimal, dtype=np.float64)
+    if responses.shape != optimal.shape:
+        raise ValueError("responses and optimal must have the same shape")
+    ratio = responses / np.maximum(optimal, 1e-12)
+    return ScalabilityProfile(
+        saturation=saturation_point(disks, responses, tolerance),
+        total_speedup=float(responses[0] / responses[-1]),
+        mean_ratio_to_optimal=float(ratio.mean()),
+        final_ratio_to_optimal=float(ratio[-1]),
+    )

@@ -1,0 +1,77 @@
+"""Analytic query selectivity: expected buckets touched per query.
+
+For the paper's workload (square queries with uniform centers, clipped to
+the domain) the probability that a query of side ``l_k`` intersects a
+bucket whose region is ``[a_k, b_k]`` has a closed form: the query center
+must fall in ``[a_k - l_k/2, b_k + l_k/2]`` intersected with the domain, so
+
+    P(intersect) = Π_k  ( min(b_k + l_k/2, L_k) - max(a_k - l_k/2, 0) ) / L_k
+
+and the expected number of buckets a query touches is the sum of these
+probabilities over the (non-empty) buckets.  Dividing by M and flooring at
+1 approximates the optimal response curve without running a single query —
+the analytic counterpart of the "Optimal" line in every figure.
+
+Accuracy note: clipping correlates the query's side length with its
+position near the boundary; the closed form above treats the box as
+centered before clipping, which matches the generator in
+:func:`repro.sim.workload.square_queries` exactly (it clips the same way).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int, check_probability
+from repro.gridfile.gridfile import GridFile
+
+__all__ = ["intersect_probabilities", "expected_buckets_touched", "predicted_optimal_response"]
+
+
+def intersect_probabilities(gf: GridFile, ratio: float) -> np.ndarray:
+    """Per-bucket probability that a random square query intersects it.
+
+    Parameters
+    ----------
+    gf:
+        The grid file.
+    ratio:
+        Query volume fraction r (side ``r**(1/d) · L_k``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_buckets,)`` probabilities (empty buckets get probability 0 —
+        they own no disk page).
+    """
+    check_probability(ratio, "ratio")
+    if ratio == 0.0:
+        raise ValueError("ratio must be positive")
+    lo, hi = gf.bucket_regions()
+    lengths = gf.scales.lengths
+    half = (ratio ** (1.0 / gf.dims)) * lengths / 2.0
+    dom_lo = gf.scales.domain_lo
+    dom_hi = gf.scales.domain_hi
+    upper = np.minimum(hi + half, dom_hi)
+    lower = np.maximum(lo - half, dom_lo)
+    per_dim = np.clip(upper - lower, 0.0, None) / lengths
+    p = np.prod(per_dim, axis=1)
+    p[gf.bucket_sizes() == 0] = 0.0
+    return p
+
+
+def expected_buckets_touched(gf: GridFile, ratio: float) -> float:
+    """Expected number of (non-empty) buckets a random square query touches."""
+    return float(intersect_probabilities(gf, ratio).sum())
+
+
+def predicted_optimal_response(gf: GridFile, ratio: float, n_disks: int) -> float:
+    """Analytic approximation of the optimal response curve.
+
+    ``max(1, E[buckets] / M)`` — the continuous relaxation of the mean
+    ``⌈buckets/M⌉``; exact in the many-buckets regime, a slight
+    underestimate near the floor (Jensen).
+    """
+    check_positive_int(n_disks, "n_disks")
+    e = expected_buckets_touched(gf, ratio)
+    return max(1.0, e / n_disks) if e > 0 else 0.0

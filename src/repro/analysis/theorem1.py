@@ -1,0 +1,109 @@
+"""Theorem 1: disk modulo on 2-d square range queries.
+
+For an ``l x l`` square range query on a 2-d Cartesian product file with
+``M`` disks and ``β = l mod M``:
+
+* (i)  DM is strictly optimal **iff** ``M < l ∧ (β = 0 ∨ β > M(1 - 1/β))``
+  (plus the trivial boundary cases with ``M >= l`` where ``R_opt`` happens to
+  equal ``l`` — see :func:`dm_is_strictly_optimal` for the exact predicate);
+* (ii) the closed form::
+
+        R_DM(M) = R_opt(M) + β - ⌈β²/M⌉    if M <= l ∧ β != 0 ∧ β <= M(1-1/β)
+        R_DM(M) = R_opt(M)                 if M <= l and otherwise
+        R_DM(M) = l                        if M > l
+
+  with ``R_opt(M) = ⌈l²/M⌉``.
+
+The second clause of (ii) — ``R_DM = l`` whenever ``M > l`` — is the paper's
+scalability result for DM: for a fixed query, adding disks beyond the query
+side length buys nothing.  Both clauses are certified against brute force in
+``tests/test_theorem1.py`` over a dense (l, M) grid.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro._util import check_positive_int
+from repro.analysis.bruteforce import dm_response_exact
+
+__all__ = [
+    "dm_response_formula",
+    "dm_optimality_condition",
+    "dm_is_strictly_optimal",
+    "dm_optimal_response",
+]
+
+
+def dm_optimal_response(l: int, n_disks: int) -> int:
+    """``R_opt(M) = ⌈l²/M⌉`` for an l x l query."""
+    check_positive_int(l, "l")
+    check_positive_int(n_disks, "n_disks")
+    return ceil(l * l / n_disks)
+
+
+def dm_response_formula(l: int, n_disks: int) -> int:
+    """Theorem 1(ii): closed-form DM response time for an l x l query."""
+    check_positive_int(l, "l")
+    m = check_positive_int(n_disks, "n_disks")
+    if m > l:
+        return l
+    beta = l % m
+    r_opt = dm_optimal_response(l, m)
+    if beta == 0 or beta > m * (1.0 - 1.0 / beta):
+        return r_opt
+    return r_opt + beta - ceil(beta * beta / m)
+
+
+def dm_optimality_condition(l: int, n_disks: int) -> bool:
+    """The paper's Theorem 1(i) predicate, verbatim.
+
+    ``M < l ∧ (β = 0 ∨ β > M(1 - 1/β))``.  Exact for ``M < l``; for
+    ``M >= l`` it returns False even in the boundary cases where DM happens
+    to be optimal (e.g. ``M = l``) — use :func:`dm_is_strictly_optimal` for
+    the exact predicate on all inputs.
+    """
+    check_positive_int(l, "l")
+    m = check_positive_int(n_disks, "n_disks")
+    if m >= l:
+        return False
+    beta = l % m
+    return beta == 0 or beta > m * (1.0 - 1.0 / beta)
+
+
+def dm_is_strictly_optimal(l: int, n_disks: int) -> bool:
+    """Exact strict-optimality predicate: ``R_DM == R_opt`` (brute force)."""
+    return dm_response_exact(l, n_disks) == dm_optimal_response(l, n_disks)
+
+
+def dm_response_exact_box(shape, n_disks: int) -> int:
+    """Exact DM response for a d-dimensional box query (any side lengths).
+
+    Generalizes :func:`repro.analysis.bruteforce.dm_response_exact` beyond
+    2-d squares: the count of cells with ``Σ i_k ≡ r (mod M)`` inside a box
+    is the d-fold convolution of uniform indicators folded mod M — position
+    independent, like the 2-d case.  Cost ``O(Σ l_k · M)`` instead of the
+    ``O(Π l_k)`` enumeration, so high-dimensional boxes stay cheap.
+
+    Parameters
+    ----------
+    shape:
+        Query side lengths in cells, one per dimension.
+    n_disks:
+        Number of disks M.
+    """
+    import numpy as np
+
+    m = check_positive_int(n_disks, "n_disks")
+    shape = [check_positive_int(s, "side") for s in shape]
+    counts = np.zeros(m, dtype=np.int64)
+    counts[0] = 1
+    for l in shape:
+        contrib = np.bincount(np.arange(l) % m, minlength=m)
+        # Cyclic convolution of the residue distributions.
+        new = np.zeros(m, dtype=np.int64)
+        for r in range(m):
+            if counts[r]:
+                new += counts[r] * np.roll(contrib, r)
+        counts = new
+    return int(counts.max())

@@ -1,0 +1,58 @@
+"""Theorem 2: fieldwise XOR on power-of-two square queries.
+
+For a ``2^m x 2^m`` square range query on ``M = 2^n`` disks:
+
+* (i)   ``R_FX(2^n) = 2^(m + (m-n))`` for ``n <= m`` — exact, position
+  independent, and equal to the optimum ``(2^m)² / 2^n`` (FX is strictly
+  optimal below the threshold);
+* (ii)  ``2^(m-(n-m)) <= R_FX(2^n) <= 2^m`` for ``n > m`` — above the
+  threshold the response is squeezed between a slowly decaying lower bound
+  and the constant ``2^m``;
+* (iii) ``R_FX(2^(n+1)) >= (3/4) · R_FX(2^n)`` for ``n > m`` — doubling the
+  disks reduces expected response by at most 25%, far from the ideal halving.
+
+``R_FX`` denotes the response *expected over query positions* (unlike DM,
+FX's response depends on where the query lands).  All three properties are
+certified against brute force in ``tests/test_theorem2.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.analysis.bruteforce import fx_response_positions
+
+__all__ = ["fx_expected_response", "fx_response_formula", "fx_response_bounds"]
+
+
+def fx_expected_response(m: int, n: int) -> float:
+    """Exact expected FX response of a 2^m x 2^m query on 2^n disks.
+
+    Brute force over the full positional period; cost ``O(4^max(m,n) · 4^m)``
+    — fine for the theorem's regime (m, n <= ~5).
+    """
+    if m < 0 or n < 0:
+        raise ValueError("m and n must be non-negative")
+    return float(fx_response_positions(m, n).mean())
+
+
+def fx_response_formula(m: int, n: int) -> "int | None":
+    """Theorem 2(i): the exact closed form, or None when it does not apply.
+
+    Returns ``2^(m + (m - n))`` for ``n <= m``; above the threshold (n > m)
+    only the bounds of :func:`fx_response_bounds` hold.
+    """
+    if m < 0 or n < 0:
+        raise ValueError("m and n must be non-negative")
+    if n > m:
+        return None
+    return 1 << (m + (m - n))
+
+
+def fx_response_bounds(m: int, n: int) -> tuple[float, float]:
+    """Theorem 2(ii): ``(2^(m-(n-m)), 2^m)`` bounds for ``n > m``."""
+    if n <= m:
+        v = float(fx_response_formula(m, n))
+        return v, v
+    return float(2.0 ** (m - (n - m))), float(1 << m)

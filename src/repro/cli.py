@@ -1,0 +1,206 @@
+"""Command-line interface: ``repro-decluster`` / ``python -m repro.cli``.
+
+Subcommands
+-----------
+``list``
+    Show available datasets and declustering methods.
+``dataset NAME``
+    Generate a dataset, build its grid file, print the structure.
+``decluster NAME --method M --disks K``
+    Decluster a dataset and report balance / response-time statistics.
+``experiment ID``
+    Regenerate a paper figure/table (fig2..fig7, table1..table5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import available_methods, make_method
+from repro.datasets import DATASETS, build_gridfile, load
+from repro.experiments import (
+    fig2_gridfiles,
+    fig3_conflict,
+    fig4_index_based,
+    fig6_minimax,
+    fig7_querysize,
+    render_sweep,
+    series_text,
+    table1_balance,
+    table23_closest_pairs,
+    table4_animation,
+    table5_random,
+)
+from repro.experiments.report import render_cluster_rows
+from repro.sim import degree_of_data_balance, evaluate_queries, square_queries
+
+__all__ = ["main"]
+
+
+def _cmd_list(args) -> int:
+    print("datasets:")
+    for name in sorted(DATASETS):
+        print(f"  {name}")
+    print("methods:")
+    for spec in available_methods():
+        print(f"  {spec}")
+    print("experiments: fig2 fig3 fig4 fig6 fig7 table1 table2 table3 table4 table5")
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    ds = load(args.name, rng=args.seed)
+    gf = build_gridfile(ds)
+    print(f"{ds.name}: {ds.description}")
+    print(gf.stats())
+    return 0
+
+
+def _cmd_decluster(args) -> int:
+    ds = load(args.name, rng=args.seed)
+    gf = build_gridfile(ds)
+    method = make_method(args.method)
+    assignment = method.assign(gf, args.disks, rng=args.seed)
+    queries = square_queries(args.queries, args.ratio, ds.domain_lo, ds.domain_hi, rng=args.seed)
+    ev = evaluate_queries(gf, assignment, queries, args.disks)
+    balance = degree_of_data_balance(assignment, args.disks, gf.bucket_sizes())
+    print(f"dataset            : {ds.name} ({gf.stats()})")
+    print(f"method             : {method.name}")
+    print(f"disks              : {args.disks}")
+    print(f"mean response time : {ev.mean_response:.3f} buckets (optimal {ev.mean_optimal:.3f})")
+    print(f"degree of balance  : {balance:.3f}")
+    if args.out:
+        from repro.gridfile import export_declustered
+
+        paths = export_declustered(gf, assignment, args.out)
+        print(f"declustered layout : {len(paths) - 1} disk files + catalog in {args.out}")
+    return 0
+
+
+def _maybe_plot(args, sweep, title: str) -> None:
+    if getattr(args, "plot", False):
+        from repro._util import line_chart
+
+        print(line_chart(sweep.disks, sweep.response_series(), title=title))
+        print()
+
+
+def _cmd_experiment(args) -> int:
+    exp = args.id.lower()
+    quick = args.quick
+    seed = args.seed
+    if exp == "fig2":
+        if getattr(args, "plot", False):
+            from repro.datasets import build_gridfile as _build, load as _load
+            from repro.experiments.report import ascii_gridfile_map
+
+            for name in ("uniform.2d", "hot.2d", "correl.2d"):
+                gf = _build(_load(name, rng=seed))
+                print(f"--- {name} ---")
+                print(ascii_gridfile_map(gf, max_width=60))
+                print()
+        else:
+            for name, stats in fig2_gridfiles(rng=seed).items():
+                print(f"{name}: {stats}")
+    elif exp == "fig3":
+        for base, sweep in fig3_conflict(rng=seed, quick=quick).items():
+            print(render_sweep(sweep, f"Figure 3 ({base}, hot.2d, r=0.05)"))
+            print()
+    elif exp == "fig4":
+        for name, sweep in fig4_index_based(rng=seed, quick=quick).items():
+            print(render_sweep(sweep, f"Figure 4 ({name}, r=0.05)"))
+            _maybe_plot(args, sweep, f"Figure 4 ({name})")
+            print()
+    elif exp == "fig6":
+        for name, sweep in fig6_minimax(rng=seed, quick=quick).items():
+            print(render_sweep(sweep, f"Figure 6 ({name}, r=0.01)"))
+            _maybe_plot(args, sweep, f"Figure 6 ({name})")
+            print()
+    elif exp == "fig7":
+        res = fig7_querysize(rng=seed, quick=quick)
+        resp = {f"{m} r={r}": v for (m, r), v in res.response.items()}
+        spd = {f"{m} r={r}": list(v) for (m, r), v in res.speedup.items()}
+        print(series_text("disks", res.disks, resp, title="Figure 7 (response, stock.3d)"))
+        print()
+        print(series_text("disks", res.disks, spd, title="Figure 7 (speedup, stock.3d)"))
+    elif exp == "table1":
+        sweep = table1_balance(rng=seed, quick=quick)
+        print(render_sweep(sweep, "Table 1 (degree of data balance, hot.2d)", metric="balance"))
+    elif exp in ("table2", "table3"):
+        dataset = "dsmc.3d" if exp == "table2" else "stock.3d"
+        sweep = table23_closest_pairs(dataset, rng=seed, quick=quick)
+        print(render_sweep(sweep, f"Table {exp[-1]} (closest pairs on same disk, {dataset})", metric="pairs"))
+    elif exp == "table4":
+        n = 60_000 if quick else 300_000
+        rows = table4_animation(n_records=n, rng=seed)
+        print(render_cluster_rows(rows, "Table 4 (animation queries, simulated SP-2)"))
+    elif exp == "table5":
+        n = 60_000 if quick else 300_000
+        rows = table5_random(n_records=n, rng=seed)
+        print(render_cluster_rows(rows, "Table 5 (random range queries, simulated SP-2)"))
+    else:
+        print(f"unknown experiment {args.id!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    p = argparse.ArgumentParser(
+        prog="repro-decluster",
+        description="Declustering algorithms for parallel grid files (IPPS'96 reproduction)",
+    )
+    p.add_argument("--seed", type=int, default=1996, help="base RNG seed")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list datasets, methods and experiments")
+
+    d = sub.add_parser("dataset", help="build a dataset's grid file and print stats")
+    d.add_argument("name", choices=sorted(DATASETS))
+
+    dec = sub.add_parser("decluster", help="decluster a dataset and evaluate")
+    dec.add_argument("name", choices=sorted(DATASETS))
+    dec.add_argument("--method", default="minimax", help="method spec (see `list`)")
+    dec.add_argument("--disks", type=int, default=16)
+    dec.add_argument("--ratio", type=float, default=0.05, help="query volume ratio r")
+    dec.add_argument("--queries", type=int, default=1000)
+    dec.add_argument("--out", default=None, help="export per-disk files to this directory")
+
+    e = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    e.add_argument("id", help="fig2|fig3|fig4|fig6|fig7|table1..table5")
+    e.add_argument("--quick", action="store_true", help="reduced sweep for a fast run")
+    e.add_argument("--plot", action="store_true", help="also render ASCII charts")
+
+    r = sub.add_parser("report", help="run every experiment into a markdown report")
+    r.add_argument("output", help="output .md path")
+    r.add_argument("--full", action="store_true", help="full (paper-scale) profile")
+
+    return p
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=3, suppress=True)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "dataset":
+        return _cmd_dataset(args)
+    if args.command == "decluster":
+        return _cmd_decluster(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "report":
+        from repro.experiments.runall import write_full_report
+
+        path = write_full_report(args.output, rng=args.seed, quick=not args.full)
+        print(f"wrote {path}")
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

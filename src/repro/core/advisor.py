@@ -1,0 +1,91 @@
+"""Method advisor: pick a declustering method for a concrete deployment.
+
+The paper's conclusion is a decision rule ("DM for few disks, HCAM for
+many, minimax if O(N²) is affordable") — this module mechanizes it: given
+the actual grid file, disk count and a sample workload, it evaluates a
+candidate slate and returns the ranking, so an operator does not have to
+internalize the trade-off table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+from repro.core.registry import available_methods, make_method
+from repro.gridfile.gridfile import GridFile
+from repro.sim.diskmodel import evaluate_queries, query_buckets
+from repro.sim.metrics import degree_of_data_balance
+
+__all__ = ["recommend", "Recommendation"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One candidate's evaluation on the sample workload."""
+
+    name: str
+    mean_response: float
+    mean_optimal: float
+    balance: float
+
+    @property
+    def ratio_to_optimal(self) -> float:
+        """Response relative to the clairvoyant bound (1.0 = optimal)."""
+        return self.mean_response / max(self.mean_optimal, 1e-12)
+
+
+def recommend(
+    gf: GridFile,
+    queries,
+    n_disks: int,
+    candidates=None,
+    rng=None,
+) -> list[Recommendation]:
+    """Rank candidate methods on a sample workload.
+
+    Parameters
+    ----------
+    gf:
+        The grid file to be declustered.
+    queries:
+        A representative sample workload (a few hundred queries suffice;
+        the per-query bucket lists are resolved once and shared).
+    n_disks:
+        Target disk count M.
+    candidates:
+        Iterable of spec strings (default: the canonical built-in slate).
+    rng:
+        Seed for the randomized methods.
+
+    Returns
+    -------
+    list[Recommendation]
+        Sorted best-first by (mean response, balance).
+    """
+    check_positive_int(n_disks, "n_disks")
+    queries = list(queries)
+    if not queries:
+        raise ValueError("need a non-empty sample workload")
+    if candidates is None:
+        candidates = available_methods()
+    rng = as_rng(rng)
+    bucket_lists = query_buckets(gf, queries)
+    sizes = gf.bucket_sizes()
+    out = []
+    for spec in candidates:
+        method = make_method(spec) if isinstance(spec, str) else spec
+        assignment = method.assign(gf, n_disks, rng=rng)
+        ev = evaluate_queries(gf, assignment, queries, n_disks, bucket_lists=bucket_lists)
+        out.append(
+            Recommendation(
+                name=method.name,
+                mean_response=ev.mean_response,
+                mean_optimal=ev.mean_optimal,
+                balance=degree_of_data_balance(assignment, n_disks, sizes),
+            )
+        )
+    out.sort(key=lambda r: (r.mean_response, r.balance))
+    return out

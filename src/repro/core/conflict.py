@@ -1,0 +1,127 @@
+"""Conflict-resolution heuristics for index-based declustering on grid files.
+
+A merged bucket covers several cells, and a per-cell scheme (DM/FX/HCAM)
+may map those cells to different disks — the bucket's *assignment
+alternatives* ``C(b)``.  The four heuristics of paper §2.1 pick one:
+
+* **random** — uniform choice among the distinct alternatives;
+* **most frequent** — the disk occurring most often among the per-cell
+  mappings (ties broken randomly);
+* **data balance** (Algorithm 1) — singletons first, then each conflicted
+  bucket goes to the alternative disk currently holding the fewest data
+  buckets;
+* **area balance** — like data balance but balancing the total region
+  volume per disk.
+
+All heuristics run in time linear in the number of cells, preserving the
+linear complexity of the index-based schemes.
+
+Each resolver shares the signature::
+
+    resolve(alternatives, n_disks, *, weights=None, sizes=None, rng=None)
+
+where ``alternatives[b]`` is the (multiset) array of per-cell disks of
+bucket ``b``, ``weights[b]`` its region volume (used by area balance) and
+``sizes[b]`` its record count (empty buckets occupy no disk page and are
+excluded from the balance counters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+
+__all__ = [
+    "resolve_random",
+    "resolve_most_frequent",
+    "resolve_data_balance",
+    "resolve_area_balance",
+    "CONFLICT_HEURISTICS",
+]
+
+
+def _check(alternatives, n_disks):
+    for i, alt in enumerate(alternatives):
+        alt = np.asarray(alt)
+        if alt.size == 0:
+            raise ValueError(f"bucket {i} has no assignment alternatives")
+        if alt.min() < 0 or alt.max() >= n_disks:
+            raise ValueError(f"bucket {i} alternatives out of range [0, {n_disks})")
+
+
+def resolve_random(alternatives, n_disks, *, weights=None, sizes=None, rng=None):
+    """Random selection among each bucket's distinct alternative disks."""
+    _check(alternatives, n_disks)
+    rng = as_rng(rng)
+    out = np.empty(len(alternatives), dtype=np.int64)
+    for i, alt in enumerate(alternatives):
+        distinct = np.unique(alt)
+        out[i] = distinct[rng.integers(distinct.size)]
+    return out
+
+
+def resolve_most_frequent(alternatives, n_disks, *, weights=None, sizes=None, rng=None):
+    """Pick the disk named most often by the bucket's per-cell mappings.
+
+    If several disks tie for the highest multiplicity, one of them is chosen
+    uniformly at random (the paper's fallback to random selection).
+    """
+    _check(alternatives, n_disks)
+    rng = as_rng(rng)
+    out = np.empty(len(alternatives), dtype=np.int64)
+    for i, alt in enumerate(alternatives):
+        counts = np.bincount(np.asarray(alt, dtype=np.int64), minlength=n_disks)
+        top = np.nonzero(counts == counts.max())[0]
+        out[i] = top[rng.integers(top.size)]
+    return out
+
+
+def _balance(alternatives, n_disks, load_of, rng):
+    """Shared skeleton of Algorithm 1 with a pluggable per-bucket load."""
+    _check(alternatives, n_disks)
+    rng = as_rng(rng)
+    out = np.full(len(alternatives), -1, dtype=np.int64)
+    load = np.zeros(n_disks, dtype=np.float64)
+    conflicted = []
+    # Step 2: buckets with a single alternative are fixed.
+    for i, alt in enumerate(alternatives):
+        distinct = np.unique(alt)
+        if distinct.size == 1:
+            out[i] = distinct[0]
+            load[distinct[0]] += load_of(i)
+        else:
+            conflicted.append((i, distinct))
+    # Step 3: each conflicted bucket goes to its least-loaded alternative.
+    for i, distinct in conflicted:
+        loads = load[distinct]
+        ties = distinct[loads == loads.min()]
+        choice = ties[rng.integers(ties.size)] if ties.size > 1 else ties[0]
+        out[i] = choice
+        load[choice] += load_of(i)
+    return out
+
+
+def resolve_data_balance(alternatives, n_disks, *, weights=None, sizes=None, rng=None):
+    """Algorithm 1: balance the number of (non-empty) data buckets per disk."""
+    if sizes is None:
+        sizes = np.ones(len(alternatives))
+    sizes = np.asarray(sizes)
+    return _balance(alternatives, n_disks, lambda i: float(sizes[i] > 0), rng)
+
+
+def resolve_area_balance(alternatives, n_disks, *, weights=None, sizes=None, rng=None):
+    """Balance the total subspace volume per disk (paper's *area balance*)."""
+    if weights is None:
+        raise ValueError("area balance requires per-bucket region volumes")
+    weights = np.asarray(weights, dtype=np.float64)
+    return _balance(alternatives, n_disks, lambda i: float(weights[i]), rng)
+
+
+#: Registry used by :class:`repro.core.base.IndexBasedMethod`.
+CONFLICT_HEURISTICS = {
+    "random": resolve_random,
+    "most_frequent": resolve_most_frequent,
+    "data_balance": resolve_data_balance,
+    "area_balance": resolve_area_balance,
+}

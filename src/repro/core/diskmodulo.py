@@ -1,0 +1,83 @@
+"""Disk modulo (DM) declustering and its generalized form (Du & Sobolewski,
+TODS 1982).
+
+Cell ``[i_1, ..., i_d]`` goes to disk ``(i_1 + ... + i_d) mod M``.  Strictly
+optimal for broad classes of partial-match queries; the paper shows (Theorem
+1 and Figure 4) that its *range-query* performance saturates once the number
+of disks exceeds the query side length.
+
+:class:`GeneralizedDiskModulo` is Du & Sobolewski's GDM family:
+``(Σ a_k · i_k) mod M`` with per-dimension coefficients.  Coprime,
+pairwise-distinct coefficients break the diagonal structure that makes plain
+DM collapse on square range queries, at the cost of some partial-match
+optimality — measured in ``benchmarks/bench_ext_methods.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import IndexBasedMethod
+
+__all__ = ["DiskModulo", "GeneralizedDiskModulo", "fibonacci_coefficients"]
+
+
+class DiskModulo(IndexBasedMethod):
+    """DM: disk = (sum of cell coordinates) mod M."""
+
+    base_name = "DM"
+
+    def cell_disks(self, cells: np.ndarray, n_disks: int, shape) -> np.ndarray:
+        cells = np.asarray(cells, dtype=np.int64)
+        return cells.sum(axis=1) % n_disks
+
+
+def fibonacci_coefficients(dims: int) -> tuple[int, ...]:
+    """Default GDM coefficients: 1, 2, 3, 5, 8, ... (consecutive Fibonacci).
+
+    Consecutive Fibonacci numbers are coprime, so no pair of dimensions
+    aliases onto the same residue pattern for any disk count.
+    """
+    a, b = 1, 2
+    out = []
+    for _ in range(dims):
+        out.append(a)
+        a, b = b, a + b
+    return tuple(out)
+
+
+class GeneralizedDiskModulo(IndexBasedMethod):
+    """GDM: disk = ``(Σ a_k · i_k) mod M`` with per-dimension coefficients.
+
+    Parameters
+    ----------
+    conflict:
+        Conflict-resolution heuristic (as for every index-based scheme).
+    coefficients:
+        Per-dimension integer coefficients; ``None`` selects the Fibonacci
+        defaults sized to the grid at assignment time.  ``(1, 1, ..., 1)``
+        recovers plain DM.
+    """
+
+    base_name = "GDM"
+
+    def __init__(self, conflict: str = "data_balance", coefficients=None):
+        super().__init__(conflict)
+        if coefficients is not None:
+            coefficients = tuple(int(c) for c in coefficients)
+            if not coefficients or any(c < 1 for c in coefficients):
+                raise ValueError("coefficients must be positive integers")
+        self.coefficients = coefficients
+
+    def _coeffs(self, dims: int) -> np.ndarray:
+        if self.coefficients is None:
+            return np.asarray(fibonacci_coefficients(dims), dtype=np.int64)
+        if len(self.coefficients) != dims:
+            raise ValueError(
+                f"got {len(self.coefficients)} coefficients for {dims} dimensions"
+            )
+        return np.asarray(self.coefficients, dtype=np.int64)
+
+    def cell_disks(self, cells: np.ndarray, n_disks: int, shape) -> np.ndarray:
+        cells = np.asarray(cells, dtype=np.int64)
+        return (cells * self._coeffs(cells.shape[1])).sum(axis=1) % n_disks

@@ -1,0 +1,139 @@
+"""Exact optimal declustering for small instances (branch and bound).
+
+The paper compares against the *clairvoyant* bound ``⌈buckets/M⌉``, which
+no single assignment may achieve for every query simultaneously.  For small
+instances the true optimum — the assignment minimizing the summed response
+``Σ_q max_i N_i(q)`` over a workload — is computable by branch and bound,
+giving the heuristics an absolute yardstick instead of a lower bound:
+``tests/test_exact.py`` shows minimax/KL landing within a few percent of
+optimal on every random tiny instance, which is the strongest quality
+statement this reproduction makes.
+
+Pruning: placing a bucket can only keep or raise each query's max, so the
+running objective plus the per-query floor ``⌈remaining_min/M⌉`` bounds any
+completion.  Symmetry: bucket ``i`` may only use disks ``0..used+1``, which
+divides the search space by ``M!`` up front.  Practical sizes: N ≲ 16,
+M ≲ 4, a few dozen queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+__all__ = ["exact_optimal_assignment"]
+
+
+def _total_response(counts: np.ndarray) -> int:
+    return int(counts.max(axis=1).sum())
+
+
+def exact_optimal_assignment(
+    bucket_lists,
+    n_buckets: int,
+    n_disks: int,
+    balanced: bool = True,
+    node_limit: int = 5_000_000,
+) -> tuple[np.ndarray, int]:
+    """The assignment minimizing ``Σ_q max_i N_i(q)``, by branch and bound.
+
+    Parameters
+    ----------
+    bucket_lists:
+        Per-query arrays of bucket ids (buckets not appearing in any query
+        are placed round-robin afterwards — they cannot affect the value).
+    n_buckets:
+        Number of buckets N.
+    n_disks:
+        Number of disks M.
+    balanced:
+        Enforce ``≤ ⌈N/M⌉`` buckets per disk (the regime every balanced
+        heuristic plays in).  With False the unconstrained optimum may be
+        lower.
+    node_limit:
+        Safety cap on search-tree nodes; exceeded search raises
+        ``RuntimeError`` (the instance is too big for exact search).
+
+    Returns
+    -------
+    (assignment, value):
+        An optimal ``(n_buckets,)`` assignment and its summed response.
+    """
+    check_positive_int(n_buckets, "n_buckets")
+    m = check_positive_int(n_disks, "n_disks")
+    check_positive_int(node_limit, "node_limit")
+    bucket_lists = [np.asarray(b, dtype=np.int64) for b in bucket_lists]
+    for bl in bucket_lists:
+        if bl.size and (bl.min() < 0 or bl.max() >= n_buckets):
+            raise ValueError("bucket id out of range")
+
+    queries_of: list[list[int]] = [[] for _ in range(n_buckets)]
+    for qi, bl in enumerate(bucket_lists):
+        for b in bl:
+            queries_of[int(b)].append(qi)
+    active = [b for b in range(n_buckets) if queries_of[b]]
+    # Place high-participation buckets first: conflicts surface early.
+    active.sort(key=lambda b: -len(queries_of[b]))
+
+    n_q = len(bucket_lists)
+    counts = np.zeros((n_q, m), dtype=np.int64)
+    remaining = np.array([bl.size for bl in bucket_lists], dtype=np.int64)
+    cap = -(-len(active) // m) if balanced else len(active)
+    load = np.zeros(m, dtype=np.int64)
+
+    best_value = np.inf
+    best_assignment: "np.ndarray | None" = None
+    current = np.zeros(len(active), dtype=np.int64)
+    nodes = 0
+
+    def lower_bound() -> float:
+        # Each query ends at least at max(current max, ceil(total/M)).
+        cur_max = counts.max(axis=1) if m > 0 else np.zeros(n_q)
+        totals = counts.sum(axis=1) + remaining
+        floor = -(-totals // m)
+        return float(np.maximum(cur_max, floor).sum())
+
+    def search(idx: int, used: int):
+        nonlocal best_value, best_assignment, nodes
+        nodes += 1
+        if nodes > node_limit:
+            raise RuntimeError(
+                f"exact search exceeded {node_limit} nodes; instance too large"
+            )
+        if idx == len(active):
+            value = _total_response(counts)
+            if value < best_value:
+                best_value = value
+                best_assignment = current.copy()
+            return
+        if lower_bound() >= best_value:
+            return
+        b = active[idx]
+        qs = queries_of[b]
+        remaining[qs] -= 1
+        for disk in range(min(used + 1, m)):
+            if load[disk] >= cap:
+                continue
+            counts[qs, disk] += 1
+            load[disk] += 1
+            current[idx] = disk
+            search(idx + 1, max(used, disk + 1))
+            counts[qs, disk] -= 1
+            load[disk] -= 1
+        remaining[qs] += 1
+
+    search(0, 0)
+    assert best_assignment is not None
+
+    out = np.zeros(n_buckets, dtype=np.int64)
+    for idx, b in enumerate(active):
+        out[b] = best_assignment[idx]
+    # Inactive buckets cannot affect the objective; fill them least-loaded
+    # so the overall ⌈N/M⌉ balance cap holds for the whole file.
+    final_load = np.bincount(out[active], minlength=m) if active else np.zeros(m, dtype=np.int64)
+    for b in (b for b in range(n_buckets) if not queries_of[b]):
+        disk = int(np.argmin(final_load))
+        out[b] = disk
+        final_load[disk] += 1
+    return out, int(best_value)

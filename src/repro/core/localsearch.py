@@ -1,0 +1,166 @@
+"""Workload-tuned declustering by local search.
+
+All the paper's algorithms are *workload-oblivious*: they place buckets from
+geometry alone.  When a representative query workload is available, a direct
+hill-climb on the actual objective — the summed response time
+``Σ_q max_i N_i(q)`` — gives an empirical near-optimal reference that is
+much tighter than the ``⌈buckets/M⌉`` bound.  The gap between minimax and
+this reference quantifies how much the proximity heuristic leaves on the
+table (``benchmarks/bench_ext_workload_tuned.py``).
+
+The search starts from a base assignment (minimax by default) and repeatedly
+moves single buckets between disks whenever the move strictly reduces the
+summed response over the training workload, subject to a balance constraint
+(``≤ ⌈N/M⌉ + slack`` non-empty buckets per disk).  Per-query per-disk counts
+are maintained incrementally, so one full sweep costs
+``O(N · M · avg_queries_per_bucket)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+from repro.core.base import DeclusteringMethod, validate_assignment
+from repro.core.registry import make_method
+from repro.gridfile.gridfile import GridFile
+from repro.sim.diskmodel import query_buckets
+
+__all__ = ["WorkloadTuned", "tune_assignment"]
+
+
+def tune_assignment(
+    bucket_lists,
+    assignment: np.ndarray,
+    n_disks: int,
+    sizes: "np.ndarray | None" = None,
+    balance_slack: int = 1,
+    max_passes: int = 10,
+) -> tuple[np.ndarray, int]:
+    """Hill-climb an assignment against a concrete workload.
+
+    Parameters
+    ----------
+    bucket_lists:
+        Per-query arrays of (non-empty) bucket ids (the output of
+        :func:`repro.sim.diskmodel.query_buckets`).
+    assignment:
+        Initial ``(n_buckets,)`` disk ids.
+    n_disks:
+        Number of disks M.
+    sizes:
+        Per-bucket record counts; empty buckets are ignored by the balance
+        constraint (they occupy no disk page).
+    balance_slack:
+        Allowed excess over ``⌈N/M⌉`` non-empty buckets per disk.
+    max_passes:
+        Sweep cap.
+
+    Returns
+    -------
+    (assignment, n_moves):
+        The tuned assignment (copy) and the number of moves applied.
+    """
+    check_positive_int(n_disks, "n_disks")
+    if balance_slack < 0:
+        raise ValueError("balance_slack must be >= 0")
+    check_positive_int(max_passes, "max_passes")
+    out = np.asarray(assignment, dtype=np.int64).copy()
+    n_buckets = out.shape[0]
+    if sizes is None:
+        sizes = np.ones(n_buckets, dtype=np.int64)
+    sizes = np.asarray(sizes)
+
+    # Inverted index: bucket -> queries that touch it.
+    queries_of: list[list[int]] = [[] for _ in range(n_buckets)]
+    bucket_lists = [np.asarray(bl, dtype=np.int64) for bl in bucket_lists]
+    for qi, bl in enumerate(bucket_lists):
+        for b in bl:
+            queries_of[int(b)].append(qi)
+
+    # Per-query per-disk counts.
+    counts = np.zeros((len(bucket_lists), n_disks), dtype=np.int64)
+    for qi, bl in enumerate(bucket_lists):
+        if bl.size:
+            counts[qi] = np.bincount(out[bl], minlength=n_disks)
+
+    nonempty = sizes > 0
+    load = np.bincount(out[nonempty], minlength=n_disks)
+    cap = -(-int(nonempty.sum()) // n_disks) + balance_slack
+
+    touched_buckets = [b for b in range(n_buckets) if queries_of[b]]
+    n_moves = 0
+    for _ in range(max_passes):
+        improved = False
+        for b in touched_buckets:
+            src = int(out[b])
+            qs = queries_of[b]
+            rows = counts[qs]
+            current = rows.max(axis=1).sum()
+            best_gain = 0
+            best_dst = -1
+            for dst in range(n_disks):
+                if dst == src:
+                    continue
+                if nonempty[b] and load[dst] + 1 > cap:
+                    continue
+                trial = rows.copy()
+                trial[:, src] -= 1
+                trial[:, dst] += 1
+                gain = current - trial.max(axis=1).sum()
+                if gain > best_gain:
+                    best_gain = gain
+                    best_dst = dst
+            if best_dst >= 0:
+                counts[qs, src] -= 1
+                counts[qs, best_dst] += 1
+                if nonempty[b]:
+                    load[src] -= 1
+                    load[best_dst] += 1
+                out[b] = best_dst
+                n_moves += 1
+                improved = True
+        if not improved:
+            break
+    return out, n_moves
+
+
+class WorkloadTuned(DeclusteringMethod):
+    """Local-search declustering tuned to a training workload.
+
+    Parameters
+    ----------
+    queries:
+        Training workload (list of :class:`repro.gridfile.RangeQuery`).
+        Evaluation should use a *held-out* workload to measure
+        generalization honestly.
+    base:
+        Spec of the starting assignment (default ``"minimax"``).
+    balance_slack:
+        Allowed excess over ``⌈N/M⌉`` buckets per disk (default 1).
+    max_passes:
+        Hill-climb sweep cap.
+    """
+
+    def __init__(self, queries, base: str = "minimax", balance_slack: int = 1, max_passes: int = 10):
+        self.queries = list(queries)
+        if not self.queries:
+            raise ValueError("need a non-empty training workload")
+        self.base = make_method(base)
+        self.balance_slack = balance_slack
+        self.max_passes = max_passes
+        self.name = f"Tuned({self.base.name})"
+
+    def assign(self, gf: GridFile, n_disks: int, rng=None) -> np.ndarray:
+        rng = as_rng(rng)
+        initial = self.base.assign(gf, n_disks, rng=rng)
+        bucket_lists = query_buckets(gf, self.queries)
+        tuned, _ = tune_assignment(
+            bucket_lists,
+            initial,
+            n_disks,
+            sizes=gf.bucket_sizes(),
+            balance_slack=self.balance_slack,
+            max_passes=self.max_passes,
+        )
+        return validate_assignment(tuned, gf.n_buckets, n_disks)

@@ -1,0 +1,40 @@
+"""Optimal response time reference.
+
+The paper's figures all include the *optimal response time*: the average
+over queries of ``⌈buckets(q) / M⌉`` — what a clairvoyant declustering would
+achieve if every query's buckets could be spread perfectly over the disks.
+It is a lower bound that need not be feasible (a single assignment must
+serve every query simultaneously).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+__all__ = ["optimal_response_time", "optimal_response_times"]
+
+
+def optimal_response_times(buckets_per_query, n_disks: int) -> np.ndarray:
+    """Per-query optimal response times ``⌈n_q / M⌉``.
+
+    Parameters
+    ----------
+    buckets_per_query:
+        Iterable of per-query bucket counts (ints) or of bucket-id arrays.
+    n_disks:
+        Number of disks ``M``.
+    """
+    check_positive_int(n_disks, "n_disks")
+    counts = np.asarray(
+        [len(q) if np.ndim(q) > 0 else int(q) for q in buckets_per_query],
+        dtype=np.int64,
+    )
+    return -(-counts // n_disks)  # ceil division
+
+
+def optimal_response_time(buckets_per_query, n_disks: int) -> float:
+    """Mean optimal response time over a query workload."""
+    times = optimal_response_times(buckets_per_query, n_disks)
+    return float(times.mean()) if times.size else 0.0

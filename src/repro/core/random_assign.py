@@ -1,0 +1,52 @@
+"""Random declustering baselines.
+
+Two references that bracket the structured methods:
+
+* :class:`RandomDecluster` — independent uniform disk per bucket.  No
+  balance guarantee; its expected response time is what any structured
+  method must beat to justify itself.
+* :class:`RandomBalanced` — a random permutation dealt round-robin:
+  perfectly balanced but ignorant of geometry.  Separates how much of a
+  method's win comes from balance alone vs from spatial awareness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.core.base import DeclusteringMethod, validate_assignment
+from repro.gridfile.gridfile import GridFile
+
+__all__ = ["RandomDecluster", "RandomBalanced"]
+
+
+class RandomDecluster(DeclusteringMethod):
+    """Independent uniform random disk per bucket."""
+
+    name = "Random"
+
+    def assign(self, gf: GridFile, n_disks: int, rng=None) -> np.ndarray:
+        rng = as_rng(rng)
+        out = rng.integers(0, n_disks, size=gf.n_buckets, dtype=np.int64)
+        return validate_assignment(out, gf.n_buckets, n_disks)
+
+
+class RandomBalanced(DeclusteringMethod):
+    """Random permutation of the buckets dealt round-robin to disks.
+
+    Perfect balance (``≤ ⌈N/M⌉`` non-empty buckets per disk) with zero
+    spatial structure.
+    """
+
+    name = "RandomRR"
+
+    def assign(self, gf: GridFile, n_disks: int, rng=None) -> np.ndarray:
+        rng = as_rng(rng)
+        out = np.zeros(gf.n_buckets, dtype=np.int64)
+        nonempty = gf.nonempty_bucket_ids()
+        perm = rng.permutation(nonempty.size)
+        out[nonempty[perm]] = np.arange(nonempty.size) % n_disks
+        empty = np.setdiff1d(np.arange(gf.n_buckets), nonempty)
+        out[empty] = np.arange(empty.size) % n_disks
+        return validate_assignment(out, gf.n_buckets, n_disks)

@@ -1,0 +1,146 @@
+"""Incremental redeclustering when the disk farm grows.
+
+The paper studies response time as a *function* of the number of disks, but
+a production farm gets there by **adding** disks to a live system — and
+then every bucket an algorithm maps differently must physically move.  The
+two costs trade off:
+
+* **movement** — fraction of buckets whose disk changes (bytes rewritten);
+* **quality** — response time of the resulting assignment.
+
+Recomputing an index-based scheme at the new M reshuffles almost everything
+(``(i+j) mod M`` changes for ~all cells when M changes).  The other extreme
+— leave everything and send only new data to the new disks — moves nothing
+but keeps the old parallelism.  :func:`minimax_expand` implements the
+middle path for the paper's algorithm: grow *one new minimax tree per new
+disk* by stealing, round-robin, the bucket with the minimum max-proximity
+to the new tree from the currently most-loaded disk, until balance is
+restored.  Movement is exactly the ``(M_new - M_old)/M_new`` fraction that
+any balanced expansion must move, and quality stays near a from-scratch
+minimax run (``benchmarks/bench_ext_expand.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+from repro.core.proximity import proximity_index
+
+__all__ = ["movement_fraction", "minimax_expand"]
+
+
+def movement_fraction(old: np.ndarray, new: np.ndarray, sizes=None) -> float:
+    """Fraction of (non-empty) buckets whose disk changes between assignments."""
+    old = np.asarray(old)
+    new = np.asarray(new)
+    if old.shape != new.shape:
+        raise ValueError("assignments must have equal shape")
+    if sizes is not None:
+        keep = np.asarray(sizes) > 0
+        old = old[keep]
+        new = new[keep]
+    if old.size == 0:
+        return 0.0
+    return float(np.mean(old != new))
+
+
+def minimax_expand(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    lengths,
+    assignment: np.ndarray,
+    old_disks: int,
+    new_disks: int,
+    rng=None,
+) -> np.ndarray:
+    """Expand an assignment from ``old_disks`` to ``new_disks`` disks.
+
+    For each new disk, a fresh minimax tree is seeded with a random bucket
+    stolen from the most-loaded old disk, then grown by repeatedly stealing
+    — always from a currently over-quota disk — the bucket whose maximum
+    proximity to the new tree is minimal (Algorithm 2's selection rule,
+    restricted to the new trees).  Stops when every disk holds at most
+    ``⌈N/new_disks⌉`` buckets.
+
+    Parameters
+    ----------
+    lo, hi:
+        ``(n, d)`` bucket regions.
+    lengths:
+        Domain extents.
+    assignment:
+        Current ``(n,)`` assignment over ``old_disks``.
+    old_disks, new_disks:
+        Farm sizes; ``new_disks > old_disks``.
+    rng:
+        Seed for tie-breaking/seeding.
+
+    Returns
+    -------
+    numpy.ndarray
+        New ``(n,)`` assignment over ``new_disks`` disks; only stolen
+        buckets moved.
+    """
+    check_positive_int(old_disks, "old_disks")
+    check_positive_int(new_disks, "new_disks")
+    if new_disks <= old_disks:
+        raise ValueError("new_disks must exceed old_disks")
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    out = np.asarray(assignment, dtype=np.int64).copy()
+    n = out.shape[0]
+    if n == 0:
+        return out
+    if out.min() < 0 or out.max() >= old_disks:
+        raise ValueError("assignment inconsistent with old_disks")
+    rng = as_rng(rng)
+
+    quota = -(-n // new_disks)
+    load = np.bincount(out, minlength=new_disks)
+
+    # max proximity of each bucket to each *new* tree (columns old_disks..).
+    n_new = new_disks - old_disks
+    max_w = np.full((n, n_new), -np.inf)
+
+    def steal_candidates():
+        over = np.nonzero(load > quota)[0]
+        if over.size == 0:
+            return None
+        # Steal from the most loaded disk.
+        src = int(over[np.argmax(load[over])])
+        return np.nonzero(out == src)[0]
+
+    # Seed each new tree from the most loaded disk.
+    for t in range(n_new):
+        cand = steal_candidates()
+        if cand is None:
+            break
+        seed = int(cand[rng.integers(cand.size)])
+        disk = old_disks + t
+        load[out[seed]] -= 1
+        out[seed] = disk
+        load[disk] += 1
+        max_w[:, t] = proximity_index(lo[seed], hi[seed], lo, hi, lengths)
+
+    # Round-robin growth of the new trees.
+    t = 0
+    while True:
+        if load[old_disks + t] >= quota:
+            # This tree is full; find one that is not.
+            not_full = [k for k in range(n_new) if load[old_disks + k] < quota]
+            if not not_full:
+                break
+            t = not_full[0]
+        cand = steal_candidates()
+        if cand is None:
+            break
+        y = int(cand[np.argmin(max_w[cand, t])])
+        disk = old_disks + t
+        load[out[y]] -= 1
+        out[y] = disk
+        load[disk] += 1
+        row = proximity_index(lo[y], hi[y], lo, hi, lengths)
+        np.maximum(max_w[:, t], row, out=max_w[:, t])
+        t = (t + 1) % n_new
+    return out

@@ -1,0 +1,99 @@
+"""Method registry: construct declustering methods from compact spec strings.
+
+Spec grammar (case-insensitive)::
+
+    dm | fx | hcam | gdm    index-based, default data-balance conflicts
+    dm/R dm/F dm/D dm/A     explicit conflict heuristic
+                            (R=random F=most-frequent D=data A=area balance)
+    hcam:zorder/D           HCAM over an alternative curve
+    ssp | mst | minimax     proximity/similarity-based
+    minimax:euclidean       minimax with the Euclidean ablation weight
+    kl | kl:minimax         Kernighan-Lin refinement of a base method
+    random | randomrr       unstructured baselines
+
+Used by the CLI, the experiment drivers and the benchmark harness so that a
+configuration is a plain list of strings.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import DeclusteringMethod
+from repro.core.diskmodulo import DiskModulo, GeneralizedDiskModulo
+from repro.core.fieldwisexor import FieldwiseXor
+from repro.core.hcam import HCAM
+from repro.core.minimax import Minimax
+from repro.core.mst import MSTDecluster
+from repro.core.random_assign import RandomBalanced, RandomDecluster
+from repro.core.ssp import ShortSpanningPath
+
+__all__ = ["make_method", "available_methods"]
+
+_CONFLICT_BY_LETTER = {
+    "R": "random",
+    "F": "most_frequent",
+    "D": "data_balance",
+    "A": "area_balance",
+}
+
+
+def available_methods() -> list[str]:
+    """Canonical spec strings for every built-in method."""
+    return [
+        "dm/D",
+        "fx/D",
+        "hcam/D",
+        "ssp",
+        "mst",
+        "minimax",
+    ]
+
+
+def make_method(spec: str) -> DeclusteringMethod:
+    """Build a :class:`DeclusteringMethod` from a spec string (see module doc)."""
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty method spec")
+    base, _, conflict_letter = spec.partition("/")
+    base = base.strip()
+    name, _, option = base.partition(":")
+    name = name.lower()
+    option = option.strip().lower()
+
+    conflict = "data_balance"
+    if conflict_letter:
+        letter = conflict_letter.strip().upper()
+        if letter not in _CONFLICT_BY_LETTER:
+            raise ValueError(
+                f"unknown conflict letter {conflict_letter!r}; use one of R F D A"
+            )
+        conflict = _CONFLICT_BY_LETTER[letter]
+
+    if name == "dm":
+        return DiskModulo(conflict)
+    if name == "fx":
+        return FieldwiseXor(conflict)
+    if name == "gdm":
+        return GeneralizedDiskModulo(conflict)
+    if name == "hcam":
+        if option:
+            return HCAM(conflict, curve=option)
+        return HCAM(conflict)
+    if conflict_letter:
+        raise ValueError(f"method {name!r} does not take a conflict heuristic")
+    if name == "ssp":
+        return ShortSpanningPath()
+    if name == "mst":
+        return MSTDecluster()
+    if name == "minimax":
+        if option:
+            return Minimax(weight=option)
+        return Minimax()
+    if name == "kl":
+        from repro.core.kl import KLRefine  # local import breaks the cycle
+
+        return KLRefine(base=option) if option else KLRefine()
+    if name == "random":
+        return RandomDecluster()
+    if name == "randomrr":
+        return RandomBalanced()
+    raise ValueError(f"unknown declustering method {spec!r}")

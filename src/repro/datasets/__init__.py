@@ -1,0 +1,39 @@
+"""Datasets: the paper's three synthetic 2-d files and surrogates for its
+real 3-d/4-d files.
+
+Synthetic (exact reconstructions of §2.2):
+
+* ``uniform.2d`` — 10 000 uniform points in [0, 2000]²;
+* ``hot.2d`` — 5 000 uniform + 5 000 normal around the center (a hot spot);
+* ``correl.2d`` — normal distribution along the diagonal y = x.
+
+Surrogates (substitutions documented in DESIGN.md §4):
+
+* ``dsmc.3d`` — 52 857 particles of a rarefied-gas flow around a blunt body
+  (free stream + bow-shock compression + wake), standing in for the paper's
+  DSMC snapshot;
+* ``stock.3d`` — 127 026 (stock id, price, date) records from 383 geometric
+  random walks, standing in for the MIT AI-lab stock quotes;
+* ``dsmc.4d`` — 59 snapshots of the 3-d flow with a moving body, standing in
+  for the 3M-record SP-2 dataset (record count configurable).
+"""
+
+from repro.datasets.dsmc import dsmc_3d, dsmc_4d
+from repro.datasets.loader import DATASETS, Dataset, build_gridfile, load
+from repro.datasets.mhd import mhd_3d
+from repro.datasets.stock import stock_3d
+from repro.datasets.synthetic import correl_2d, hot_2d, uniform_2d
+
+__all__ = [
+    "Dataset",
+    "DATASETS",
+    "load",
+    "build_gridfile",
+    "uniform_2d",
+    "hot_2d",
+    "correl_2d",
+    "dsmc_3d",
+    "dsmc_4d",
+    "mhd_3d",
+    "stock_3d",
+]

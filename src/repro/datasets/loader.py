@@ -1,0 +1,184 @@
+"""Dataset registry and grid-file builders.
+
+``load(name)`` returns a :class:`Dataset` bundling the points, the domain,
+and the grid-file construction parameters calibrated so the resulting files
+match the structural statistics the paper reports (bucket counts, merged
+fractions, grid resolutions) — the calibration is recorded in
+``repro.experiments.config`` and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.datasets.dsmc import DOMAIN_3D, dsmc_3d, dsmc_4d
+from repro.datasets.mhd import mhd_3d
+from repro.datasets.stock import N_DAYS, N_STOCKS, stock_3d
+from repro.datasets.synthetic import DOMAIN_2D, correl_2d, hot_2d, uniform_2d
+from repro.gridfile.bulkload import bulk_load
+from repro.gridfile.gridfile import GridFile
+
+__all__ = ["Dataset", "DATASETS", "load", "build_gridfile"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A dataset plus its calibrated grid-file construction parameters."""
+
+    name: str
+    points: np.ndarray
+    domain_lo: np.ndarray
+    domain_hi: np.ndarray
+    #: Bucket capacity in records (see ``repro.experiments.config``).
+    capacity: int
+    #: Scale resolution for bulk loading (None = dynamic insertion).
+    resolution: "tuple[int, ...] | None"
+    #: ``"dynamic"`` (insert record by record) or ``"bulk"``.
+    builder: str
+    description: str = ""
+
+    @property
+    def n_records(self) -> int:
+        """Number of records."""
+        return self.points.shape[0]
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality."""
+        return self.points.shape[1]
+
+
+def _uniform2d(rng, **kw):
+    return Dataset(
+        "uniform.2d",
+        uniform_2d(rng=rng, **kw),
+        *DOMAIN_2D,
+        capacity=56,
+        resolution=None,
+        builder="dynamic",
+        description="10,000 uniformly distributed points (paper Fig. 2 left)",
+    )
+
+
+def _hot2d(rng, **kw):
+    return Dataset(
+        "hot.2d",
+        hot_2d(rng=rng, **kw),
+        *DOMAIN_2D,
+        capacity=56,
+        resolution=None,
+        builder="dynamic",
+        description="5,000 uniform + 5,000 normal at the center (paper Fig. 2 middle)",
+    )
+
+
+def _correl2d(rng, **kw):
+    return Dataset(
+        "correl.2d",
+        correl_2d(rng=rng, **kw),
+        *DOMAIN_2D,
+        capacity=56,
+        resolution=None,
+        builder="dynamic",
+        description="normal distribution along the diagonal y=x (paper Fig. 2 right)",
+    )
+
+
+def _dsmc3d(rng, **kw):
+    return Dataset(
+        "dsmc.3d",
+        dsmc_3d(rng=rng, **kw),
+        *DOMAIN_3D,
+        capacity=170,
+        resolution=(16, 12, 8),
+        builder="bulk",
+        description="52,857-particle rarefied-flow snapshot (DSMC.3d surrogate)",
+    )
+
+
+def _stock3d(rng, **kw):
+    pts = stock_3d(rng=rng, **kw)
+    lo = np.array([0.0, 0.0, 0.0])
+    hi = np.array([float(N_STOCKS), float(np.ceil(pts[:, 1].max() * 1.01)), float(N_DAYS)])
+    return Dataset(
+        "stock.3d",
+        pts,
+        lo,
+        hi,
+        capacity=150,
+        resolution=(32, 22, 9),
+        builder="bulk",
+        description="127,026 quotes of 383 random-walk stocks (stock.3d surrogate)",
+    )
+
+
+def _mhd3d(rng, **kw):
+    return Dataset(
+        "mhd.3d",
+        mhd_3d(rng=rng, **kw),
+        *DOMAIN_3D,
+        capacity=170,
+        resolution=(16, 12, 12),
+        builder="bulk",
+        description="60,000-record magnetosphere snapshot (MHD surrogate, paper §4)",
+    )
+
+
+def _dsmc4d(rng, **kw):
+    pts = dsmc_4d(rng=rng, **kw)
+    snapshots = int(pts[:, 0].max()) + 1
+    lo = np.array([0.0, 0.0, 0.0, 0.0])
+    hi = np.array([float(snapshots - 1), 1.0, 1.0, 1.0])
+    return Dataset(
+        "dsmc.4d",
+        pts,
+        lo,
+        hi,
+        capacity=150,
+        resolution=(7, 28, 21, 39),
+        builder="bulk",
+        description="59-snapshot 4-d flow (SP-2 dataset surrogate, scaled)",
+    )
+
+
+#: Registry of dataset factories keyed by name.
+DATASETS = {
+    "uniform.2d": _uniform2d,
+    "hot.2d": _hot2d,
+    "correl.2d": _correl2d,
+    "dsmc.3d": _dsmc3d,
+    "stock.3d": _stock3d,
+    "dsmc.4d": _dsmc4d,
+    "mhd.3d": _mhd3d,
+}
+
+
+def load(name: str, rng=None, **kwargs) -> Dataset:
+    """Load (generate) a dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``uniform.2d``, ``hot.2d``, ``correl.2d``, ``dsmc.3d``,
+        ``stock.3d``, ``dsmc.4d``.
+    rng:
+        Seed or generator (datasets are synthetic and reproducible).
+    **kwargs:
+        Passed to the underlying generator (e.g. ``n=...``).
+    """
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    return DATASETS[name](as_rng(rng), **kwargs)
+
+
+def build_gridfile(ds: Dataset, capacity: "int | None" = None) -> GridFile:
+    """Build the grid file for a dataset using its calibrated parameters."""
+    capacity = capacity if capacity is not None else ds.capacity
+    if ds.builder == "dynamic":
+        return GridFile.from_points(ds.points, ds.domain_lo, ds.domain_hi, capacity)
+    return bulk_load(
+        ds.points, ds.domain_lo, ds.domain_hi, capacity, resolution=ds.resolution
+    )

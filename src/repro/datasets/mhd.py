@@ -1,0 +1,114 @@
+"""MHD magnetosphere surrogate dataset.
+
+The paper's conclusions (§4) say the SP-2 evaluation continues "on two large
+data sets consisting of snapshots from DSMC and MHD respectively" — the MHD
+being a magneto-hydro-dynamics simulation of planetary magnetospheres
+(Tanaka 1993).  We synthesize the canonical magnetosphere morphology so that
+follow-up experiment can run: solar wind flowing in +x around a planet
+produces
+
+* a uniform **solar wind** background upstream and around,
+* a dense **magnetosheath** draped along a paraboloid bow shock,
+* an elongated low-latitude **magnetotail** stretching downstream,
+* a compact dense **inner magnetosphere** around the planet.
+
+These components give the dataset the mix that stresses declustering: an
+extended uniform region, a thin curved high-density sheet, and an elongated
+anisotropic structure (unlike DSMC's roughly isotropic wake).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+
+__all__ = ["mhd_3d", "PLANET_CENTER", "PLANET_RADIUS"]
+
+#: Planet position in the unit cube (solar wind arrives from -x).
+PLANET_CENTER = np.array([0.35, 0.5, 0.5])
+#: Planet radius; no plasma records inside.
+PLANET_RADIUS = 0.06
+
+
+def _paraboloid_x(r2: np.ndarray, standoff: float = 0.12, flare: float = 1.2) -> np.ndarray:
+    """Bow-shock surface: x(r²) = x_planet - standoff + flare * r²."""
+    return PLANET_CENTER[0] - standoff + flare * r2
+
+
+def mhd_3d(
+    n: int = 60_000,
+    rng=None,
+    wind: float = 0.35,
+    sheath: float = 0.3,
+    tail: float = 0.25,
+) -> np.ndarray:
+    """Generate ``n`` plasma records of a magnetosphere snapshot.
+
+    Parameters
+    ----------
+    n:
+        Number of records.
+    wind, sheath, tail:
+        Fractions of records in the solar wind, magnetosheath and
+        magnetotail components; the remainder forms the inner magnetosphere.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, 3)`` coordinates in the unit cube.
+    """
+    check_positive_int(n, "n")
+    if wind + sheath + tail >= 1.0:
+        raise ValueError("component fractions must leave room for the inner region")
+    rng = as_rng(rng)
+    n_wind = int(round(n * wind))
+    n_sheath = int(round(n * sheath))
+    n_tail = int(round(n * tail))
+    n_inner = n - n_wind - n_sheath - n_tail
+
+    # Solar wind: uniform background.
+    wind_pts = rng.uniform(0.0, 1.0, size=(n_wind, 3))
+
+    # Magnetosheath: points draped on the bow-shock paraboloid with a thin
+    # normal spread.
+    ry = rng.normal(0.0, 0.22, size=n_sheath)
+    rz = rng.normal(0.0, 0.22, size=n_sheath)
+    r2 = ry**2 + rz**2
+    x = _paraboloid_x(r2) + np.abs(rng.normal(0.0, 0.025, size=n_sheath))
+    sheath_pts = np.stack(
+        [x, PLANET_CENTER[1] + ry, PLANET_CENTER[2] + rz], axis=1
+    )
+
+    # Magnetotail: elongated structure downstream, radius growing slowly.
+    tx = rng.uniform(0.0, 1.0 - PLANET_CENTER[0], size=n_tail) ** 0.8
+    radius = 0.05 + 0.10 * tx
+    ang = rng.uniform(0.0, 2 * np.pi, size=n_tail)
+    rad = np.abs(rng.normal(0.0, radius))
+    tail_pts = np.stack(
+        [
+            PLANET_CENTER[0] + tx,
+            PLANET_CENTER[1] + rad * np.cos(ang),
+            PLANET_CENTER[2] + rad * np.sin(ang),
+        ],
+        axis=1,
+    )
+
+    # Inner magnetosphere: dense shell just outside the planet.
+    direc = rng.normal(size=(n_inner, 3))
+    direc /= np.maximum(np.linalg.norm(direc, axis=1, keepdims=True), 1e-12)
+    shell_r = PLANET_RADIUS + np.abs(rng.normal(0.02, 0.02, size=n_inner))
+    inner_pts = PLANET_CENTER + shell_r[:, None] * direc
+
+    pts = np.concatenate([wind_pts, sheath_pts, tail_pts, inner_pts])
+    pts = np.clip(pts, 0.0, 1.0)
+
+    # Evacuate the planet body.
+    rel = pts - PLANET_CENTER
+    dist = np.linalg.norm(rel, axis=1)
+    inside = dist < PLANET_RADIUS
+    if inside.any():
+        safe = np.maximum(dist[inside, None], 1e-12)
+        pts[inside] = PLANET_CENTER + (rel[inside] / safe) * (PLANET_RADIUS * 1.01)
+        pts = np.clip(pts, 0.0, 1.0)
+    return pts

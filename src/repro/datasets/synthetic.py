@@ -1,0 +1,73 @@
+"""The paper's three synthetic 2-d datasets (§2.2).
+
+Each contains 10 000 points in the domain [0, 2000] x [0, 2000]:
+
+* **uniform.2d** — uniformly distributed points; the resulting grid file is
+  nearly a Cartesian product file (the paper: only 4 of 252 buckets merged).
+* **hot.2d** — a hot spot: 5 000 uniform points overlaid with 5 000 points
+  normally distributed around the domain center (169 of 241 buckets merged).
+* **correl.2d** — correlated attributes: points normally distributed along
+  the diagonal y = x (164 of 242 buckets merged).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+
+__all__ = ["uniform_2d", "hot_2d", "correl_2d", "DOMAIN_2D"]
+
+#: The 2-d data domain used by all three synthetic datasets.
+DOMAIN_2D = (np.array([0.0, 0.0]), np.array([2000.0, 2000.0]))
+
+
+def _clip_to_domain(points: np.ndarray) -> np.ndarray:
+    lo, hi = DOMAIN_2D
+    return np.clip(points, lo, hi)
+
+
+def uniform_2d(n: int = 10_000, rng=None) -> np.ndarray:
+    """Uniformly distributed points over [0, 2000]²."""
+    check_positive_int(n, "n")
+    rng = as_rng(rng)
+    lo, hi = DOMAIN_2D
+    return rng.uniform(lo, hi, size=(n, 2))
+
+
+def hot_2d(n: int = 10_000, rng=None, sigma: float = 200.0) -> np.ndarray:
+    """Hot spot in the center: half uniform, half normal around (1000, 1000).
+
+    Parameters
+    ----------
+    n:
+        Total number of points; ``n // 2`` uniform, the rest normal.
+    sigma:
+        Standard deviation of the hot spot (in domain units).
+    """
+    check_positive_int(n, "n")
+    rng = as_rng(rng)
+    lo, hi = DOMAIN_2D
+    n_uniform = n // 2
+    uniform = rng.uniform(lo, hi, size=(n_uniform, 2))
+    center = (lo + hi) / 2.0
+    hot = rng.normal(center, sigma, size=(n - n_uniform, 2))
+    return _clip_to_domain(np.concatenate([uniform, hot]))
+
+
+def correl_2d(n: int = 10_000, rng=None, sigma: float = 120.0) -> np.ndarray:
+    """Correlated attributes: normal spread around the diagonal y = x.
+
+    Points are generated as a uniformly distributed position ``t`` along the
+    diagonal plus a normal offset perpendicular to it — the "temperature vs
+    pressure" functional-dependence pattern the paper describes.
+    """
+    check_positive_int(n, "n")
+    rng = as_rng(rng)
+    lo, hi = DOMAIN_2D
+    t = rng.uniform(lo[0], hi[0], size=n)
+    offset = rng.normal(0.0, sigma, size=n)
+    inv_sqrt2 = 1.0 / np.sqrt(2.0)
+    x = t - offset * inv_sqrt2
+    y = t + offset * inv_sqrt2
+    return _clip_to_domain(np.stack([x, y], axis=1))

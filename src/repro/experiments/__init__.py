@@ -1,0 +1,50 @@
+"""Experiment drivers: one function per figure/table of the paper.
+
+Each driver returns structured results (series dictionaries / row lists)
+that :mod:`repro.experiments.report` renders as the ASCII tables printed by
+the benchmark harness.  ``benchmarks/`` contains one bench module per
+experiment; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.experiments.config import (
+    DISKS_DENSE,
+    DISKS_EVEN,
+    DISKS_QUICK,
+    N_QUERIES,
+    SEED,
+    QUERY_RATIOS,
+)
+from repro.experiments.figures import (
+    fig2_gridfiles,
+    fig3_conflict,
+    fig4_index_based,
+    fig6_minimax,
+    fig7_querysize,
+)
+from repro.experiments.report import render_sweep, series_text
+from repro.experiments.tables import (
+    table1_balance,
+    table23_closest_pairs,
+    table4_animation,
+    table5_random,
+)
+
+__all__ = [
+    "SEED",
+    "N_QUERIES",
+    "DISKS_DENSE",
+    "DISKS_EVEN",
+    "DISKS_QUICK",
+    "QUERY_RATIOS",
+    "fig2_gridfiles",
+    "fig3_conflict",
+    "fig4_index_based",
+    "fig6_minimax",
+    "fig7_querysize",
+    "table1_balance",
+    "table23_closest_pairs",
+    "table4_animation",
+    "table5_random",
+    "render_sweep",
+    "series_text",
+]

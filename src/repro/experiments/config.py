@@ -1,0 +1,55 @@
+"""Canonical experiment parameters (paper §2.2) and calibration notes.
+
+Paper setup: 1000 random square queries per configuration; disks swept from
+4 to 32; query volume ratios r in {0.01, 0.05, 0.1}; 4 KB buckets for the
+2-d files, 8 KB for the SP-2 file.
+
+Calibration (how bucket *capacities in records* were chosen — the paper
+fixes byte sizes, we fix the equivalent record counts so the grid files
+reproduce its Figure-2 structure):
+
+=============  ==========  =================  ==============================
+dataset        capacity    resulting file     paper's file
+=============  ==========  =================  ==============================
+uniform.2d     56 records  ~257 buckets, ~15  252 buckets, 4 merged
+                           merged
+hot.2d         56          ~256 / ~173        241 buckets, 169 merged
+correl.2d      56          ~263 / ~139        242 buckets, 164 merged
+dsmc.3d        170         ~485 buckets       444 buckets (16x12x8 grid)
+stock.3d       150         ~1514 buckets      1218 buckets (32x22x9 grid)
+dsmc.4d        150         scale-dependent    19,956 buckets at 3M records
+=============  ==========  =================  ==============================
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SEED",
+    "N_QUERIES",
+    "N_QUERIES_QUICK",
+    "DISKS_DENSE",
+    "DISKS_EVEN",
+    "DISKS_QUICK",
+    "QUERY_RATIOS",
+]
+
+#: Default base seed for fully reproducible experiment runs.
+SEED = 1996
+
+#: The paper's workload size.
+N_QUERIES = 1000
+
+#: Reduced workload used by the quick profiles of benches and tests.
+N_QUERIES_QUICK = 250
+
+#: Full disk sweep, 4..32 (the paper plots every configuration it ran).
+DISKS_DENSE = list(range(4, 33, 2))
+
+#: The even-disk sweep of Table 1.
+DISKS_EVEN = list(range(4, 33, 2))
+
+#: Coarser sweep for quick profiles.
+DISKS_QUICK = [4, 8, 16, 24, 32]
+
+#: The query volume ratios the paper sweeps.
+QUERY_RATIOS = (0.01, 0.05, 0.1)

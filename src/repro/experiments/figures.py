@@ -1,0 +1,142 @@
+"""Drivers for the paper's figures.
+
+Every driver takes a ``quick`` flag (reduced workload and sweep for CI) and
+a ``rng`` seed, builds the datasets/grid files it needs, and returns
+structured results; rendering lives in :mod:`repro.experiments.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets import build_gridfile, load
+from repro.experiments.config import (
+    DISKS_DENSE,
+    DISKS_QUICK,
+    N_QUERIES,
+    N_QUERIES_QUICK,
+    SEED,
+)
+from repro.gridfile.gridfile import GridFileStats
+from repro.sim import speedup_series, square_queries, sweep_methods
+from repro.sim.runner import SweepResult
+
+__all__ = [
+    "fig2_gridfiles",
+    "fig3_conflict",
+    "fig4_index_based",
+    "fig6_minimax",
+    "fig7_querysize",
+]
+
+
+def _profile(quick: bool):
+    return (DISKS_QUICK, N_QUERIES_QUICK) if quick else (DISKS_DENSE, N_QUERIES)
+
+
+def _prepare(name: str, rng, **dataset_kwargs):
+    ds = load(name, rng=rng, **dataset_kwargs)
+    return ds, build_gridfile(ds)
+
+
+def fig2_gridfiles(rng=SEED) -> dict[str, GridFileStats]:
+    """Figure 2: the three synthetic grid files' structural statistics."""
+    out = {}
+    for name in ("uniform.2d", "hot.2d", "correl.2d"):
+        _, gf = _prepare(name, rng)
+        out[name] = gf.stats()
+    return out
+
+
+def fig3_conflict(
+    dataset: str = "hot.2d",
+    ratio: float = 0.05,
+    rng=SEED,
+    quick: bool = False,
+) -> dict[str, SweepResult]:
+    """Figure 3: conflict-resolution heuristics under HCAM (left) and FX (right).
+
+    Returns one sweep per base scheme, each containing the four heuristics.
+    """
+    disks, n_queries = _profile(quick)
+    ds, gf = _prepare(dataset, rng)
+    queries = square_queries(n_queries, ratio, ds.domain_lo, ds.domain_hi, rng=rng)
+    out = {}
+    for base in ("hcam", "fx"):
+        methods = [f"{base}/R", f"{base}/F", f"{base}/D", f"{base}/A"]
+        out[base.upper()] = sweep_methods(gf, methods, disks, queries, rng=rng)
+    return out
+
+
+def fig4_index_based(
+    datasets=("uniform.2d", "hot.2d", "correl.2d"),
+    ratio: float = 0.05,
+    rng=SEED,
+    quick: bool = False,
+) -> dict[str, SweepResult]:
+    """Figure 4: DM/D vs FX/D vs HCAM/D vs optimal on the three 2-d files."""
+    disks, n_queries = _profile(quick)
+    out = {}
+    for name in datasets:
+        ds, gf = _prepare(name, rng)
+        queries = square_queries(n_queries, ratio, ds.domain_lo, ds.domain_hi, rng=rng)
+        out[name] = sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], disks, queries, rng=rng)
+    return out
+
+
+def fig6_minimax(
+    datasets=("hot.2d", "dsmc.3d", "stock.3d"),
+    ratio: float = 0.01,
+    rng=SEED,
+    quick: bool = False,
+    compute_pairs: bool = False,
+) -> dict[str, SweepResult]:
+    """Figure 6: the five-way comparison including SSP and minimax, r = 0.01."""
+    disks, n_queries = _profile(quick)
+    out = {}
+    for name in datasets:
+        ds, gf = _prepare(name, rng)
+        queries = square_queries(n_queries, ratio, ds.domain_lo, ds.domain_hi, rng=rng)
+        out[name] = sweep_methods(
+            gf,
+            ["dm/D", "fx/D", "hcam/D", "ssp", "minimax"],
+            disks,
+            queries,
+            rng=rng,
+            compute_pairs=compute_pairs,
+        )
+    return out
+
+
+@dataclass
+class QuerySizeResult:
+    """Figure 7 output: response and speedup per (method, ratio)."""
+
+    disks: list[int]
+    #: ``(method, r) -> response curve``.
+    response: dict[tuple[str, float], list[float]]
+    #: ``(method, r) -> speedup curve`` (relative to the smallest M).
+    speedup: dict[tuple[str, float], np.ndarray]
+
+
+def fig7_querysize(
+    dataset: str = "stock.3d",
+    ratios=(0.01, 0.05, 0.1),
+    methods=("hcam/D", "minimax"),
+    rng=SEED,
+    quick: bool = False,
+) -> QuerySizeResult:
+    """Figure 7: effect of query size on stock.3d — HCAM/D vs minimax."""
+    disks, n_queries = _profile(quick)
+    ds, gf = _prepare(dataset, rng)
+    response: dict[tuple[str, float], list[float]] = {}
+    speedup: dict[tuple[str, float], np.ndarray] = {}
+    for r in ratios:
+        queries = square_queries(n_queries, r, ds.domain_lo, ds.domain_hi, rng=rng)
+        sweep = sweep_methods(gf, list(methods), disks, queries, rng=rng)
+        for name, curve in sweep.curves.items():
+            response[(name, r)] = curve.response
+            speedup[(name, r)] = speedup_series(curve.response)
+    return QuerySizeResult(disks=disks, response=response, speedup=speedup)

@@ -1,0 +1,133 @@
+"""One-shot regeneration of every experiment into a markdown report.
+
+``python -m repro.cli report out.md`` (or :func:`write_full_report`) runs
+the complete quick-profile experiment suite — every figure and table of the
+paper — and writes a single self-contained markdown document with the ASCII
+grid maps, all series tables and the cluster rows.  Useful as a smoke-test
+artifact and as the starting point for updating EXPERIMENTS.md after a
+change.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.datasets import build_gridfile, load
+from repro.experiments.config import SEED
+from repro.experiments.figures import (
+    fig3_conflict,
+    fig4_index_based,
+    fig6_minimax,
+    fig7_querysize,
+)
+from repro.experiments.report import (
+    ascii_gridfile_map,
+    render_cluster_rows,
+    render_sweep,
+    series_text,
+)
+from repro.experiments.tables import (
+    table1_balance,
+    table23_closest_pairs,
+    table4_animation,
+    table5_random,
+)
+
+__all__ = ["write_full_report", "full_report_text"]
+
+
+def full_report_text(rng=SEED, quick: bool = True, n_records_4d: int = 60_000) -> str:
+    """Run every experiment and return the markdown report text."""
+    started = time.time()
+    parts: list[str] = [
+        "# Full experiment report",
+        "",
+        f"seed = {rng}, profile = {'quick' if quick else 'full'}",
+        "",
+    ]
+
+    def section(title: str, body: str):
+        parts.append(f"## {title}")
+        parts.append("")
+        parts.append("```")
+        parts.append(body)
+        parts.append("```")
+        parts.append("")
+
+    # Figure 2: structure + density maps.
+    fig2_bodies = []
+    for name in ("uniform.2d", "hot.2d", "correl.2d"):
+        gf = build_gridfile(load(name, rng=rng))
+        fig2_bodies.append(f"--- {name} ---\n{ascii_gridfile_map(gf, max_width=60)}")
+    section("Figure 2 — grid files", "\n\n".join(fig2_bodies))
+
+    # Figure 3.
+    bodies = [
+        render_sweep(sweep, f"conflict heuristics under {base} (hot.2d, r=0.05)")
+        for base, sweep in fig3_conflict(rng=rng, quick=quick).items()
+    ]
+    section("Figure 3 — conflict resolution", "\n\n".join(bodies))
+
+    # Figure 4.
+    bodies = [
+        render_sweep(sweep, f"{name}, r=0.05")
+        for name, sweep in fig4_index_based(rng=rng, quick=quick).items()
+    ]
+    section("Figure 4 — index-based declustering", "\n\n".join(bodies))
+
+    # Table 1.
+    section(
+        "Table 1 — degree of data balance",
+        render_sweep(table1_balance(rng=rng, quick=quick), "hot.2d", metric="balance"),
+    )
+
+    # Figure 6.
+    bodies = [
+        render_sweep(sweep, f"{name}, r=0.01")
+        for name, sweep in fig6_minimax(rng=rng, quick=quick).items()
+    ]
+    section("Figure 6 — proximity-based declustering", "\n\n".join(bodies))
+
+    # Tables 2-3.
+    for table, dataset in (("Table 2", "dsmc.3d"), ("Table 3", "stock.3d")):
+        sweep = table23_closest_pairs(dataset, rng=rng, quick=quick)
+        section(
+            f"{table} — closest pairs on the same disk",
+            render_sweep(sweep, dataset, metric="pairs"),
+        )
+
+    # Figure 7.
+    res = fig7_querysize(rng=rng, quick=quick)
+    resp = {f"{m} r={r}": v for (m, r), v in res.response.items()}
+    spd = {f"{m} r={r}": list(v) for (m, r), v in res.speedup.items()}
+    section(
+        "Figure 7 — query-size effect (stock.3d)",
+        series_text("disks", res.disks, resp, title="response time")
+        + "\n\n"
+        + series_text("disks", res.disks, spd, title="speedup vs 4 disks"),
+    )
+
+    # Tables 4-5 (scale model).
+    section(
+        "Table 4 — animation queries (simulated SP-2)",
+        render_cluster_rows(
+            table4_animation(n_records=n_records_4d, rng=rng, capacity=40), "animation"
+        ),
+    )
+    section(
+        "Table 5 — random range queries (simulated SP-2)",
+        render_cluster_rows(
+            table5_random(n_records=n_records_4d, rng=rng, capacity=40), "random"
+        ),
+    )
+
+    parts.append(f"_generated in {time.time() - started:.1f}s_")
+    return "\n".join(parts)
+
+
+def write_full_report(path, rng=SEED, quick: bool = True, n_records_4d: int = 60_000) -> Path:
+    """Write :func:`full_report_text` to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(full_report_text(rng=rng, quick=quick, n_records_4d=n_records_4d))
+    return path

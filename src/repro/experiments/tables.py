@@ -1,0 +1,165 @@
+"""Drivers for the paper's tables.
+
+Tables 1-3 are declustering-quality statistics over the simulation sweeps;
+Tables 4-5 run the SPMD cluster simulator on the 4-d DSMC surrogate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.registry import make_method
+from repro.datasets import build_gridfile, load
+from repro.experiments.config import (
+    DISKS_EVEN,
+    DISKS_QUICK,
+    N_QUERIES,
+    N_QUERIES_QUICK,
+    SEED,
+)
+from repro.parallel import ClusterParams, ParallelGridFile
+from repro.sim import animation_queries, square_queries, sweep_methods
+from repro.sim.runner import SweepResult
+
+__all__ = [
+    "table1_balance",
+    "table23_closest_pairs",
+    "table4_animation",
+    "table5_random",
+    "ClusterRow",
+]
+
+
+def _profile(quick: bool):
+    return (DISKS_QUICK, N_QUERIES_QUICK) if quick else (DISKS_EVEN, N_QUERIES)
+
+
+def table1_balance(
+    dataset: str = "hot.2d",
+    ratio: float = 0.05,
+    rng=SEED,
+    quick: bool = False,
+) -> SweepResult:
+    """Table 1: degree of data balance of DM/D, FX/D, HCAM/D on hot.2d.
+
+    The balance series of the returned sweep are the table rows.
+    """
+    disks, n_queries = _profile(quick)
+    ds = load(dataset, rng=rng)
+    gf = build_gridfile(ds)
+    queries = square_queries(n_queries, ratio, ds.domain_lo, ds.domain_hi, rng=rng)
+    return sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], disks, queries, rng=rng)
+
+
+def table23_closest_pairs(
+    dataset: str,
+    rng=SEED,
+    quick: bool = False,
+) -> SweepResult:
+    """Tables 2-3: closest bucket pairs on the same disk (DSMC.3d / stock.3d).
+
+    The closest-pairs statistic is workload-independent, so the sweep runs a
+    token workload; read ``closest_pair_series()`` off the result.
+    """
+    disks, _ = _profile(quick)
+    ds = load(dataset, rng=rng)
+    gf = build_gridfile(ds)
+    queries = square_queries(50, 0.01, ds.domain_lo, ds.domain_hi, rng=rng)
+    return sweep_methods(
+        gf,
+        ["dm/D", "fx/D", "hcam/D", "ssp", "minimax"],
+        disks,
+        queries,
+        rng=rng,
+        compute_pairs=True,
+    )
+
+
+@dataclass(frozen=True)
+class ClusterRow:
+    """One row of Table 4/5."""
+
+    processors: int
+    ratio: float
+    blocks_fetched: int
+    comm_time: float
+    elapsed_time: float
+    cache_hit_rate: float
+
+    def cells(self) -> tuple:
+        """Row cells in the paper's column order."""
+        return (
+            self.processors,
+            self.ratio,
+            self.blocks_fetched,
+            round(self.comm_time, 2),
+            round(self.elapsed_time, 2),
+        )
+
+
+def _cluster_setup(
+    n_records: int, rng, method: str, procs: int, params: ClusterParams, capacity=None
+):
+    ds = load("dsmc.4d", rng=rng, n=n_records)
+    gf = build_gridfile(ds, capacity=capacity)
+    assignment = make_method(method).assign(gf, procs, rng=rng)
+    return ds, gf, ParallelGridFile(gf, assignment, procs, params)
+
+
+def table4_animation(
+    processors=(4, 8, 16),
+    n_records: int = 300_000,
+    ratio: float = 0.1,
+    method: str = "minimax",
+    rng=SEED,
+    params: "ClusterParams | None" = None,
+    capacity: "int | None" = None,
+) -> list[ClusterRow]:
+    """Table 4: animation-type queries on the simulated SP-2.
+
+    For each time step a sweep of spatial queries (``≈ 1/r`` per step, the
+    paper's ~590 total) runs against the declustered 4-d grid file.  The
+    temporal scale has ~7 partitions for 59 snapshots, so consecutive steps
+    hit the same blocks and the worker caches absorb repeats — the caching
+    effect the paper calls out.
+
+    ``capacity`` overrides the bucket capacity; scale models (fewer records
+    than the paper's 3M) should use a proportionally smaller capacity so
+    queries still touch many buckets.
+    """
+    params = params or ClusterParams()
+    rows = []
+    for procs in processors:
+        ds, gf, pgf = _cluster_setup(n_records, rng, method, procs, params, capacity)
+        queries = animation_queries(ds.domain_lo, ds.domain_hi, ratio, rng=rng)
+        rep = pgf.run_queries(queries)
+        rows.append(
+            ClusterRow(procs, ratio, rep.blocks_fetched, rep.comm_time, rep.elapsed_time, rep.cache_hit_rate)
+        )
+    return rows
+
+
+def table5_random(
+    processors=(4, 8, 16),
+    ratios=(0.01, 0.05, 0.1),
+    n_queries: int = 100,
+    n_records: int = 300_000,
+    method: str = "minimax",
+    rng=SEED,
+    params: "ClusterParams | None" = None,
+    capacity: "int | None" = None,
+) -> list[ClusterRow]:
+    """Table 5: 100 random 4-d range queries per (processors, r) cell."""
+    params = params or ClusterParams()
+    rows = []
+    for procs in processors:
+        ds, gf, pgf = _cluster_setup(n_records, rng, method, procs, params, capacity)
+        for r in ratios:
+            queries = square_queries(n_queries, r, ds.domain_lo, ds.domain_hi, rng=rng)
+            rep = pgf.run_queries(queries)
+            rows.append(
+                ClusterRow(procs, r, rep.blocks_fetched, rep.comm_time, rep.elapsed_time, rep.cache_hit_rate)
+            )
+    return rows

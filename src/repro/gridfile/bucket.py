@@ -1,0 +1,61 @@
+"""Data buckets: the unit of disk storage and of declustering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gridfile.regions import CellBox
+
+__all__ = ["Bucket"]
+
+
+class Bucket:
+    """A grid-file data bucket.
+
+    A bucket stores the records of a box-shaped region of grid cells and is
+    the unit placed on a disk by declustering.  Records are held as integer
+    ids into the grid file's shared point array (column-oriented storage —
+    the numpy-friendly layout the simulation works on).
+
+    Attributes
+    ----------
+    id:
+        Stable bucket id; also the value stored in the directory.
+    cellbox:
+        Box of directory cells covered by this bucket.
+    record_ids:
+        List of record indices into ``GridFile.points``.
+    overflowed:
+        True when the bucket holds more than ``capacity`` records because no
+        scale boundary can separate them (all remaining records coincide in
+        every splittable dimension).  Real grid files chain overflow pages in
+        this situation; we keep the records in place and flag it.
+    """
+
+    __slots__ = ("id", "cellbox", "record_ids", "overflowed")
+
+    def __init__(self, bucket_id: int, cellbox: CellBox, record_ids=None):
+        self.id = int(bucket_id)
+        self.cellbox = cellbox
+        self.record_ids: list[int] = list(record_ids) if record_ids is not None else []
+        self.overflowed = False
+
+    @property
+    def n_records(self) -> int:
+        """Number of records currently stored."""
+        return len(self.record_ids)
+
+    @property
+    def is_merged(self) -> bool:
+        """Whether the bucket covers more than one grid cell."""
+        return self.cellbox.n_cells > 1
+
+    def record_array(self) -> np.ndarray:
+        """Record ids as an int64 array (copy)."""
+        return np.asarray(self.record_ids, dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"Bucket(id={self.id}, cells={self.cellbox.n_cells}, "
+            f"records={self.n_records})"
+        )

@@ -1,0 +1,574 @@
+"""The grid file: scales + directory + buckets, with dynamic maintenance.
+
+Implements the classic Nievergelt–Hinterberger design:
+
+* **insert** locates the cell of a point through the scales and drops the
+  record into the bucket the directory names;
+* on **overflow** of a bucket whose region spans several cells, the region is
+  split at an existing cell plane (the plane that best balances the records);
+* on overflow of a single-cell bucket, a new scale boundary is inserted
+  (**refinement**) — the directory duplicates one slab, every other bucket's
+  region is preserved, and the now two-cell bucket is split;
+* bucket regions always remain boxes, so merged ("multi-subspace") buckets
+  arise naturally wherever data is sparse — the structural property whose
+  interaction with declustering the paper studies.
+
+Records are integer ids into one shared ``(n, d)`` coordinate array, which
+keeps query evaluation and declustering fully vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.gridfile.bucket import Bucket
+from repro.gridfile.directory import Directory
+from repro.gridfile.regions import CellBox
+from repro.gridfile.scales import Scales
+
+__all__ = ["GridFile", "GridFileStats"]
+
+
+@dataclass(frozen=True)
+class GridFileStats:
+    """Structural summary of a grid file (the numbers Figure 2 reports)."""
+
+    n_records: int
+    n_cells: int
+    n_buckets: int
+    n_nonempty_buckets: int
+    n_merged_buckets: int
+    nintervals: tuple[int, ...]
+    capacity: int
+    mean_occupancy: float
+    max_occupancy: int
+    n_overflowed: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        shape = "x".join(str(n) for n in self.nintervals)
+        return (
+            f"{self.n_records} records, grid {shape} = {self.n_cells} subspaces, "
+            f"{self.n_buckets} buckets ({self.n_merged_buckets} merged), "
+            f"capacity {self.capacity}, mean occupancy {self.mean_occupancy:.1f}"
+        )
+
+
+class GridFile:
+    """A d-dimensional grid file over a fixed domain.
+
+    Most users construct one with :meth:`from_points` (dynamic, record by
+    record — faithful to the paper's small 2-d files) or
+    :meth:`repro.gridfile.bulk_load` (for the large 3-d/4-d files).
+
+    Parameters
+    ----------
+    scales:
+        Per-dimension split points.
+    directory:
+        Cell-to-bucket map; must match ``scales.nintervals``.
+    buckets:
+        Bucket list indexed by bucket id.
+    points:
+        ``(n, d)`` coordinate array shared by all buckets.
+    capacity:
+        Maximum records per bucket (the paper fixes the bucket *size*; with a
+        fixed record width the two are equivalent — see
+        ``repro.experiments.config`` for the calibrated values).
+    split_policy:
+        ``"midpoint"`` (default): new scale boundaries go at the middle of
+        the refined interval when that separates the records (falling back
+        to a separating value otherwise) — the classic grid-file discipline,
+        which on the paper's datasets reproduces its bucket/merge statistics.
+        ``"median"``: boundaries separate the overflowing bucket's records at
+        their median (equi-depth).  Ablated in
+        ``benchmarks/bench_ablation_split.py``.
+    """
+
+    def __init__(
+        self,
+        scales: Scales,
+        directory: Directory,
+        buckets: list[Bucket],
+        points: np.ndarray,
+        capacity: int,
+        split_policy: str = "midpoint",
+    ):
+        if directory.shape != scales.nintervals:
+            raise ValueError(
+                f"directory shape {directory.shape} does not match scales "
+                f"{scales.nintervals}"
+            )
+        if split_policy not in ("median", "midpoint"):
+            raise ValueError(f"unknown split_policy {split_policy!r}")
+        self.scales = scales
+        self.directory = directory
+        self.buckets = buckets
+        self.points = np.asarray(points, dtype=np.float64)
+        self.capacity = check_positive_int(capacity, "capacity", minimum=2)
+        self.split_policy = split_policy
+        self._n = self.points.shape[0]
+        self._next_split_dim = 0
+        self._deleted: set[int] = set()
+        #: Deletion triggers a buddy-merge attempt when a bucket's occupancy
+        #: falls below ``merge_trigger * capacity``; a merge is performed only
+        #: if the combined bucket stays below ``merge_fill * capacity``
+        #: (hysteresis against split/merge thrashing).
+        self.merge_trigger = 0.3
+        self.merge_fill = 0.7
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def empty(
+        cls,
+        domain_lo,
+        domain_hi,
+        capacity: int,
+        split_policy: str = "midpoint",
+        reserve: int = 1024,
+    ) -> "GridFile":
+        """An empty grid file: one bucket covering the whole domain."""
+        scales = Scales(domain_lo, domain_hi)
+        directory = Directory(scales.nintervals, fill=0)
+        box = CellBox(np.zeros(scales.dims, dtype=np.int64), np.ones(scales.dims, dtype=np.int64))
+        gf = cls(
+            scales,
+            directory,
+            [Bucket(0, box)],
+            np.empty((0, scales.dims), dtype=np.float64),
+            capacity,
+            split_policy,
+        )
+        gf.points = np.empty((max(reserve, 1), scales.dims), dtype=np.float64)
+        gf._n = 0
+        return gf
+
+    @classmethod
+    def from_points(
+        cls,
+        points: np.ndarray,
+        domain_lo,
+        domain_hi,
+        capacity: int,
+        split_policy: str = "midpoint",
+    ) -> "GridFile":
+        """Build a grid file by inserting ``points`` one record at a time."""
+        points = np.asarray(points, dtype=np.float64)
+        gf = cls.empty(domain_lo, domain_hi, capacity, split_policy, reserve=len(points))
+        for p in points:
+            gf.insert_point(p)
+        return gf
+
+    # --------------------------------------------------------------- basics
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the indexed space."""
+        return self.scales.dims
+
+    @property
+    def n_records(self) -> int:
+        """Number of live records stored (deleted records excluded)."""
+        return self._n - len(self._deleted)
+
+    @property
+    def n_deleted(self) -> int:
+        """Number of records deleted since construction."""
+        return len(self._deleted)
+
+    def live_record_ids(self) -> np.ndarray:
+        """Ids of all live (non-deleted) records, ascending."""
+        if not self._deleted:
+            return np.arange(self._n, dtype=np.int64)
+        mask = np.ones(self._n, dtype=bool)
+        mask[list(self._deleted)] = False
+        return np.nonzero(mask)[0]
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of buckets (including empty ones, which occupy no disk page)."""
+        return len(self.buckets)
+
+    def coords(self) -> np.ndarray:
+        """View of the stored record coordinates, shape ``(n_records, d)``."""
+        return self.points[: self._n]
+
+    def records_in_bucket(self, bucket_id: int) -> np.ndarray:
+        """Record ids stored in the given bucket."""
+        return self.buckets[bucket_id].record_array()
+
+    # -------------------------------------------------------------- inserts
+
+    def _append_point(self, coords) -> int:
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.shape != (self.dims,):
+            raise ValueError(f"point must have shape ({self.dims},)")
+        if np.any(coords < self.scales.domain_lo) or np.any(coords > self.scales.domain_hi):
+            raise ValueError(f"point {coords} outside domain")
+        if self._n == self.points.shape[0]:
+            grown = np.empty((max(4, 2 * self.points.shape[0]), self.dims), dtype=np.float64)
+            grown[: self._n] = self.points[: self._n]
+            self.points = grown
+        self.points[self._n] = coords
+        self._n += 1
+        return self._n - 1
+
+    def insert_point(self, coords) -> int:
+        """Insert a point; split buckets / refine scales on overflow.
+
+        Returns the new record id.
+        """
+        rid = self._append_point(coords)
+        cell = self.scales.locate(self.points[rid])
+        bucket = self.buckets[self.directory.bucket_at(cell)]
+        bucket.record_ids.append(rid)
+        self._handle_overflow(bucket)
+        return rid
+
+    # ------------------------------------------------------------- deletes
+
+    def delete_record(self, rid: int) -> None:
+        """Delete a record by id; merges underfull buddy buckets.
+
+        After the deletion, if the owning bucket's occupancy falls below
+        ``merge_trigger * capacity``, the grid file tries to merge it with a
+        *buddy* — a neighbouring bucket whose region unions with this one
+        into a box — as long as the combined bucket stays below
+        ``merge_fill * capacity``.  Merging repeats while a willing buddy
+        exists, so long delete sequences shrink the bucket population the
+        same way insert sequences grow it.  (The directory itself never
+        shrinks; dropping now-unused scale boundaries is a standard grid-file
+        simplification we also make.)
+
+        Raises ``KeyError`` if the record does not exist or was already
+        deleted.
+        """
+        if not 0 <= rid < self._n or rid in self._deleted:
+            raise KeyError(f"record {rid} does not exist or is already deleted")
+        cell = self.scales.locate(self.points[rid])
+        bucket = self.buckets[self.directory.bucket_at(cell)]
+        try:
+            bucket.record_ids.remove(rid)
+        except ValueError:  # pragma: no cover - guarded by the directory
+            raise KeyError(f"record {rid} not found in its bucket") from None
+        self._deleted.add(rid)
+        if bucket.overflowed and bucket.n_records <= self.capacity:
+            bucket.overflowed = False
+        self._maybe_merge(bucket)
+
+    def delete_records(self, rids) -> None:
+        """Delete several records (convenience wrapper)."""
+        for rid in rids:
+            self.delete_record(int(rid))
+
+    def _maybe_merge(self, bucket: Bucket) -> None:
+        while bucket.n_records < self.merge_trigger * self.capacity:
+            buddy = self._find_buddy(bucket)
+            if buddy is None:
+                return
+            bucket = self._merge_buckets(bucket, buddy)
+
+    def _find_buddy(self, bucket: Bucket) -> "Bucket | None":
+        """A neighbour whose region + this one forms a box and fits a merge."""
+        box = bucket.cellbox
+        shape = self.directory.shape
+        budget = self.merge_fill * self.capacity
+        for k in range(self.dims):
+            for side in (1, -1):
+                probe = box.lo.copy()
+                if side == 1:
+                    if box.hi[k] >= shape[k]:
+                        continue
+                    probe[k] = box.hi[k]
+                else:
+                    if box.lo[k] == 0:
+                        continue
+                    probe[k] = box.lo[k] - 1
+                other = self.buckets[self.directory.bucket_at(probe)]
+                if other is bucket:
+                    continue
+                obox = other.cellbox
+                aligned = all(
+                    obox.lo[j] == box.lo[j] and obox.hi[j] == box.hi[j]
+                    for j in range(self.dims)
+                    if j != k
+                )
+                touching = (
+                    obox.lo[k] == box.hi[k] if side == 1 else obox.hi[k] == box.lo[k]
+                )
+                if (
+                    aligned
+                    and touching
+                    and not other.overflowed
+                    and bucket.n_records + other.n_records <= budget
+                ):
+                    return other
+        return None
+
+    def _merge_buckets(self, a: Bucket, b: Bucket) -> Bucket:
+        """Merge buddy buckets; returns the surviving bucket."""
+        lo = np.minimum(a.cellbox.lo, b.cellbox.lo)
+        hi = np.maximum(a.cellbox.hi, b.cellbox.hi)
+        a.cellbox = CellBox(lo, hi)
+        a.record_ids.extend(b.record_ids)
+        b.record_ids = []
+        self.directory.set_box(a.cellbox, a.id)
+        self._remove_bucket(b.id)
+        # ``a`` may have been renumbered by the swap-removal.
+        return self.buckets[self.directory.bucket_at(a.cellbox.lo)]
+
+    def _remove_bucket(self, bid: int) -> None:
+        """Delete a bucket id, renumbering the last bucket into its slot."""
+        last = len(self.buckets) - 1
+        if bid != last:
+            moved = self.buckets[last]
+            moved.id = bid
+            self.buckets[bid] = moved
+            self.directory.set_box(moved.cellbox, bid)
+        self.buckets.pop()
+
+    def _handle_overflow(self, bucket: Bucket) -> None:
+        stack = [bucket]
+        while stack:
+            b = stack.pop()
+            while b.n_records > self.capacity and not b.overflowed:
+                new = self._split_bucket(b)
+                if new is None:
+                    b.overflowed = True
+                    break
+                if new.n_records > self.capacity:
+                    stack.append(new)
+
+    def _new_bucket(self, box: CellBox, record_ids=None) -> Bucket:
+        b = Bucket(len(self.buckets), box, record_ids)
+        self.buckets.append(b)
+        return b
+
+    def _split_bucket(self, b: Bucket) -> "Bucket | None":
+        """Split an overflowing bucket; refine scales first if single-celled.
+
+        Returns the newly created bucket, or ``None`` when the records cannot
+        be separated by any boundary (all coincide in every dimension).
+        """
+        if b.cellbox.n_cells == 1 and not self._refine_for(b):
+            return None
+        dim, cut = self._choose_cut(b)
+        lower, upper = b.cellbox.split_at(dim, cut)
+        plane = self.scales.edges(dim)[cut]
+        rec = b.record_array()
+        upper_mask = self.points[rec, dim] >= plane
+        new = self._new_bucket(upper, rec[upper_mask].tolist())
+        b.record_ids = rec[~upper_mask].tolist()
+        b.cellbox = lower
+        self.directory.set_box(upper, new.id)
+        return new
+
+    def _choose_cut(self, b: Bucket) -> tuple[int, int]:
+        """Pick the (dim, cell plane) that best balances the bucket's records.
+
+        Considers every interior cell plane of the bucket's box; prefers the
+        plane maximizing ``min(left, right)`` record counts, tie-broken by
+        centrality.  A plane with an empty side is legal (creates an empty
+        buddy bucket) but only chosen when no plane separates the records.
+        """
+        rec = b.record_array()
+        box = b.cellbox
+        best = None  # (min_side, -centrality_penalty, dim, cut)
+        for k in range(self.dims):
+            if box.span[k] < 2:
+                continue
+            edges = self.scales.edges(k)
+            coords = self.points[rec, k]
+            mid = (box.lo[k] + box.hi[k]) / 2.0
+            for cut in range(int(box.lo[k]) + 1, int(box.hi[k])):
+                left = int(np.count_nonzero(coords < edges[cut]))
+                right = len(rec) - left
+                key = (min(left, right), -abs(cut - mid), k, cut)
+                if best is None or key[:2] > best[:2]:
+                    best = key
+        assert best is not None, "called _choose_cut on a single-cell bucket"
+        return best[2], best[3]
+
+    def _refine_for(self, b: Bucket) -> bool:
+        """Insert a scale boundary through ``b``'s single cell.
+
+        Tries dimensions cyclically, skipping those where the records do not
+        have at least two distinct coordinates (a boundary there could never
+        separate them).  Returns False when every dimension is degenerate.
+        """
+        rec = b.record_array()
+        cell = b.cellbox.lo
+        for off in range(self.dims):
+            k = (self._next_split_dim + off) % self.dims
+            coords = self.points[rec, k]
+            distinct = np.unique(coords)
+            if distinct.size < 2:
+                continue
+            lo, hi = self.scales.interval(k, int(cell[k]))
+            value = self._boundary_value(distinct, coords, lo, hi)
+            interval = self.scales.insert_boundary(k, value)
+            self.directory.refine(k, interval)
+            for bb in self.buckets:
+                bb.cellbox.shift_for_refinement(k, interval)
+            self._next_split_dim = (k + 1) % self.dims
+            return True
+        return False
+
+    def _boundary_value(
+        self, distinct: np.ndarray, coords: np.ndarray, lo: float, hi: float
+    ) -> float:
+        """Choose the new boundary value inside ``(lo, hi)`` per split policy."""
+        if self.split_policy == "midpoint":
+            mid = (lo + hi) / 2.0
+            if distinct[0] < mid <= distinct[-1]:
+                return mid
+            # Midpoint would not separate the records; fall through to a
+            # separating value so insertion always terminates.
+        # Separating value nearest the record median.
+        order = np.sort(coords)
+        target = order[len(order) // 2]
+        # Gaps between consecutive distinct values; pick the one whose split
+        # point is closest to the median record.
+        mids = (distinct[:-1] + distinct[1:]) / 2.0
+        # Guard against float collapse (mid == left value): nudge to the
+        # right distinct value, which still separates because locate() sends
+        # boundary-equal points to the upper interval.
+        collapsed = mids <= distinct[:-1]
+        mids[collapsed] = distinct[1:][collapsed]
+        value = float(mids[np.argmin(np.abs(mids - target))])
+        assert lo < value < hi
+        return value
+
+    # --------------------------------------------------------------- querying
+
+    def query_cell_ranges(self, lo, hi) -> list[tuple[int, int]]:
+        """Per-dimension half-open cell ranges intersecting the closed box."""
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        if lo.shape != (self.dims,) or hi.shape != (self.dims,):
+            raise ValueError(f"query bounds must have shape ({self.dims},)")
+        return [
+            self.scales.cell_range_for_interval(k, float(lo[k]), float(hi[k]))
+            for k in range(self.dims)
+        ]
+
+    def query_buckets(self, lo, hi, include_empty: bool = False) -> np.ndarray:
+        """Bucket ids whose region intersects the closed query box.
+
+        Empty buckets occupy no disk page, so they are excluded by default
+        (set ``include_empty=True`` for structural analyses).
+        """
+        ranges = self.query_cell_ranges(lo, hi)
+        ids = self.directory.buckets_in_ranges(ranges)
+        if include_empty:
+            return ids
+        sizes = self._bucket_sizes()
+        return ids[sizes[ids] > 0]
+
+    def query_records(self, lo, hi) -> np.ndarray:
+        """Record ids of points inside the closed query box (exact filter)."""
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        candidates = self.query_buckets(lo, hi)
+        if candidates.size == 0:
+            return np.empty(0, dtype=np.int64)
+        rec = np.concatenate([self.buckets[b].record_array() for b in candidates])
+        pts = self.points[rec]
+        inside = np.all((pts >= lo) & (pts <= hi), axis=1)
+        return np.sort(rec[inside])
+
+    def partial_match_buckets(self, spec: dict[int, float], include_empty: bool = False) -> np.ndarray:
+        """Buckets matching a partial-match query.
+
+        ``spec`` maps dimension index to the specified key value; unspecified
+        dimensions range over the whole domain.
+        """
+        lo = self.scales.domain_lo.copy()
+        hi = self.scales.domain_hi.copy()
+        for k, v in spec.items():
+            if not 0 <= k < self.dims:
+                raise ValueError(f"dimension {k} out of range")
+            lo[k] = hi[k] = float(v)
+        return self.query_buckets(lo, hi, include_empty=include_empty)
+
+    # ------------------------------------------------------------ structure
+
+    def _bucket_sizes(self) -> np.ndarray:
+        return np.array([b.n_records for b in self.buckets], dtype=np.int64)
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Number of records in each bucket, indexed by bucket id."""
+        return self._bucket_sizes()
+
+    def nonempty_bucket_ids(self) -> np.ndarray:
+        """Ids of buckets that hold at least one record."""
+        return np.nonzero(self._bucket_sizes() > 0)[0]
+
+    def bucket_cell_boxes(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cell boxes of all buckets as two ``(n_buckets, d)`` int arrays."""
+        lo = np.stack([b.cellbox.lo for b in self.buckets])
+        hi = np.stack([b.cellbox.hi for b in self.buckets])
+        return lo, hi
+
+    def bucket_regions(self) -> tuple[np.ndarray, np.ndarray]:
+        """Domain-coordinate regions of all buckets (``(n_buckets, d)`` floats)."""
+        lo, hi = self.bucket_cell_boxes()
+        return self.scales.box_bounds(lo, hi)
+
+    def stats(self) -> GridFileStats:
+        """Structural summary (bucket counts, merging, occupancy)."""
+        sizes = self._bucket_sizes()
+        nonempty = sizes > 0
+        merged = np.array([b.is_merged for b in self.buckets])
+        return GridFileStats(
+            n_records=self.n_records,
+            n_cells=self.scales.n_cells,
+            n_buckets=len(self.buckets),
+            n_nonempty_buckets=int(nonempty.sum()),
+            n_merged_buckets=int((merged & nonempty).sum()),
+            nintervals=self.scales.nintervals,
+            capacity=self.capacity,
+            mean_occupancy=float(sizes[nonempty].mean()) if nonempty.any() else 0.0,
+            max_occupancy=int(sizes.max()) if sizes.size else 0,
+            n_overflowed=sum(1 for b in self.buckets if b.overflowed),
+        )
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants; raises ``AssertionError`` on breakage.
+
+        Checked: directory shape matches scales; every bucket's directory
+        region equals exactly its cell box; boxes tile the grid; every record
+        lies in the bucket owning its cell; occupancy respects capacity
+        unless flagged overflowed.
+        """
+        assert self.directory.shape == self.scales.nintervals
+        covered = np.zeros(self.directory.shape, dtype=bool)
+        for b in self.buckets:
+            region = self.directory.grid[b.cellbox.slices()]
+            assert (region == b.id).all(), f"bucket {b.id} region corrupted"
+            assert not covered[b.cellbox.slices()].any(), f"bucket {b.id} overlaps"
+            covered[b.cellbox.slices()] = True
+            assert b.n_records <= self.capacity or b.overflowed, (
+                f"bucket {b.id} over capacity without overflow flag"
+            )
+        assert covered.all(), "cell boxes do not tile the directory"
+        seen = np.zeros(self._n, dtype=bool)
+        for b in self.buckets:
+            rec = b.record_array()
+            assert not seen[rec].any(), "record in two buckets"
+            seen[rec] = True
+            if rec.size:
+                cells = self.scales.locate(self.points[rec])
+                owners = self.directory.buckets_at(cells)
+                assert (owners == b.id).all(), f"bucket {b.id} holds foreign records"
+        if self._deleted:
+            deleted = np.fromiter(self._deleted, dtype=np.int64)
+            assert not seen[deleted].any(), "deleted record still in a bucket"
+            seen[deleted] = True
+        assert seen.all(), "lost records"
+
+    def __repr__(self) -> str:
+        return f"GridFile({self.stats()})"

@@ -1,0 +1,145 @@
+"""Saving/loading grid files, and the paper-simulator disk layout.
+
+The paper's simulator "reads in the dataset and declusters it to separate
+files corresponding to every disk being simulated".  :func:`export_declustered`
+reproduces that layout (one ``disk_XXX.npz`` per disk holding its buckets'
+regions and records); :func:`save_gridfile`/:func:`load_gridfile` round-trip
+the whole structure through a single ``.npz``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.gridfile.bucket import Bucket
+from repro.gridfile.directory import Directory
+from repro.gridfile.gridfile import GridFile
+from repro.gridfile.regions import CellBox
+from repro.gridfile.scales import Scales
+
+__all__ = ["save_gridfile", "load_gridfile", "export_declustered"]
+
+
+def save_gridfile(gf: GridFile, path) -> None:
+    """Serialize a grid file to a single ``.npz`` archive."""
+    path = Path(path)
+    lo_cells, hi_cells = gf.bucket_cell_boxes()
+    rec_concat = np.concatenate(
+        [b.record_array() for b in gf.buckets] or [np.empty(0, dtype=np.int64)]
+    )
+    rec_offsets = np.cumsum([0] + [b.n_records for b in gf.buckets])
+    overflowed = np.array([b.overflowed for b in gf.buckets], dtype=bool)
+    arrays = {
+        "points": gf.coords(),
+        "deleted": np.fromiter(sorted(gf._deleted), dtype=np.int64),
+        "domain_lo": gf.scales.domain_lo,
+        "domain_hi": gf.scales.domain_hi,
+        "directory": gf.directory.grid,
+        "bucket_lo": lo_cells,
+        "bucket_hi": hi_cells,
+        "rec_concat": rec_concat,
+        "rec_offsets": rec_offsets,
+        "overflowed": overflowed,
+        "meta": np.frombuffer(
+            json.dumps(
+                {"capacity": gf.capacity, "split_policy": gf.split_policy}
+            ).encode(),
+            dtype=np.uint8,
+        ),
+    }
+    for k in range(gf.dims):
+        arrays[f"boundaries_{k}"] = gf.scales.boundaries[k]
+    np.savez_compressed(path, **arrays)
+
+
+def load_gridfile(path) -> GridFile:
+    """Load a grid file saved with :func:`save_gridfile`."""
+    with np.load(Path(path)) as z:
+        meta = json.loads(bytes(z["meta"]).decode())
+        d = z["domain_lo"].shape[0]
+        scales = Scales(
+            z["domain_lo"], z["domain_hi"], [z[f"boundaries_{k}"] for k in range(d)]
+        )
+        directory = Directory.from_array(z["directory"])
+        offsets = z["rec_offsets"]
+        rec = z["rec_concat"]
+        buckets = []
+        for bid in range(z["bucket_lo"].shape[0]):
+            box = CellBox(z["bucket_lo"][bid], z["bucket_hi"][bid])
+            b = Bucket(bid, box, rec[offsets[bid] : offsets[bid + 1]].tolist())
+            b.overflowed = bool(z["overflowed"][bid])
+            buckets.append(b)
+        gf = GridFile(
+            scales,
+            directory,
+            buckets,
+            z["points"],
+            meta["capacity"],
+            meta["split_policy"],
+        )
+        if "deleted" in z.files:
+            gf._deleted = set(int(r) for r in z["deleted"])
+        return gf
+
+
+def export_declustered(gf: GridFile, assignment: np.ndarray, out_dir) -> list[Path]:
+    """Write one file per disk, as the paper's simulator does.
+
+    Parameters
+    ----------
+    gf:
+        The grid file.
+    assignment:
+        ``(n_buckets,)`` integer disk id per bucket.
+    out_dir:
+        Target directory; created if needed.
+
+    Returns
+    -------
+    list[pathlib.Path]
+        Paths of the written ``disk_XXX.npz`` files (one per disk, each with
+        that disk's bucket ids, regions and record coordinates) plus a
+        ``catalog.json`` describing the layout.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (gf.n_buckets,):
+        raise ValueError(
+            f"assignment must have shape ({gf.n_buckets},), got {assignment.shape}"
+        )
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    reg_lo, reg_hi = gf.bucket_regions()
+    paths = []
+    n_disks = int(assignment.max()) + 1 if assignment.size else 0
+    for disk in range(n_disks):
+        bids = np.nonzero(assignment == disk)[0]
+        recs = [gf.records_in_bucket(b) for b in bids]
+        rec_concat = np.concatenate(recs) if recs else np.empty(0, dtype=np.int64)
+        offsets = np.cumsum([0] + [len(r) for r in recs])
+        p = out_dir / f"disk_{disk:03d}.npz"
+        np.savez_compressed(
+            p,
+            bucket_ids=bids,
+            region_lo=reg_lo[bids],
+            region_hi=reg_hi[bids],
+            rec_offsets=offsets,
+            records=gf.coords()[rec_concat] if rec_concat.size else np.empty((0, gf.dims)),
+        )
+        paths.append(p)
+    catalog = out_dir / "catalog.json"
+    catalog.write_text(
+        json.dumps(
+            {
+                "n_disks": n_disks,
+                "n_buckets": gf.n_buckets,
+                "n_records": gf.n_records,
+                "files": [p.name for p in paths],
+            },
+            indent=2,
+        )
+    )
+    paths.append(catalog)
+    return paths

@@ -1,0 +1,119 @@
+"""Box-shaped cell regions.
+
+Grid-file buckets always cover a *box* of directory cells (the "merged
+subspaces remain convex" invariant that makes two-disk-access lookups
+possible).  :class:`CellBox` is the integer half-open box
+``[lo_k, hi_k)`` per dimension used throughout splitting, refinement and
+declustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CellBox"]
+
+
+class CellBox:
+    """A half-open integer box of grid cells ``[lo, hi)`` per dimension.
+
+    Parameters
+    ----------
+    lo, hi:
+        Integer arrays of shape ``(d,)`` with ``lo < hi`` elementwise.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi):
+        self.lo = np.asarray(lo, dtype=np.int64).copy()
+        self.hi = np.asarray(hi, dtype=np.int64).copy()
+        if self.lo.shape != self.hi.shape or self.lo.ndim != 1:
+            raise ValueError("lo and hi must be 1-d arrays of equal length")
+        if np.any(self.lo >= self.hi):
+            raise ValueError(f"empty box: lo={self.lo}, hi={self.hi}")
+
+    @classmethod
+    def single(cls, cell) -> "CellBox":
+        """Box covering exactly one cell."""
+        cell = np.asarray(cell, dtype=np.int64)
+        return cls(cell, cell + 1)
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the box."""
+        return self.lo.shape[0]
+
+    @property
+    def span(self) -> np.ndarray:
+        """Number of cells covered along each dimension."""
+        return self.hi - self.lo
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells covered."""
+        return int(np.prod(self.span))
+
+    def slices(self) -> tuple:
+        """Numpy slice tuple addressing this box inside a directory array."""
+        return tuple(slice(int(l), int(h)) for l, h in zip(self.lo, self.hi))
+
+    def contains_cell(self, cell) -> bool:
+        """Whether the given cell index vector lies inside the box."""
+        cell = np.asarray(cell, dtype=np.int64)
+        return bool(np.all(cell >= self.lo) and np.all(cell < self.hi))
+
+    def cells(self) -> np.ndarray:
+        """Enumerate all covered cells as an ``(n_cells, d)`` array."""
+        axes = [np.arange(int(l), int(h)) for l, h in zip(self.lo, self.hi)]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        return np.stack([m.ravel() for m in mesh], axis=1)
+
+    def split_at(self, dim: int, cut: int) -> tuple["CellBox", "CellBox"]:
+        """Split into ``[lo, cut)`` and ``[cut, hi)`` along ``dim``.
+
+        ``cut`` must lie strictly inside the box along that dimension.
+        """
+        if not (self.lo[dim] < cut < self.hi[dim]):
+            raise ValueError(
+                f"cut {cut} not strictly inside [{self.lo[dim]}, {self.hi[dim]}) "
+                f"along dim {dim}"
+            )
+        lower_hi = self.hi.copy()
+        lower_hi[dim] = cut
+        upper_lo = self.lo.copy()
+        upper_lo[dim] = cut
+        return CellBox(self.lo, lower_hi), CellBox(upper_lo, self.hi)
+
+    def shift_for_refinement(self, dim: int, interval: int) -> None:
+        """Adjust the box in place after interval ``interval`` of ``dim`` split.
+
+        Directory refinement duplicates one interval; every box index strictly
+        above the split position moves up by one, and a box covering the split
+        cell grows to cover both halves.
+        """
+        if self.lo[dim] > interval:
+            self.lo[dim] += 1
+        if self.hi[dim] > interval:
+            self.hi[dim] += 1
+
+    def intersects(self, other: "CellBox") -> bool:
+        """Whether two boxes share at least one cell."""
+        return bool(
+            np.all(self.lo < other.hi) and np.all(other.lo < self.hi)
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CellBox):
+            return NotImplemented
+        return np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi)
+
+    def __hash__(self):
+        return hash((self.lo.tobytes(), self.hi.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"CellBox(lo={self.lo.tolist()}, hi={self.hi.tolist()})"
+
+    def copy(self) -> "CellBox":
+        """Deep copy of the box."""
+        return CellBox(self.lo, self.hi)

@@ -1,0 +1,43 @@
+"""Shared-nothing parallel grid files on a simulated cluster (paper §3.5).
+
+The paper runs parallel grid files on a 16-node IBM SP-2: each node owns a
+local disk, one node doubles as the **coordinator** holding the scales and
+directory, and queries follow an SPMD protocol — the coordinator translates
+a query into per-node block requests, workers read the blocks (with whatever
+their buffer cache saves them), filter records, and ship qualified records
+back.
+
+That hardware is simulated here by a small discrete-event engine
+(:mod:`repro.parallel.des`) with explicit cost models: a per-block disk
+service time, an LRU buffer cache per node, and a latency + bandwidth
+network with serialized NICs (the coordinator's ingest link is the shared
+bottleneck, which is what makes communication time grow with the answer
+size, as in Table 5).  The declustering-level metric — blocks fetched,
+``max_i N_i(q)`` summed over queries — is exactly the paper's and does not
+depend on the cost model at all.
+"""
+
+from repro.parallel.cache import LRUCache
+from repro.parallel.cluster import ClusterParams, ParallelGridFile, PerfReport
+from repro.parallel.des import Resource, Simulator
+from repro.parallel.disk import DiskModel
+from repro.parallel.network import NetworkModel
+from repro.parallel.replication import apply_failures, replica_assignment
+from repro.parallel.stores import GridFileStore, PageStore, RTreeStore, as_page_store
+
+__all__ = [
+    "apply_failures",
+    "replica_assignment",
+    "PageStore",
+    "GridFileStore",
+    "RTreeStore",
+    "as_page_store",
+    "Simulator",
+    "Resource",
+    "LRUCache",
+    "DiskModel",
+    "NetworkModel",
+    "ClusterParams",
+    "ParallelGridFile",
+    "PerfReport",
+]

@@ -1,0 +1,16 @@
+"""Per-node LRU buffer cache.
+
+The SP-2 experiments show caching effects: the 59 animation snapshots map
+onto only 7 temporal scale partitions, so consecutive time steps re-fetch
+the same disk blocks.  Each worker node gets an LRU cache of whole buckets
+(one bucket = one disk block in the paper's layout); a hit skips the disk
+service time entirely.
+
+The implementation lives in :mod:`repro._util.lru` (it is also used by the
+paged-directory model in :mod:`repro.gridfile.paged`); this module re-exports
+it under its historical home.
+"""
+
+from repro._util.lru import LRUCache
+
+__all__ = ["LRUCache"]

@@ -1,0 +1,405 @@
+"""The simulated shared-nothing cluster: SPMD parallel grid file execution.
+
+Drives the full §3.5 protocol on the discrete-event kernel:
+
+1. the coordinator plans the query (CPU), then sends one block request per
+   involved node over its NIC (serialized sends, latency per message);
+2. each worker reads its cache-missing blocks from its local disks (parallel
+   across disks, FIFO within), filters candidates on its CPU, and streams
+   the qualified records back over its NIC;
+3. the coordinator's ingest link receives replies one at a time — the
+   shared bottleneck that makes communication time grow with answer size;
+4. a query completes when every reply has been ingested.
+
+Two driving modes:
+
+* **closed** (:meth:`ParallelGridFile.run_queries`) — a fixed number of
+  outstanding queries (default 1, the paper's sequential workload); the
+  next query starts when one completes.
+* **open** (:meth:`ParallelGridFile.run_open`) — queries arrive by a Poisson
+  process at a given rate and queue naturally at the resources; the latency
+  distribution exposes the cluster's saturation throughput.
+
+Reported metrics mirror Tables 4-5: *response time by definition* (blocks,
+``max_i N_i(q)`` summed over queries — a pure declustering property),
+*communication time* (seconds on the wire) and *elapsed time* (simulated
+wall clock), plus latency, cache and utilization detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.parallel.coordinator import Coordinator, QueryPlan
+from repro.parallel.des import Resource, Simulator
+from repro.parallel.disk import DiskModel
+from repro.parallel.message import BlockRequest
+from repro.parallel.network import NetworkModel
+from repro.parallel.node import WorkerNode
+
+__all__ = ["ClusterParams", "PerfReport", "ParallelGridFile", "LoadReport"]
+
+
+@dataclass(frozen=True)
+class ClusterParams:
+    """Cost-model knobs of the simulated cluster (SP-2-era defaults)."""
+
+    disk: DiskModel = field(default_factory=DiskModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    #: LRU cache capacity per node, in blocks (0 disables caching).
+    cache_blocks: int = 512
+    #: Disks per node (paper: 1; its future-work configuration: 7).
+    disks_per_node: int = 1
+    #: CPU time to filter one candidate record (seconds).
+    cpu_filter_per_record: float = 2e-6
+    #: Bytes per record on the wire.
+    record_bytes: int = 40
+    #: Fixed bytes per request/reply message.
+    header_bytes: int = 64
+    #: Bytes per bucket id in a request message.
+    bucket_id_bytes: int = 8
+    #: Coordinator directory-lookup CPU time per query.
+    lookup_time: float = 0.2e-3
+    #: Coordinator planning CPU time per touched bucket.
+    plan_time_per_bucket: float = 2e-6
+    #: Outstanding queries in closed mode (1 = the paper's workload).
+    pipeline_depth: int = 1
+
+
+@dataclass
+class PerfReport:
+    """Results of a cluster run (the Tables 4-5 columns, plus detail)."""
+
+    n_queries: int
+    n_nodes: int
+    n_disks: int
+    #: Sum over queries of ``max_i N_i(q)`` — "response time by definition".
+    blocks_fetched: int
+    #: Total blocks requested from workers (sum over disks, not max).
+    blocks_requested_total: int
+    #: Blocks actually read from disk (cache misses).
+    blocks_read: int
+    #: Seconds of NIC transfer time (requests + replies) including latency.
+    comm_time: float
+    #: Simulated wall-clock seconds to complete the workload.
+    elapsed_time: float
+    #: Total qualified records returned.
+    records_returned: int
+    #: Aggregate worker cache hit rate.
+    cache_hit_rate: float
+    #: Per-query completion times (simulated clock).
+    completion_times: np.ndarray
+    #: Per-query latencies (completion - submission).
+    latencies: np.ndarray
+    #: Per-node busy fractions of the disk resources.
+    disk_utilization: np.ndarray
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-query latency (seconds)."""
+        return float(self.latencies.mean()) if self.latencies.size else 0.0
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile per-query latency (seconds)."""
+        return float(np.percentile(self.latencies, 95)) if self.latencies.size else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed queries per simulated second."""
+        return self.n_queries / self.elapsed_time if self.elapsed_time > 0 else 0.0
+
+    def row(self) -> tuple:
+        """The (blocks, comm seconds, elapsed seconds) row of Tables 4-5."""
+        return (self.blocks_fetched, self.comm_time, self.elapsed_time)
+
+
+class _Engine:
+    """One simulation run: resources, protocol callbacks, statistics."""
+
+    def __init__(self, owner: "ParallelGridFile", queries):
+        self.owner = owner
+        self.params = owner.params
+        self.net = owner.params.network
+        self.sim = Simulator()
+        self.queries = list(queries)
+        self.plans: list[QueryPlan] = [
+            owner.coordinator.plan(i, q) for i, q in enumerate(self.queries)
+        ]
+        self.nodes = [
+            WorkerNode.create(
+                i,
+                self.params.disk,
+                self.params.cache_blocks,
+                disks_per_node=self.params.disks_per_node,
+                cpu_filter_per_record=self.params.cpu_filter_per_record,
+            )
+            for i in range(owner.n_nodes)
+        ]
+        self.coord_cpu = Resource("coord.cpu")
+        self.coord_nic = Resource("coord.nic")
+        self.coord_ingest = Resource("coord.ingest")
+        self.comm_time = 0.0
+        self.remaining: dict[int, int] = {}
+        self.submit_time = np.zeros(len(self.queries))
+        self.completion = np.zeros(len(self.queries))
+        self.on_complete = None  # optional hook(qid)
+
+    # -- protocol steps ------------------------------------------------------
+
+    def submit(self, qid: int) -> None:
+        """Start query ``qid`` at the current simulated time."""
+        self.submit_time[qid] = self.sim.now
+        plan = self.plans[qid]
+        _, lookup_end = self.coord_cpu.reserve(
+            self.sim.now, self.owner.coordinator.plan_cpu_time(plan)
+        )
+        if not plan.requests:
+            self.sim.schedule_at(lookup_end, self._complete, qid)
+            return
+        self.remaining[qid] = len(plan.requests)
+        for req in plan.requests:
+            req_bytes = (
+                self.params.header_bytes + self.params.bucket_id_bytes * req.n_blocks
+            )
+            t = self.net.transfer_time(req_bytes)
+            _, send_end = self.coord_nic.reserve(lookup_end, t)
+            self.comm_time += t + self.net.latency
+            self.sim.schedule_at(send_end + self.net.latency, self._worker_receive, qid, req)
+
+    def _worker_receive(self, qid: int, req: BlockRequest) -> None:
+        plan = self.plans[qid]
+        node = self.nodes[req.node_id]
+        ready, reply = node.serve(
+            self.sim.now,
+            req,
+            self.owner.coordinator.local_disk_of_bucket,
+            candidates=plan.candidates_per_node[req.node_id],
+            qualified=plan.qualified_per_node[req.node_id],
+        )
+        reply_bytes = (
+            self.params.header_bytes + self.params.record_bytes * reply.n_qualified
+        )
+        t = self.net.transfer_time(reply_bytes)
+        _, send_end = node.nic.reserve(ready, t)
+        self.comm_time += t + self.net.latency
+        self.sim.schedule_at(
+            send_end + self.net.latency, self._coordinator_receive, qid, reply_bytes
+        )
+
+    def _coordinator_receive(self, qid: int, reply_bytes: float) -> None:
+        _, ingest_end = self.coord_ingest.reserve(
+            self.sim.now, self.net.transfer_time(reply_bytes)
+        )
+        self.sim.schedule_at(ingest_end, self._reply_done, qid)
+
+    def _reply_done(self, qid: int) -> None:
+        self.remaining[qid] -= 1
+        if self.remaining[qid] == 0:
+            del self.remaining[qid]
+            self._complete(qid)
+
+    def _complete(self, qid: int) -> None:
+        self.completion[qid] = self.sim.now
+        if self.on_complete is not None:
+            self.on_complete(qid)
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> PerfReport:
+        total_hits = sum(n.cache.hits for n in self.nodes)
+        total_access = sum(n.cache.hits + n.cache.misses for n in self.nodes)
+        elapsed = float(self.completion.max()) if self.queries else 0.0
+        disk_util = np.array(
+            [
+                sum(d.busy_time for d in n.disks) / (elapsed * len(n.disks))
+                if elapsed > 0
+                else 0.0
+                for n in self.nodes
+            ]
+        )
+        return PerfReport(
+            n_queries=len(self.queries),
+            n_nodes=self.owner.n_nodes,
+            n_disks=self.owner.n_disks,
+            blocks_fetched=sum(p.response_by_definition for p in self.plans),
+            blocks_requested_total=sum(n.blocks_requested for n in self.nodes),
+            blocks_read=sum(n.blocks_read for n in self.nodes),
+            comm_time=self.comm_time,
+            elapsed_time=elapsed,
+            records_returned=sum(p.total_qualified for p in self.plans),
+            cache_hit_rate=(total_hits / total_access) if total_access else 0.0,
+            completion_times=self.completion,
+            latencies=self.completion - self.submit_time,
+            disk_utilization=disk_util,
+        )
+
+
+class ParallelGridFile:
+    """A declustered page store deployed on the simulated cluster.
+
+    Despite the historical name, any storage structure works: pass a
+    :class:`~repro.gridfile.GridFile`, an :class:`~repro.rtree.RTree`, or
+    any :class:`~repro.parallel.stores.PageStore` — the coordinator plans
+    against the store interface (page = disk block).
+
+    Parameters
+    ----------
+    store:
+        The declustered storage structure.
+    assignment:
+        ``(n_pages,)`` disk ids (from any
+        :class:`repro.core.DeclusteringMethod` or leaf-assignment helper).
+    n_disks:
+        Total disks; must be a multiple of ``params.disks_per_node``.
+    params:
+        Cost-model parameters.
+    """
+
+    def __init__(
+        self,
+        store,
+        assignment: np.ndarray,
+        n_disks: int,
+        params: "ClusterParams | None" = None,
+    ):
+        self.params = params or ClusterParams()
+        self.coordinator = Coordinator(
+            store,
+            assignment,
+            n_disks,
+            disks_per_node=self.params.disks_per_node,
+            lookup_time=self.params.lookup_time,
+            plan_time_per_bucket=self.params.plan_time_per_bucket,
+        )
+        self.store = self.coordinator.store
+        self.n_disks = int(n_disks)
+        self.n_nodes = self.coordinator.n_nodes
+
+    def run_queries(self, queries) -> PerfReport:
+        """Closed-system run: at most ``pipeline_depth`` outstanding queries."""
+        engine = _Engine(self, queries)
+        n = len(engine.queries)
+        state = {"next": 0}
+
+        def submit_next(_qid=None):
+            if state["next"] < n:
+                qid = state["next"]
+                state["next"] += 1
+                engine.submit(qid)
+
+        engine.on_complete = submit_next
+        for _ in range(max(1, self.params.pipeline_depth)):
+            submit_next()
+        engine.sim.run()
+        return engine.report()
+
+    def run_open(self, queries, arrival_rate: float, rng=None) -> PerfReport:
+        """Open-system run: Poisson arrivals at ``arrival_rate`` queries/s.
+
+        Queries enter the system at their arrival instants regardless of how
+        many are in flight; queueing happens at the coordinator CPU/NIC and
+        the worker disks.  Latency percentiles reveal the saturation point
+        (``benchmarks/bench_ext_open_system.py``).
+
+        Parameters
+        ----------
+        queries:
+            The workload.
+        arrival_rate:
+            Mean arrivals per simulated second (> 0).
+        rng:
+            Seed/generator for the exponential inter-arrival times.
+        """
+        if arrival_rate <= 0:
+            raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+        rng = as_rng(rng)
+        engine = _Engine(self, queries)
+        arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=len(engine.queries)))
+        for qid, t in enumerate(arrivals):
+            engine.sim.schedule_at(float(t), engine.submit, qid)
+        engine.sim.run()
+        return engine.report()
+
+    def simulate_load(
+        self, cpu_build_per_record: float = 5e-6, parallel_input: bool = False
+    ) -> "LoadReport":
+        """Simulate the initial declustered load (paper §3.5's 3M-record step).
+
+        The coordinator builds the structure (CPU per record), then ships
+        every non-empty page to its owning node.  With the default
+        ``parallel_input=False`` all pages flow through the coordinator's
+        NIC before being written by the receiving node's disk; node disks
+        work in parallel, so load time scales with nodes until the
+        serialized coordinator NIC saturates (around ``disk_write /
+        transfer_time`` ≈ 50 nodes with the default constants).
+        ``parallel_input=True`` models pre-partitioned input (each node
+        ingests its own share directly), which removes that ceiling.
+        """
+        if cpu_build_per_record < 0:
+            raise ValueError("cpu_build_per_record must be non-negative")
+        return _simulate_load(self, cpu_build_per_record, parallel_input)
+
+
+@dataclass
+class LoadReport:
+    """Results of simulating the initial declustered load (paper §3.5)."""
+
+    n_pages: int
+    n_nodes: int
+    #: Simulated seconds to build + distribute the file.
+    elapsed_time: float
+    #: Coordinator CPU seconds spent building the structure.
+    build_time: float
+    #: Bytes shipped to each node.
+    bytes_per_node: np.ndarray
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean bytes per node (1.0 = perfectly even load)."""
+        mean = self.bytes_per_node.mean()
+        return float(self.bytes_per_node.max() / mean) if mean > 0 else 1.0
+
+
+def _simulate_load(pgf: "ParallelGridFile", cpu_build_per_record: float, parallel_input: bool) -> LoadReport:
+    params = pgf.params
+    net = params.network
+    store = pgf.store
+    n_records = sum(
+        store.page_records(p).size for p in range(store.n_pages)
+    )
+    build = cpu_build_per_record * n_records
+
+    page_bytes = params.disk.block_bytes
+    node_of = pgf.coordinator.node_of_bucket
+    bytes_per_node = np.zeros(pgf.n_nodes)
+    disk_write = [Resource(f"load.node{i}.disk") for i in range(pgf.n_nodes)]
+    coord_nic = Resource("load.coord.nic")
+    finish = build
+    for page in range(store.n_pages):
+        if store.page_records(page).size == 0:
+            continue  # empty pages occupy no disk block
+        node = node_of(page)
+        bytes_per_node[node] += page_bytes
+        t = net.transfer_time(page_bytes)
+        if parallel_input:
+            # Each node ingests its own partition of the input directly:
+            # transfers overlap across nodes, serialized per node NIC=disk.
+            _, arrive = disk_write[node].reserve(build, t + net.latency)
+        else:
+            # All data flows through the coordinator's NIC first.
+            _, sent = coord_nic.reserve(build, t)
+            _, arrive = disk_write[node].reserve(
+                sent + net.latency, params.disk.service_time(1)
+            )
+        finish = max(finish, arrive)
+    return LoadReport(
+        n_pages=store.n_pages,
+        n_nodes=pgf.n_nodes,
+        elapsed_time=finish,
+        build_time=build,
+        bytes_per_node=bytes_per_node,
+    )

@@ -1,0 +1,46 @@
+"""Protocol messages of the SPMD parallel grid file.
+
+The coordinator translates each range query into per-node
+:class:`BlockRequest` messages; workers answer with :class:`BlockReply`
+carrying the qualified records.  Message *sizes* (which drive the network
+cost model) are computed by the cluster from the record width and header
+constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockRequest", "BlockReply"]
+
+
+@dataclass(frozen=True)
+class BlockRequest:
+    """Coordinator -> worker: fetch these buckets for query ``query_id``."""
+
+    query_id: int
+    node_id: int
+    bucket_ids: np.ndarray
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of blocks requested."""
+        return int(len(self.bucket_ids))
+
+
+@dataclass(frozen=True)
+class BlockReply:
+    """Worker -> coordinator: qualified records of one request.
+
+    Only counts travel in the simulation; the actual record payload is
+    represented by its size.
+    """
+
+    query_id: int
+    node_id: int
+    n_blocks: int
+    n_cache_misses: int
+    n_candidates: int
+    n_qualified: int

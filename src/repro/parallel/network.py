@@ -1,0 +1,37 @@
+"""Message-passing cost model (SP-2 switch class).
+
+Latency + bandwidth: a message of ``b`` bytes occupies the sender's NIC for
+``b / bandwidth`` seconds and arrives ``latency`` seconds after the send
+completes.  NICs are serially usable resources, so a worker streaming a
+large answer set back delays its next reply, and the coordinator's ingest
+link — shared by all workers — becomes the bottleneck that makes
+communication time grow with the answer size (paper Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point message timing.
+
+    Parameters
+    ----------
+    latency:
+        One-way message latency in seconds (SP-2 MPL: ~40 µs).
+    bandwidth:
+        Point-to-point bandwidth in bytes/second (SP-2: ~35 MB/s).
+    """
+
+    latency: float = 40e-6
+    bandwidth: float = 35e6
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """NIC occupancy of a message of ``n_bytes``."""
+        if n_bytes < 0:
+            raise ValueError(f"negative message size {n_bytes}")
+        return n_bytes / self.bandwidth

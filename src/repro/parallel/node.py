@@ -1,0 +1,121 @@
+"""Worker nodes of the simulated shared-nothing cluster.
+
+Each node owns one or more local disks (the paper's SP-2 had one per node;
+its future-work configuration seven), an LRU buffer cache shared by those
+disks, a CPU for record filtering, and a NIC.  A block request is served by
+reading the cache-missing blocks from the owning disks (in parallel across
+disks, serially within one), filtering the candidate records, and streaming
+the qualified records back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.parallel.cache import LRUCache
+from repro.parallel.des import Resource
+from repro.parallel.disk import DiskModel
+from repro.parallel.message import BlockReply, BlockRequest
+
+__all__ = ["WorkerNode"]
+
+
+@dataclass
+class WorkerNode:
+    """One worker: disks + cache + CPU + NIC, all FIFO resources."""
+
+    node_id: int
+    disk_model: DiskModel
+    cache: LRUCache
+    disks: list[Resource]
+    cpu: Resource
+    nic: Resource
+    cpu_filter_per_record: float = 2e-6
+    #: Total blocks requested from this node across the run.
+    blocks_requested: int = 0
+    #: Total blocks actually read from disk (cache misses).
+    blocks_read: int = 0
+    records_filtered: int = 0
+    records_qualified: int = 0
+
+    @classmethod
+    def create(
+        cls,
+        node_id: int,
+        disk_model: DiskModel,
+        cache_blocks: int,
+        disks_per_node: int = 1,
+        cpu_filter_per_record: float = 2e-6,
+    ) -> "WorkerNode":
+        """Build a node with fresh resources."""
+        return cls(
+            node_id=node_id,
+            disk_model=disk_model,
+            cache=LRUCache(cache_blocks),
+            disks=[Resource(f"node{node_id}.disk{i}") for i in range(disks_per_node)],
+            cpu=Resource(f"node{node_id}.cpu"),
+            nic=Resource(f"node{node_id}.nic"),
+            cpu_filter_per_record=cpu_filter_per_record,
+        )
+
+    def serve(
+        self,
+        arrival: float,
+        request: BlockRequest,
+        disk_of_bucket,
+        candidates: int,
+        qualified: int,
+    ) -> tuple[float, BlockReply]:
+        """Process a block request arriving at ``arrival``.
+
+        Parameters
+        ----------
+        arrival:
+            Simulated arrival time of the request at this node.
+        request:
+            The block request.
+        disk_of_bucket:
+            Callable mapping a bucket id to this node's local disk index.
+        candidates:
+            Number of records in the requested buckets (CPU filter cost).
+        qualified:
+            Number of records inside the query box (reply payload).
+
+        Returns
+        -------
+        (ready_time, reply):
+            Time at which the reply payload is ready for the NIC (CPU done),
+            and the reply message.
+        """
+        # Cache lookups happen in arrival order (FIFO node), so mutating the
+        # LRU here is consistent with processing order.
+        misses_per_disk: dict[int, int] = {}
+        n_misses = 0
+        for bid in request.bucket_ids:
+            if not self.cache.access(int(bid)):
+                d = disk_of_bucket(int(bid))
+                misses_per_disk[d] = misses_per_disk.get(d, 0) + 1
+                n_misses += 1
+
+        # Disks work in parallel; each disk serves its blocks as one request.
+        disk_done = arrival
+        for d, n_blocks in misses_per_disk.items():
+            _, end = self.disks[d].reserve(arrival, self.disk_model.service_time(n_blocks))
+            disk_done = max(disk_done, end)
+
+        # CPU filtering starts when all blocks are in memory.
+        _, cpu_done = self.cpu.reserve(disk_done, self.cpu_filter_per_record * candidates)
+
+        self.blocks_requested += request.n_blocks
+        self.blocks_read += n_misses
+        self.records_filtered += candidates
+        self.records_qualified += qualified
+        reply = BlockReply(
+            query_id=request.query_id,
+            node_id=self.node_id,
+            n_blocks=request.n_blocks,
+            n_cache_misses=n_misses,
+            n_candidates=candidates,
+            n_qualified=qualified,
+        )
+        return cpu_done, reply

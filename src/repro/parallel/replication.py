@@ -1,0 +1,100 @@
+"""Replication and degraded-mode routing for declustered grid files.
+
+A disk farm that serves long-running analyses needs to survive disk loss.
+The classic schemes compose naturally with declustering:
+
+* **chained** (Hsiao & DeWitt): the backup copy of disk ``i``'s buckets
+  lives on disk ``(i + 1) mod M``.  A single failure shifts one disk's load
+  onto its successor; the extra load can cascade-balance if reads are split.
+* **mirrored**: disks are paired (``i`` with ``i XOR 1``); a failure doubles
+  the partner's load but never touches anyone else.
+
+:func:`apply_failures` turns a primary assignment plus a set of failed disks
+into the *effective* assignment served in degraded mode; the result feeds
+straight into :class:`repro.parallel.ParallelGridFile` or
+:func:`repro.sim.evaluate_queries`, so degraded response time falls out of
+the same machinery as the healthy numbers
+(``benchmarks/bench_ext_failures.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+__all__ = ["replica_assignment", "apply_failures", "SCHEMES"]
+
+#: Supported replication schemes.
+SCHEMES = ("chained", "mirrored")
+
+
+def replica_assignment(assignment: np.ndarray, n_disks: int, scheme: str = "chained") -> np.ndarray:
+    """Backup disk of every bucket under the given replication scheme.
+
+    Parameters
+    ----------
+    assignment:
+        ``(n_buckets,)`` primary disk ids.
+    n_disks:
+        Number of disks M (mirrored requires an even M).
+    scheme:
+        ``"chained"`` or ``"mirrored"``.
+    """
+    check_positive_int(n_disks, "n_disks")
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if scheme == "chained":
+        if n_disks < 2:
+            raise ValueError("chained replication needs at least 2 disks")
+        return (assignment + 1) % n_disks
+    if scheme == "mirrored":
+        if n_disks % 2:
+            raise ValueError("mirrored replication needs an even number of disks")
+        return assignment ^ 1
+    raise ValueError(f"unknown replication scheme {scheme!r}; choose from {SCHEMES}")
+
+
+def apply_failures(
+    assignment: np.ndarray,
+    n_disks: int,
+    failed,
+    scheme: str = "chained",
+) -> np.ndarray:
+    """Effective read assignment when ``failed`` disks are down.
+
+    Buckets whose primary disk failed are served from their backup copy.
+    Raises ``RuntimeError`` if any bucket's primary *and* backup both failed
+    (data unavailable).
+
+    Parameters
+    ----------
+    assignment:
+        ``(n_buckets,)`` primary disk ids.
+    n_disks:
+        Number of disks M.
+    failed:
+        Iterable of failed disk ids.
+    scheme:
+        Replication scheme that placed the backups.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    failed = sorted(set(int(f) for f in failed))
+    for f in failed:
+        if not 0 <= f < n_disks:
+            raise ValueError(f"failed disk {f} out of range [0, {n_disks})")
+    if not failed:
+        return assignment.copy()
+    if len(failed) >= n_disks:
+        raise RuntimeError("every disk failed; no data available")
+    backup = replica_assignment(assignment, n_disks, scheme)
+    failed_mask = np.zeros(n_disks, dtype=bool)
+    failed_mask[failed] = True
+    out = assignment.copy()
+    down = failed_mask[assignment]
+    if failed_mask[backup[down]].any():
+        lost = int(np.count_nonzero(failed_mask[backup] & down))
+        raise RuntimeError(
+            f"{lost} buckets lost: primary and backup disks both failed"
+        )
+    out[down] = backup[down]
+    return out

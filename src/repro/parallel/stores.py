@@ -1,0 +1,97 @@
+"""Page stores: the storage-structure interface of the cluster simulator.
+
+The SPMD protocol only needs three things from a storage structure: which
+pages a query touches, which records a page holds, and the record
+coordinates.  :class:`PageStore` captures that contract;
+:class:`GridFileStore` and :class:`RTreeStore` adapt the two structures, so
+the *parallel R-tree* runs on the same simulated SP-2 as the parallel grid
+file (``benchmarks/bench_ext_rtree_cluster.py``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.gridfile.gridfile import GridFile
+from repro.rtree.rtree import RTree
+
+__all__ = ["PageStore", "GridFileStore", "RTreeStore", "as_page_store"]
+
+
+class PageStore(ABC):
+    """Minimal storage interface the coordinator plans against."""
+
+    @property
+    @abstractmethod
+    def n_pages(self) -> int:
+        """Number of disk pages (the declustering domain)."""
+
+    @abstractmethod
+    def query_pages(self, lo, hi) -> np.ndarray:
+        """Ids of (non-empty) pages intersecting the closed query box."""
+
+    @abstractmethod
+    def page_records(self, page_id: int) -> np.ndarray:
+        """Record ids stored on a page."""
+
+    @abstractmethod
+    def record_coords(self, record_ids: np.ndarray) -> np.ndarray:
+        """Coordinates of the given records, shape ``(n, d)``."""
+
+
+class GridFileStore(PageStore):
+    """A grid file as a page store (page = bucket)."""
+
+    def __init__(self, gf: GridFile):
+        self.gf = gf
+
+    @property
+    def n_pages(self) -> int:
+        return self.gf.n_buckets
+
+    def query_pages(self, lo, hi) -> np.ndarray:
+        return self.gf.query_buckets(lo, hi)
+
+    def page_records(self, page_id: int) -> np.ndarray:
+        return self.gf.records_in_bucket(page_id)
+
+    def record_coords(self, record_ids: np.ndarray) -> np.ndarray:
+        return self.gf.points[np.asarray(record_ids, dtype=np.int64)]
+
+
+class RTreeStore(PageStore):
+    """An R-tree as a page store (page = leaf, ordered as ``RTree.leaves``)."""
+
+    def __init__(self, tree: RTree):
+        self.tree = tree
+        self._leaves = tree.leaves()
+        self._index_of = {id(leaf): i for i, leaf in enumerate(self._leaves)}
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._leaves)
+
+    def query_pages(self, lo, hi) -> np.ndarray:
+        hit = self.tree.query_leaves(lo, hi)
+        return np.asarray(
+            sorted(self._index_of[id(leaf)] for leaf in hit), dtype=np.int64
+        )
+
+    def page_records(self, page_id: int) -> np.ndarray:
+        return np.asarray(self._leaves[page_id].entries, dtype=np.int64)
+
+    def record_coords(self, record_ids: np.ndarray) -> np.ndarray:
+        return self.tree.points[np.asarray(record_ids, dtype=np.int64)]
+
+
+def as_page_store(obj) -> PageStore:
+    """Coerce a GridFile / RTree / PageStore into a :class:`PageStore`."""
+    if isinstance(obj, PageStore):
+        return obj
+    if isinstance(obj, GridFile):
+        return GridFileStore(obj)
+    if isinstance(obj, RTree):
+        return RTreeStore(obj)
+    raise TypeError(f"cannot adapt {type(obj).__name__} into a PageStore")

@@ -1,0 +1,43 @@
+"""R-trees: the tree-based alternative storage structure (paper §1).
+
+The paper positions grid files against tree-based multidimensional indexes
+(Guttman's R-tree) and borrows its proximity index from Kamel & Faloutsos'
+*parallel R-trees* — R-trees whose leaf pages are declustered over a disk
+farm.  This package provides that comparison substrate:
+
+* :class:`~repro.rtree.rtree.RTree` — Guttman R-tree with least-enlargement
+  ChooseLeaf and quadratic node splitting, plus Sort-Tile-Recursive (STR)
+  bulk loading for large datasets;
+* :mod:`~repro.rtree.decluster` — declustering of the leaf pages with the
+  same algorithms used for grid files (minimax / SSP over leaf MBRs, the
+  Kamel–Faloutsos Hilbert-centroid round robin, random), and response-time
+  evaluation compatible with :class:`repro.sim.QueryEvaluation`.
+
+``benchmarks/bench_ext_rtree.py`` runs the head-to-head the paper implies:
+same dataset, same workload, grid file vs R-tree, each under its best
+declustering.
+"""
+
+from repro.rtree.decluster import (
+    evaluate_rtree_queries,
+    hilbert_leaf_assignment,
+    leaf_regions,
+    minimax_leaf_assignment,
+    ssp_leaf_assignment,
+)
+from repro.rtree.mbr import MBR
+from repro.rtree.persistence import load_rtree, save_rtree
+from repro.rtree.rtree import RTree, knn_query as rtree_knn_query
+
+__all__ = [
+    "RTree",
+    "MBR",
+    "save_rtree",
+    "rtree_knn_query",
+    "load_rtree",
+    "leaf_regions",
+    "hilbert_leaf_assignment",
+    "minimax_leaf_assignment",
+    "ssp_leaf_assignment",
+    "evaluate_rtree_queries",
+]

@@ -1,0 +1,41 @@
+"""Space-filling curves for linearizing d-dimensional grid cells.
+
+The HCAM declustering scheme (Faloutsos & Bhagwat) assigns grid cells to
+disks round-robin along a Hilbert curve.  This package provides the Hilbert
+curve plus the alternative linearizations the paper discusses (Z-order /
+bit-interleaving, Gray-coded interleaving, and plain column-wise scan) so the
+"Hilbert clusters best" folklore can be measured (see
+``benchmarks/bench_ablation_sfc.py``).
+
+All curves share one vectorized interface::
+
+    key = curve.index(coords)          # (n, d) int array -> (n,) int64 keys
+
+where coordinates lie in ``[0, 2**bits)`` per dimension.  Keys order the
+cells along the curve; equal-key collisions never happen (each curve is a
+bijection on the padded power-of-two cube, and arbitrary grids are embedded
+into the smallest enclosing cube).
+"""
+
+from repro.sfc.base import SpaceFillingCurve, bits_for
+from repro.sfc.gray import GrayCurve
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.scan import ScanCurve
+from repro.sfc.zorder import ZOrderCurve
+
+CURVES = {
+    "hilbert": HilbertCurve,
+    "zorder": ZOrderCurve,
+    "gray": GrayCurve,
+    "scan": ScanCurve,
+}
+
+__all__ = [
+    "SpaceFillingCurve",
+    "HilbertCurve",
+    "ZOrderCurve",
+    "GrayCurve",
+    "ScanCurve",
+    "CURVES",
+    "bits_for",
+]

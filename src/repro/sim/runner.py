@@ -1,0 +1,150 @@
+"""Sweep orchestration: (method x number-of-disks) grids over one workload.
+
+Every figure in the paper is a sweep of declustering methods over a range of
+disk counts on one dataset and one query ratio.  :func:`sweep_methods` runs
+such a sweep efficiently: per-query bucket lists are computed once (they do
+not depend on the assignment), one assignment is computed per (method, M)
+cell, and the optimal reference curve comes for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import spawn_rng
+from repro.core.base import DeclusteringMethod
+from repro.core.registry import make_method
+from repro.gridfile.gridfile import GridFile
+from repro.sim.diskmodel import QueryEvaluation, evaluate_queries, query_buckets
+from repro.sim.metrics import (
+    closest_pairs_same_disk,
+    degree_of_data_balance,
+    nearest_neighbors,
+)
+
+__all__ = ["MethodCurve", "SweepResult", "sweep_methods"]
+
+
+@dataclass
+class MethodCurve:
+    """One method's results across the disk-count sweep."""
+
+    name: str
+    #: Mean response time per disk count (the paper's y-axis).
+    response: list[float] = field(default_factory=list)
+    #: Degree of data balance per disk count (Table 1).
+    balance: list[float] = field(default_factory=list)
+    #: Closest pairs on the same disk per disk count (Tables 2-3); filled
+    #: only when the sweep runs with ``compute_pairs=True``.
+    closest_pairs: list[int] = field(default_factory=list)
+    #: Full per-(disk count) evaluations, for deeper digging.
+    evaluations: list[QueryEvaluation] = field(default_factory=list)
+    #: The assignments themselves (one per disk count).
+    assignments: list[np.ndarray] = field(default_factory=list)
+
+
+@dataclass
+class SweepResult:
+    """A full (methods x disks) sweep on one grid file and workload."""
+
+    disks: list[int]
+    curves: dict[str, MethodCurve]
+    #: Optimal (clairvoyant) mean response time per disk count.
+    optimal: list[float]
+    #: Mean number of buckets touched per query by the workload.
+    mean_buckets_touched: float
+
+    def response_series(self) -> dict[str, list[float]]:
+        """Name -> response curve, with the optimal reference appended."""
+        out = {name: c.response for name, c in self.curves.items()}
+        out["Optimal"] = self.optimal
+        return out
+
+    def balance_series(self) -> dict[str, list[float]]:
+        """Name -> degree-of-data-balance curve."""
+        return {name: c.balance for name, c in self.curves.items()}
+
+    def closest_pair_series(self) -> dict[str, list[int]]:
+        """Name -> closest-pairs-on-same-disk curve."""
+        return {name: c.closest_pairs for name, c in self.curves.items()}
+
+
+def sweep_methods(
+    gf: GridFile,
+    methods,
+    disks,
+    queries,
+    rng=None,
+    compute_pairs: bool = False,
+    keep_assignments: bool = False,
+) -> SweepResult:
+    """Evaluate declustering methods across disk counts on one workload.
+
+    Parameters
+    ----------
+    gf:
+        The grid file under test.
+    methods:
+        Iterable of :class:`DeclusteringMethod` instances or spec strings
+        (see :func:`repro.core.registry.make_method`).
+    disks:
+        Iterable of disk counts ``M`` (the paper sweeps 4..32).
+    queries:
+        The query workload (list of :class:`RangeQuery`).
+    rng:
+        Base seed; every (method, M) cell gets an independent child stream,
+        so results are reproducible from one integer.
+    compute_pairs:
+        Also compute the closest-pairs statistic (costs one O(N²)
+        nearest-neighbour pass for the sweep).
+    keep_assignments:
+        Retain each cell's assignment array on the curve (memory permitting).
+    """
+    methods = [make_method(m) if isinstance(m, str) else m for m in methods]
+    for m in methods:
+        if not isinstance(m, DeclusteringMethod):
+            raise TypeError(f"not a declustering method: {m!r}")
+    names = [m.name for m in methods]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate method names in sweep: {names}")
+    disks = [int(m) for m in disks]
+
+    bucket_lists = query_buckets(gf, queries)
+    sizes = gf.bucket_sizes()
+
+    neighbors = None
+    if compute_pairs:
+        lo, hi = gf.bucket_regions()
+        ne = gf.nonempty_bucket_ids()
+        neighbors = nearest_neighbors(lo[ne], hi[ne], gf.scales.lengths)
+
+    rngs = iter(spawn_rng(rng, len(methods) * len(disks)))
+    curves = {m.name: MethodCurve(m.name) for m in methods}
+    optimal: list[float] = []
+    for m_count in disks:
+        for j, method in enumerate(methods):
+            assignment = method.assign(gf, m_count, rng=next(rngs))
+            ev = evaluate_queries(
+                gf, assignment, queries, m_count, bucket_lists=bucket_lists
+            )
+            curve = curves[method.name]
+            curve.response.append(ev.mean_response)
+            curve.balance.append(degree_of_data_balance(assignment, m_count, sizes))
+            curve.evaluations.append(ev)
+            if compute_pairs:
+                curve.closest_pairs.append(
+                    closest_pairs_same_disk(gf, assignment, neighbors)
+                )
+            if keep_assignments:
+                curve.assignments.append(assignment)
+            if j == 0:
+                optimal.append(ev.mean_optimal)
+    touched = np.array([len(b) for b in bucket_lists], dtype=np.float64)
+    return SweepResult(
+        disks=disks,
+        curves=curves,
+        optimal=optimal,
+        mean_buckets_touched=float(touched.mean()) if touched.size else 0.0,
+    )

@@ -1,0 +1,307 @@
+"""Query workload generators.
+
+The paper's workload: ``n`` square range queries whose centers are uniform
+over the data domain and whose volume is a fraction ``r`` of the domain
+(side ``l_k = r**(1/d) * L_k``); plus, for the SP-2 experiments, the
+"animation" workload that sweeps each snapshot's spatial volume with
+``r``-sized queries for every time step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int, check_probability
+from repro.gridfile.query import RangeQuery
+
+__all__ = ["square_queries", "animation_queries", "trace_queries", "partial_match_workload"]
+
+
+def square_queries(
+    n: int,
+    ratio: float,
+    domain_lo,
+    domain_hi,
+    rng=None,
+    clip: bool = True,
+    centers: "np.ndarray | None" = None,
+) -> list[RangeQuery]:
+    """The paper's random square queries.
+
+    Parameters
+    ----------
+    n:
+        Number of queries (the paper uses 1000).
+    ratio:
+        Query volume as a fraction ``r`` of the domain volume (0 < r <= 1);
+        the paper sweeps r in {0.01, 0.05, 0.1}.
+    domain_lo, domain_hi:
+        Data domain.
+    rng:
+        Seed or generator.
+    clip:
+        Clip query boxes to the domain (default True).
+    centers:
+        Optional ``(m, d)`` pool of candidate centers, sampled with
+        replacement.  The paper's workload uses uniform centers (the
+        default, ``centers=None``); passing the dataset's points yields a
+        *data-correlated* workload — analysts query where the data is —
+        which concentrates load on hot-spot buckets
+        (``benchmarks/bench_ext_query_skew.py``).
+    """
+    check_positive_int(n, "n")
+    check_probability(ratio, "ratio")
+    if ratio == 0.0:
+        raise ValueError("ratio must be positive")
+    domain_lo = np.asarray(domain_lo, dtype=np.float64)
+    domain_hi = np.asarray(domain_hi, dtype=np.float64)
+    rng = as_rng(rng)
+    if centers is None:
+        picked = rng.uniform(domain_lo, domain_hi, size=(n, domain_lo.shape[0]))
+    else:
+        centers = np.asarray(centers, dtype=np.float64)
+        if centers.ndim != 2 or centers.shape[1] != domain_lo.shape[0]:
+            raise ValueError(
+                f"centers must have shape (m, {domain_lo.shape[0]}), got {centers.shape}"
+            )
+        if centers.shape[0] == 0:
+            raise ValueError("centers pool must be non-empty")
+        picked = centers[rng.integers(0, centers.shape[0], size=n)]
+    return [
+        RangeQuery.square(c, ratio, domain_lo, domain_hi, clip=clip) for c in picked
+    ]
+
+
+def animation_queries(
+    domain_lo,
+    domain_hi,
+    ratio: float,
+    time_dim: int = 0,
+    time_steps: "np.ndarray | None" = None,
+    queries_per_step: "int | None" = None,
+    rng=None,
+) -> list[RangeQuery]:
+    """The SP-2 animation workload (paper §3.5, Table 4).
+
+    For every time step, a series of range queries of spatial size
+    ``r·L_x × r·L_y × ... × 1`` (the time dimension is pinned to the step).
+    The paper issues "approximately 10 x 59" such queries for r = 0.1 — i.e.
+    about ``1/r`` per step, a sweep through the volume rather than an
+    exhaustive tiling (which would need ``(1/r)**(d-1)``).  Both modes are
+    supported:
+
+    * ``queries_per_step=None`` (default): ``round(1/r)`` queries per step
+      with stratified-random spatial placement — the paper's count;
+    * ``queries_per_step=k``: exactly ``k`` stratified-random queries;
+    * ``queries_per_step=0``: exhaustive tiling of the spatial volume.
+
+    Parameters
+    ----------
+    domain_lo, domain_hi:
+        Full (d-dimensional, including time) domain.
+    ratio:
+        Spatial side-length fraction ``r`` (each spatial side is ``r·L_k``).
+    time_dim:
+        Index of the temporal dimension (default 0).
+    time_steps:
+        Time values to animate (defaults to integer steps in the temporal
+        extent).
+    rng:
+        Seed or generator for the stratified placement.
+    """
+    check_probability(ratio, "ratio")
+    if ratio == 0.0:
+        raise ValueError("ratio must be positive")
+    domain_lo = np.asarray(domain_lo, dtype=np.float64)
+    domain_hi = np.asarray(domain_hi, dtype=np.float64)
+    d = domain_lo.shape[0]
+    if not 0 <= time_dim < d:
+        raise ValueError(f"time_dim {time_dim} out of range")
+    rng = as_rng(rng)
+    if time_steps is None:
+        time_steps = np.arange(np.floor(domain_lo[time_dim]), np.floor(domain_hi[time_dim]) + 1)
+    spatial = [k for k in range(d) if k != time_dim]
+    sides = np.array([ratio * (domain_hi[k] - domain_lo[k]) for k in spatial])
+
+    queries: list[RangeQuery] = []
+    if queries_per_step == 0:
+        # Exhaustive tiling.
+        tiles = int(np.ceil(1.0 / ratio))
+        axes = [np.arange(tiles) for _ in spatial]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        offsets = np.stack([m.ravel() for m in mesh], axis=1).astype(np.float64)
+        for t in time_steps:
+            for off in offsets:
+                lo = domain_lo.copy()
+                hi = domain_hi.copy()
+                lo[time_dim] = hi[time_dim] = float(t)
+                for j, k in enumerate(spatial):
+                    lo[k] = domain_lo[k] + off[j] * sides[j]
+                    hi[k] = min(lo[k] + sides[j], domain_hi[k])
+                queries.append(RangeQuery(lo, hi))
+        return queries
+
+    per_step = queries_per_step if queries_per_step else max(1, round(1.0 / ratio))
+    check_positive_int(per_step, "queries_per_step")
+    for t in time_steps:
+        # Stratified placement along the first spatial axis, random elsewhere:
+        # a sweep through the volume, one stripe per query.
+        strata = np.linspace(0.0, 1.0 - ratio, per_step) if per_step > 1 else np.array([0.5 * (1 - ratio)])
+        for s in strata:
+            lo = domain_lo.copy()
+            hi = domain_hi.copy()
+            lo[time_dim] = hi[time_dim] = float(t)
+            for j, k in enumerate(spatial):
+                if j == 0:
+                    frac = s
+                else:
+                    frac = rng.uniform(0.0, 1.0 - ratio)
+                lo[k] = domain_lo[k] + frac * (domain_hi[k] - domain_lo[k])
+                hi[k] = min(lo[k] + sides[j], domain_hi[k])
+            queries.append(RangeQuery(lo, hi))
+    return queries
+
+
+def trace_queries(
+    domain_lo,
+    domain_hi,
+    ratio: float,
+    n_traces: int = 1,
+    time_dim: int = 0,
+    time_steps: "np.ndarray | None" = None,
+    speed: float = 0.02,
+    wander: float = 0.3,
+    rng=None,
+) -> list[RangeQuery]:
+    """Particle-tracing queries (the paper's stated future-work access pattern).
+
+    A trace follows one particle (or probe) through the spatio-temporal
+    volume: at every time step it asks for the small spatial neighbourhood
+    around the particle's current position (side ``ratio * L_k`` per spatial
+    dimension, time pinned to the step).  The particle moves with a constant
+    drift plus a random-walk wander, reflecting off the domain walls.
+
+    Unlike the animation workload, consecutive queries overlap heavily in
+    space but advance in time — so their cache behaviour depends on how the
+    *temporal* scale partitions snapshots, and their response time on how
+    the declusterer spread spatially-adjacent buckets.
+
+    Parameters
+    ----------
+    domain_lo, domain_hi:
+        Full (d-dimensional, including time) domain.
+    ratio:
+        Spatial side-length fraction of each neighbourhood query.
+    n_traces:
+        Number of independent particles; traces are concatenated.
+    time_dim:
+        Index of the temporal dimension.
+    time_steps:
+        Time values to step through (defaults to the integer steps of the
+        temporal extent).
+    speed:
+        Drift per time step, as a fraction of each spatial extent.
+    wander:
+        Random-walk scale relative to ``speed``.
+    rng:
+        Seed or generator.
+    """
+    check_probability(ratio, "ratio")
+    if ratio == 0.0:
+        raise ValueError("ratio must be positive")
+    check_positive_int(n_traces, "n_traces")
+    domain_lo = np.asarray(domain_lo, dtype=np.float64)
+    domain_hi = np.asarray(domain_hi, dtype=np.float64)
+    d = domain_lo.shape[0]
+    if not 0 <= time_dim < d:
+        raise ValueError(f"time_dim {time_dim} out of range")
+    if d < 2:
+        raise ValueError("trace queries need at least one spatial dimension")
+    rng = as_rng(rng)
+    if time_steps is None:
+        time_steps = np.arange(np.floor(domain_lo[time_dim]), np.floor(domain_hi[time_dim]) + 1)
+    spatial = np.array([k for k in range(d) if k != time_dim])
+    extent = domain_hi[spatial] - domain_lo[spatial]
+    half = ratio * extent / 2.0
+
+    queries: list[RangeQuery] = []
+    for _ in range(n_traces):
+        pos = rng.uniform(domain_lo[spatial], domain_hi[spatial])
+        direction = rng.normal(size=spatial.size)
+        direction /= max(np.linalg.norm(direction), 1e-12)
+        for t in time_steps:
+            lo = domain_lo.copy()
+            hi = domain_hi.copy()
+            lo[time_dim] = hi[time_dim] = float(t)
+            lo[spatial] = np.maximum(pos - half, domain_lo[spatial])
+            hi[spatial] = np.minimum(pos + half, domain_hi[spatial])
+            queries.append(RangeQuery(lo, hi))
+            step = speed * extent * (direction + wander * rng.normal(size=spatial.size))
+            pos = pos + step
+            # Reflect off the walls.
+            for j in range(spatial.size):
+                lo_j, hi_j = domain_lo[spatial[j]], domain_hi[spatial[j]]
+                if pos[j] < lo_j:
+                    pos[j] = 2 * lo_j - pos[j]
+                    direction[j] = -direction[j]
+                elif pos[j] > hi_j:
+                    pos[j] = 2 * hi_j - pos[j]
+                    direction[j] = -direction[j]
+                pos[j] = min(max(pos[j], lo_j), hi_j)
+    return queries
+
+
+def partial_match_workload(
+    n: int,
+    domain_lo,
+    domain_hi,
+    n_specified: int = 1,
+    rng=None,
+    value_pool: "np.ndarray | None" = None,
+) -> list[RangeQuery]:
+    """Random partial-match queries as degenerate range queries.
+
+    Each query pins ``n_specified`` randomly chosen attributes to random
+    values (uniform over the domain, or drawn from ``value_pool`` rows for
+    data-correlated keys) and leaves the rest unspecified — the workload
+    class for which DM carries optimality guarantees (paper §2, checked in
+    ``repro.analysis.partialmatch``).
+
+    Parameters
+    ----------
+    n:
+        Number of queries.
+    domain_lo, domain_hi:
+        Data domain.
+    n_specified:
+        Attributes pinned per query (``1 <= n_specified < d``).
+    rng:
+        Seed or generator.
+    value_pool:
+        Optional ``(m, d)`` rows to draw pinned values from (e.g. the
+        dataset itself, so queries match existing keys).
+    """
+    check_positive_int(n, "n")
+    domain_lo = np.asarray(domain_lo, dtype=np.float64)
+    domain_hi = np.asarray(domain_hi, dtype=np.float64)
+    d = domain_lo.shape[0]
+    check_positive_int(n_specified, "n_specified")
+    if n_specified >= d:
+        raise ValueError("a partial-match query needs >= 1 unspecified attribute")
+    rng = as_rng(rng)
+    if value_pool is not None:
+        value_pool = np.asarray(value_pool, dtype=np.float64)
+        if value_pool.ndim != 2 or value_pool.shape[1] != d:
+            raise ValueError(f"value_pool must have shape (m, {d})")
+    queries = []
+    for _ in range(n):
+        dims = rng.choice(d, size=n_specified, replace=False)
+        lo = domain_lo.copy()
+        hi = domain_hi.copy()
+        if value_pool is None:
+            values = rng.uniform(domain_lo[dims], domain_hi[dims])
+        else:
+            values = value_pool[rng.integers(0, value_pool.shape[0])][dims]
+        lo[dims] = hi[dims] = values
+        queries.append(RangeQuery(lo, hi))
+    return queries

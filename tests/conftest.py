@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Session-scoped grid files are built once (the dynamic 10k-point builds take
+a few hundred milliseconds each); tests must not mutate them — tests that
+insert points build their own files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_gridfile, load
+from repro.gridfile import GridFile, bulk_load
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def points_2d(rng):
+    """1,000 clustered+uniform points in [0, 2000]^2."""
+    uniform = rng.uniform(0, 2000, size=(600, 2))
+    cluster = np.clip(rng.normal(1200, 100, size=(400, 2)), 0, 2000)
+    return np.concatenate([uniform, cluster])
+
+
+@pytest.fixture
+def small_gridfile(points_2d):
+    """Dynamic grid file over the 1,000 2-d points (capacity 30)."""
+    return GridFile.from_points(points_2d, [0, 0], [2000, 2000], capacity=30)
+
+
+@pytest.fixture
+def bulk_gridfile(points_2d):
+    """Bulk-loaded grid file over the same points."""
+    return bulk_load(points_2d, [0, 0], [2000, 2000], capacity=30)
+
+
+@pytest.fixture(scope="session")
+def hot_gridfile():
+    """The paper's hot.2d grid file (10,000 points, capacity 56). Read-only."""
+    ds = load("hot.2d", rng=2024)
+    return ds, build_gridfile(ds)
+
+
+@pytest.fixture(scope="session")
+def dsmc_gridfile():
+    """A reduced DSMC.3d grid file (8,000 particles). Read-only."""
+    ds = load("dsmc.3d", rng=2024, n=8000)
+    return ds, build_gridfile(ds, capacity=60)
+
+
+def brute_force_query(points: np.ndarray, lo, hi) -> np.ndarray:
+    """Record ids inside the closed box, by linear scan (ground truth)."""
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    mask = np.all((points >= lo) & (points <= hi), axis=1)
+    return np.nonzero(mask)[0]

@@ -1,0 +1,71 @@
+"""Tests for the method advisor."""
+
+import pytest
+
+from repro.core import Minimax, recommend
+from repro.sim import partial_match_workload, square_queries
+
+
+class TestRecommend:
+    def test_ranking_sorted(self, small_gridfile, rng):
+        queries = square_queries(150, 0.02, [0, 0], [2000, 2000], rng=rng)
+        recs = recommend(small_gridfile, queries, 16, rng=0)
+        responses = [r.mean_response for r in recs]
+        assert responses == sorted(responses)
+        assert all(r.mean_response >= r.mean_optimal - 1e-9 for r in recs)
+
+    def test_proximity_method_wins_range_workload(self, small_gridfile, rng):
+        queries = square_queries(200, 0.01, [0, 0], [2000, 2000], rng=rng)
+        recs = recommend(small_gridfile, queries, 16, rng=0)
+        assert recs[0].name in ("MiniMax", "SSP")
+
+    def test_dm_competitive_on_partial_match(self, small_gridfile, rng):
+        """On a pure partial-match workload DM/D is at or near the top —
+        the workload the paper says it was built for."""
+        queries = partial_match_workload(200, [0, 0], [2000, 2000], 1, rng=rng)
+        recs = recommend(
+            small_gridfile, queries, 8, candidates=["dm/D", "fx/D", "randomrr"], rng=0
+        )
+        names = [r.name for r in recs]
+        assert names.index("DM/D") <= 1
+
+    def test_accepts_method_instances(self, small_gridfile, rng):
+        queries = square_queries(50, 0.05, [0, 0], [2000, 2000], rng=rng)
+        recs = recommend(small_gridfile, queries, 4, candidates=[Minimax()], rng=0)
+        assert len(recs) == 1 and recs[0].name == "MiniMax"
+
+    def test_ratio_to_optimal(self, small_gridfile, rng):
+        queries = square_queries(50, 0.05, [0, 0], [2000, 2000], rng=rng)
+        recs = recommend(small_gridfile, queries, 4, candidates=["minimax"], rng=0)
+        assert recs[0].ratio_to_optimal >= 1.0
+
+    def test_rejects_empty_workload(self, small_gridfile):
+        with pytest.raises(ValueError):
+            recommend(small_gridfile, [], 4)
+
+
+class TestPartialMatchWorkload:
+    def test_shapes(self):
+        qs = partial_match_workload(20, [0, 0, 0], [1, 1, 1], 2, rng=0)
+        assert len(qs) == 20
+        for q in qs:
+            pinned = sum(1 for k in range(3) if q.lo[k] == q.hi[k])
+            assert pinned == 2
+
+    def test_value_pool(self):
+        import numpy as np
+
+        pool = np.array([[0.25, 0.5], [0.75, 0.5]])
+        qs = partial_match_workload(30, [0, 0], [1, 1], 1, rng=0, value_pool=pool)
+        for q in qs:
+            for k in range(2):
+                if q.lo[k] == q.hi[k]:
+                    assert q.lo[k] in (0.25, 0.75, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partial_match_workload(5, [0, 0], [1, 1], 2)
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            partial_match_workload(5, [0, 0], [1, 1], 1, value_pool=np.zeros((2, 3)))

@@ -1,0 +1,89 @@
+"""Tests for the brute-force evaluators and scalability profiling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    expected_response,
+    response_for_query,
+    saturation_point,
+    scalability_profile,
+)
+
+
+def dm2(cells):
+    return cells.sum(axis=1)
+
+
+class TestResponseForQuery:
+    def test_dm_small(self):
+        # 2x2 query on 2 disks under DM: residues (0,1,1,0) -> max 2.
+        assert response_for_query(dm2, (2, 2), 2) == 2
+
+    def test_position_shift_invariance_dm(self):
+        for origin in [(0, 0), (3, 5), (7, 1)]:
+            assert response_for_query(dm2, (3, 3), 4, origin) == response_for_query(
+                dm2, (3, 3), 4
+            )
+
+    def test_one_dimensional(self):
+        assert response_for_query(lambda c: c.sum(axis=1), (6,), 3) == 2
+
+    def test_rejects_bad_disks(self):
+        with pytest.raises(ValueError):
+            response_for_query(dm2, (2, 2), 0)
+
+
+class TestExpectedResponse:
+    def test_matches_single_for_position_independent(self):
+        got = expected_response(dm2, (3, 3), 4, period=4)
+        assert got == response_for_query(dm2, (3, 3), 4)
+
+    def test_fx_position_dependent(self):
+        fx = lambda c: np.bitwise_xor.reduce(c, axis=1)
+        vals = {
+            response_for_query(fx, (2, 2), 4, origin=(a, b))
+            for a in range(4)
+            for b in range(4)
+        }
+        assert len(vals) > 1  # genuinely varies with position
+        mean = expected_response(fx, (2, 2), 4, period=4)
+        assert min(vals) <= mean <= max(vals)
+
+
+class TestSaturation:
+    def test_flat_curve_saturates_immediately(self):
+        assert saturation_point([4, 8, 16], [3.0, 3.0, 3.0]) == 4
+
+    def test_decreasing_curve_never_saturates(self):
+        assert saturation_point([4, 8, 16], [4.0, 2.0, 1.0]) == 16
+
+    def test_knee_detection(self):
+        disks = [4, 8, 16, 24, 32]
+        resp = [6.0, 3.2, 3.1, 3.1, 3.05]
+        # Strict tolerance still sees the 3.2 -> 3.05 improvement (4.7%).
+        assert saturation_point(disks, resp, tolerance=0.02) == 16
+        # A looser tolerance calls the knee at 8 disks.
+        assert saturation_point(disks, resp, tolerance=0.05) == 8
+
+    def test_tolerance(self):
+        disks = [4, 8]
+        assert saturation_point(disks, [1.0, 0.97], tolerance=0.05) == 4
+        assert saturation_point(disks, [1.0, 0.90], tolerance=0.05) == 8
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            saturation_point([4], [1.0, 2.0])
+
+
+class TestProfile:
+    def test_fields(self):
+        p = scalability_profile([4, 8, 16], [4.0, 2.0, 2.0], [4.0, 2.0, 1.0])
+        assert p.saturation == 8
+        assert p.total_speedup == 2.0
+        assert p.final_ratio_to_optimal == 2.0
+        assert p.mean_ratio_to_optimal == pytest.approx((1 + 1 + 2) / 3)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            scalability_profile([4, 8], [1.0, 2.0], [1.0])

@@ -1,0 +1,63 @@
+"""Documentation quality gates.
+
+Every public symbol must carry a docstring, and docs/api.md must stay in
+sync with the packages' ``__all__`` exports (regenerate with
+``python tools/gen_api_docs.py > docs/api.md``).
+"""
+
+import importlib
+import inspect
+from pathlib import Path
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.gridfile",
+    "repro.sfc",
+    "repro.core",
+    "repro.sim",
+    "repro.analysis",
+    "repro.parallel",
+    "repro.rtree",
+    "repro.datasets",
+    "repro.experiments",
+]
+
+API_MD = Path(__file__).parent.parent / "docs" / "api.md"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_every_public_symbol_documented(package):
+    mod = importlib.import_module(package)
+    assert mod.__doc__, f"{package} lacks a module docstring"
+    for sym in getattr(mod, "__all__"):
+        if sym == "__version__":
+            continue
+        obj = getattr(mod, sym)
+        if callable(obj) or inspect.isclass(obj):
+            assert inspect.getdoc(obj), f"{package}.{sym} lacks a docstring"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_api_md_lists_every_symbol(package):
+    text = API_MD.read_text()
+    mod = importlib.import_module(package)
+    assert f"`{package}`" in text, f"{package} section missing from docs/api.md"
+    for sym in getattr(mod, "__all__"):
+        assert f"`{sym}`" in text, (
+            f"{package}.{sym} missing from docs/api.md — regenerate with "
+            "`python tools/gen_api_docs.py > docs/api.md`"
+        )
+
+
+def test_public_methods_documented():
+    """Public methods of the main user-facing classes carry docstrings."""
+    from repro import GridFile, Minimax, ParallelGridFile
+    from repro.rtree import RTree
+
+    for cls in (GridFile, Minimax, ParallelGridFile, RTree):
+        for name, member in inspect.getmembers(cls):
+            if name.startswith("_") or not callable(member):
+                continue
+            assert inspect.getdoc(member), f"{cls.__name__}.{name} lacks a docstring"

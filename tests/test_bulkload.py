@@ -1,0 +1,113 @@
+"""Tests for the bulk loader (buddy splitting over fixed scales)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridfile import bulk_load
+from repro.gridfile.bulkload import equal_width_boundaries, quantile_boundaries
+from tests.conftest import brute_force_query
+
+
+class TestBoundaries:
+    def test_equal_width(self):
+        b = equal_width_boundaries(4, 0.0, 8.0)
+        assert b.tolist() == [2.0, 4.0, 6.0]
+
+    def test_equal_width_single_interval(self):
+        assert equal_width_boundaries(1, 0.0, 8.0).size == 0
+
+    def test_quantile_strictly_inside(self):
+        vals = np.concatenate([np.zeros(50), np.linspace(0, 10, 50)])
+        b = quantile_boundaries(vals, 5, 0.0, 10.0)
+        assert (b > 0.0).all() and (b < 10.0).all()
+        assert (np.diff(b) > 0).all()
+
+    def test_quantile_dedup_on_ties(self):
+        vals = np.full(100, 3.0)
+        b = quantile_boundaries(vals, 8, 0.0, 10.0)
+        assert b.size <= 1  # all quantiles coincide
+
+
+class TestBulkLoad:
+    def test_invariants_and_counts(self, points_2d):
+        gf = bulk_load(points_2d, [0, 0], [2000, 2000], capacity=30)
+        gf.check_invariants()
+        assert gf.n_records == len(points_2d)
+
+    def test_capacity_respected_or_flagged(self, points_2d):
+        gf = bulk_load(points_2d, [0, 0], [2000, 2000], capacity=30)
+        for b in gf.buckets:
+            assert b.n_records <= 30 or b.overflowed
+
+    def test_explicit_resolution(self, points_2d):
+        gf = bulk_load(points_2d, [0, 0], [2000, 2000], capacity=30, resolution=(8, 8))
+        assert all(n <= 8 for n in gf.scales.nintervals)
+
+    def test_equal_scale_mode(self, points_2d):
+        gf = bulk_load(
+            points_2d, [0, 0], [2000, 2000], 30, resolution=(8, 8), scale_mode="equal"
+        )
+        assert gf.scales.boundaries[0].tolist() == [250.0 * i for i in range(1, 8)]
+        gf.check_invariants()
+
+    def test_unknown_scale_mode(self, points_2d):
+        with pytest.raises(ValueError):
+            bulk_load(points_2d, [0, 0], [2000, 2000], 30, scale_mode="other")
+
+    def test_rejects_points_outside_domain(self):
+        with pytest.raises(ValueError):
+            bulk_load(np.array([[2.0, 2.0]]), [0, 0], [1, 1], capacity=4)
+
+    def test_rejects_1d_points(self):
+        with pytest.raises(ValueError):
+            bulk_load(np.zeros(5), [0], [1], capacity=4)
+
+    def test_rejects_wrong_resolution_length(self, points_2d):
+        with pytest.raises(ValueError):
+            bulk_load(points_2d, [0, 0], [2000, 2000], 30, resolution=(8,))
+
+    def test_queries_match_brute_force(self, points_2d, rng):
+        gf = bulk_load(points_2d, [0, 0], [2000, 2000], capacity=25)
+        for _ in range(20):
+            lo = rng.uniform(0, 1500, 2)
+            hi = lo + rng.uniform(0, 500, 2)
+            assert np.array_equal(
+                gf.query_records(lo, hi), brute_force_query(points_2d, lo, hi)
+            )
+
+    def test_merged_buckets_exist_on_skewed_data(self, rng):
+        pts = np.clip(rng.normal(0.5, 0.05, size=(5000, 2)), 0, 1)
+        gf = bulk_load(pts, [0, 0], [1, 1], capacity=50, resolution=(16, 16))
+        stats = gf.stats()
+        assert stats.n_merged_buckets > 0  # sparse outskirts merged
+
+    def test_buddy_boxes_capacity_driven(self, rng):
+        """Dense regions get fine buckets, sparse regions big merged ones."""
+        dense = rng.uniform(0.0, 0.25, size=(2000, 2))
+        sparse = rng.uniform(0.25, 1.0, size=(50, 2))
+        gf = bulk_load(
+            np.concatenate([dense, sparse]), [0, 0], [1, 1], 40, resolution=(16, 16),
+            scale_mode="equal",
+        )
+        lo, hi = gf.bucket_regions()
+        vols = np.prod(hi - lo, axis=1)
+        sizes = gf.bucket_sizes()
+        dense_vol = vols[sizes > 20].mean()
+        sparse_vol = vols[sizes <= 20].mean()
+        assert dense_vol < sparse_vol
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(min_value=2, max_value=40))
+def test_bulk_load_property(seed, capacity):
+    """Property: bulk loading any point set keeps invariants and exactness."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 400))
+    pts = rng.uniform(0, 1, size=(n, 2)) ** rng.uniform(0.5, 3.0)
+    gf = bulk_load(pts, [0, 0], [1, 1], capacity)
+    gf.check_invariants()
+    lo = rng.uniform(0, 0.6, 2)
+    hi = lo + rng.uniform(0, 0.4, 2)
+    assert np.array_equal(gf.query_records(lo, hi), brute_force_query(pts, lo, hi))

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_decluster_defaults(self):
+        args = build_parser().parse_args(["decluster", "hot.2d"])
+        assert args.method == "minimax"
+        assert args.disks == 16
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "imagenet"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "minimax" in out and "uniform.2d" in out
+
+    def test_dataset(self, capsys):
+        assert main(["--seed", "3", "dataset", "dsmc.3d"]) == 0
+        out = capsys.readouterr().out
+        assert "buckets" in out
+
+    def test_decluster_with_export(self, capsys, tmp_path):
+        rc = main(
+            [
+                "--seed", "3",
+                "decluster", "uniform.2d",
+                "--method", "dm/D",
+                "--disks", "4",
+                "--queries", "50",
+                "--out", str(tmp_path / "layout"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean response time" in out
+        assert (tmp_path / "layout" / "catalog.json").exists()
+
+    def test_experiment_fig2(self, capsys):
+        assert main(["--seed", "3", "experiment", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform.2d" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_experiment_table1_quick(self, capsys):
+        assert main(["--seed", "3", "experiment", "table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "data balance" in out

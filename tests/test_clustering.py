@@ -1,0 +1,81 @@
+"""Tests for the SFC clustering analysis (HCAM follow-up)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import clusters_of, hilbert_cluster_asymptote, mean_clusters
+from repro.sfc import GrayCurve, HilbertCurve, ScanCurve, ZOrderCurve
+
+
+class TestClustersOf:
+    def test_single_run(self):
+        assert clusters_of(np.array([3, 4, 5, 6])) == 1
+
+    def test_two_runs(self):
+        assert clusters_of(np.array([1, 2, 9, 10])) == 2
+
+    def test_unsorted_input(self):
+        assert clusters_of(np.array([10, 1, 2, 9])) == 2
+
+    def test_empty(self):
+        assert clusters_of(np.array([], dtype=int)) == 0
+
+    def test_singleton(self):
+        assert clusters_of(np.array([5])) == 1
+
+
+class TestMeanClusters:
+    def test_scan_exactly_q_rows(self):
+        """Row-major scan decomposes a q x q query into exactly q runs."""
+        curve = ScanCurve(2, 4)
+        assert mean_clusters(curve, (3, 3)) == pytest.approx(3.0)
+        assert mean_clusters(curve, (5, 5)) == pytest.approx(5.0)
+
+    def test_full_grid_single_cluster(self):
+        for cls in (HilbertCurve, ZOrderCurve, GrayCurve, ScanCurve):
+            curve = cls(2, 3)
+            assert mean_clusters(curve, (8, 8)) == 1.0
+
+    def test_hilbert_near_asymptote(self):
+        """Hilbert's mean cluster count approaches surface/(2d) = q in 2-d."""
+        curve = HilbertCurve(2, 5)
+        for q in (2, 4, 8):
+            measured = mean_clusters(curve, (q, q))
+            assert measured == pytest.approx(q, rel=0.25)
+
+    def test_hierarchy(self):
+        """Hilbert clusters no worse than Z-order and Gray (the folklore)."""
+        q = (4, 4)
+        h = mean_clusters(HilbertCurve(2, 4), q)
+        assert h <= mean_clusters(ZOrderCurve(2, 4), q)
+        assert h <= mean_clusters(GrayCurve(2, 4), q)
+
+    def test_3d(self):
+        h = mean_clusters(HilbertCurve(3, 2), (2, 2, 2))
+        assert 1.0 <= h <= 4.0
+
+    def test_validation(self):
+        curve = HilbertCurve(2, 3)
+        with pytest.raises(ValueError):
+            mean_clusters(curve, (3,))
+        with pytest.raises(ValueError):
+            mean_clusters(curve, (9, 9))
+        with pytest.raises(ValueError):
+            mean_clusters(curve, (2, 2), grid_side=16)
+
+
+class TestAsymptote:
+    def test_2d_square(self):
+        assert hilbert_cluster_asymptote((6, 6)) == 6.0
+
+    def test_2d_rect(self):
+        assert hilbert_cluster_asymptote((4, 8)) == 6.0  # (4+8)/2
+
+    def test_3d(self):
+        # surface = 2*(4+4+4) = 24 (for 2x2x2... q_iq_j terms: 3 faces of 4,
+        # doubled) -> 24/6 = 4.
+        assert hilbert_cluster_asymptote((2, 2, 2)) == 4.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            hilbert_cluster_asymptote(())

@@ -1,0 +1,119 @@
+"""Tests for the conflict-resolution heuristics (paper §2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CONFLICT_HEURISTICS,
+    resolve_area_balance,
+    resolve_data_balance,
+    resolve_most_frequent,
+    resolve_random,
+)
+
+ALTS = [
+    np.array([0]),
+    np.array([1, 1, 2]),
+    np.array([0, 2]),
+    np.array([2]),
+    np.array([0, 1, 2, 2]),
+]
+
+
+class TestCommon:
+    @pytest.mark.parametrize("name", sorted(CONFLICT_HEURISTICS))
+    def test_choice_is_always_an_alternative(self, name, rng):
+        resolver = CONFLICT_HEURISTICS[name]
+        out = resolver(ALTS, 3, weights=np.ones(len(ALTS)), sizes=np.ones(len(ALTS)), rng=rng)
+        for i, alt in enumerate(ALTS):
+            assert out[i] in alt
+
+    @pytest.mark.parametrize("name", sorted(CONFLICT_HEURISTICS))
+    def test_rejects_empty_alternatives(self, name, rng):
+        with pytest.raises(ValueError):
+            CONFLICT_HEURISTICS[name]([np.array([], dtype=int)], 3, weights=np.ones(1), rng=rng)
+
+    @pytest.mark.parametrize("name", sorted(CONFLICT_HEURISTICS))
+    def test_rejects_out_of_range(self, name, rng):
+        with pytest.raises(ValueError):
+            CONFLICT_HEURISTICS[name]([np.array([5])], 3, weights=np.ones(1), rng=rng)
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        a = resolve_random(ALTS, 3, rng=7)
+        b = resolve_random(ALTS, 3, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_uniform_over_distinct(self):
+        alts = [np.array([0, 1, 1, 1])] * 2000
+        out = resolve_random(alts, 2, rng=0)
+        frac = out.mean()
+        # Distinct alternatives {0, 1} chosen uniformly: about half ones.
+        assert 0.4 < frac < 0.6
+
+
+class TestMostFrequent:
+    def test_picks_majority(self):
+        out = resolve_most_frequent([np.array([1, 1, 2])], 3, rng=0)
+        assert out[0] == 1
+
+    def test_tie_falls_back_to_random(self):
+        outs = {int(resolve_most_frequent([np.array([0, 1])], 2, rng=s)[0]) for s in range(30)}
+        assert outs == {0, 1}
+
+
+class TestDataBalance:
+    def test_singletons_fixed_first(self):
+        # Bucket 1 could go to 0 or 1, but disk 0 already has two singletons.
+        alts = [np.array([0]), np.array([0]), np.array([0, 1])]
+        out = resolve_data_balance(alts, 2, sizes=np.ones(3), rng=0)
+        assert out[2] == 1
+
+    def test_spreads_load(self):
+        alts = [np.array([0, 1, 2])] * 9
+        out = resolve_data_balance(alts, 3, sizes=np.ones(9), rng=0)
+        counts = np.bincount(out, minlength=3)
+        assert counts.max() - counts.min() <= 1
+
+    def test_empty_buckets_do_not_count(self):
+        sizes = np.array([1, 0, 0, 1])
+        alts = [np.array([0]), np.array([0]), np.array([0]), np.array([0, 1])]
+        out = resolve_data_balance(alts, 2, sizes=sizes, rng=0)
+        # Disk 0 holds one *data* bucket (ids 1, 2 are empty); disk 1 none,
+        # so the conflicted data bucket goes to disk 1.
+        assert out[3] == 1
+
+    def test_matches_algorithm1_manual_trace(self):
+        """Hand-checked trace of the paper's Algorithm 1."""
+        alts = [
+            np.array([2]),          # b1 singleton -> disk 2 (B=[0,0,1])
+            np.array([0, 2]),       # b2 -> disk 0  (B=[1,0,1])
+            np.array([0, 2]),       # b3 -> tie 0 vs 2? loads 1 vs 1 -> tie
+            np.array([1]),          # b4 singleton -> disk 1
+        ]
+        out = resolve_data_balance(alts, 3, sizes=np.ones(4), rng=0)
+        assert out[0] == 2 and out[3] == 1
+        assert out[1] in (0, 2) and out[2] in (0, 2)
+        # One of b2/b3 must land on the previously empty disk 0 first.
+        assert out[1] == 0
+
+
+class TestAreaBalance:
+    def test_requires_weights(self):
+        with pytest.raises(ValueError):
+            resolve_area_balance(ALTS, 3, rng=0)
+
+    def test_balances_volume_not_count(self):
+        # One huge bucket on disk 0; three unit buckets conflicted between
+        # disks 0 and 1 should all prefer disk 1 until it accumulates volume.
+        alts = [np.array([0]), np.array([0, 1]), np.array([0, 1]), np.array([0, 1])]
+        weights = np.array([10.0, 1.0, 1.0, 1.0])
+        out = resolve_area_balance(alts, 2, weights=weights, rng=0)
+        assert (out[1:] == 1).all()
+
+    def test_deterministic_given_seed(self):
+        w = np.ones(len(ALTS))
+        a = resolve_area_balance(ALTS, 3, weights=w, rng=5)
+        b = resolve_area_balance(ALTS, 3, weights=w, rng=5)
+        assert np.array_equal(a, b)

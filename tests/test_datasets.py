@@ -1,0 +1,225 @@
+"""Tests for the dataset generators and loader."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    build_gridfile,
+    correl_2d,
+    dsmc_3d,
+    dsmc_4d,
+    hot_2d,
+    load,
+    stock_3d,
+    uniform_2d,
+)
+
+
+class TestSynthetic2D:
+    def test_uniform_counts_and_domain(self):
+        pts = uniform_2d(rng=0)
+        assert pts.shape == (10_000, 2)
+        assert pts.min() >= 0 and pts.max() <= 2000
+
+    def test_uniform_is_uniform(self):
+        pts = uniform_2d(rng=1)
+        hist, _ = np.histogram(pts[:, 0], bins=10, range=(0, 2000))
+        assert hist.min() > 800  # each decile near 1000
+
+    def test_hot_has_central_hotspot(self):
+        pts = hot_2d(rng=0)
+        center = np.all(np.abs(pts - 1000.0) < 250.0, axis=1).sum()
+        corner = np.all(pts < 500.0, axis=1).sum()
+        assert center > 3 * corner
+
+    def test_hot_half_uniform(self):
+        pts = hot_2d(n=1000, rng=0)
+        assert pts.shape == (1000, 2)
+
+    def test_correl_diagonal(self):
+        pts = correl_2d(rng=0)
+        corr = np.corrcoef(pts[:, 0], pts[:, 1])[0, 1]
+        assert corr > 0.95
+
+    def test_correl_spread_perpendicular(self):
+        pts = correl_2d(rng=0, sigma=120.0)
+        perp = (pts[:, 1] - pts[:, 0]) / np.sqrt(2)
+        assert 60 < perp.std() < 180
+
+    def test_reproducible(self):
+        assert np.array_equal(uniform_2d(rng=5), uniform_2d(rng=5))
+
+
+class TestDSMC:
+    def test_count_and_domain(self):
+        pts = dsmc_3d(n=5000, rng=0)
+        assert pts.shape == (5000, 3)
+        assert pts.min() >= 0 and pts.max() <= 1
+
+    def test_body_region_empty(self):
+        pts = dsmc_3d(n=20000, rng=0)
+        dist = np.linalg.norm(pts - np.array([0.45, 0.5, 0.5]), axis=1)
+        assert (dist < 0.12 * 0.99).sum() == 0
+
+    def test_nonuniform_density(self):
+        """Shock layer denser than free stream."""
+        pts = dsmc_3d(n=30000, rng=0)
+        dist = np.linalg.norm(pts - np.array([0.45, 0.5, 0.5]), axis=1)
+        shell = ((dist > 0.12) & (dist < 0.20)).sum()
+        shell_vol = 4 / 3 * np.pi * (0.2**3 - 0.12**3)
+        background_density = 30000  # per unit volume if uniform
+        assert shell > 2 * background_density * shell_vol
+
+    def test_4d_snapshots(self):
+        pts = dsmc_4d(n=5900, snapshots=59, rng=0)
+        assert pts.shape == (5900, 4)
+        times = np.unique(pts[:, 0])
+        assert times.size == 59
+        counts = np.bincount(pts[:, 0].astype(int))
+        assert counts.max() - counts.min() <= 1
+
+    def test_4d_body_moves(self):
+        pts = dsmc_4d(n=40000, snapshots=4, rng=0)
+        # Mean x of the wake-heavy distribution drifts with time.
+        early = pts[pts[:, 0] == 0, 1].mean()
+        late = pts[pts[:, 0] == 3, 1].mean()
+        assert late > early
+
+
+class TestStock:
+    def test_exact_record_count(self):
+        pts = stock_3d(n=12703, n_stocks=40, rng=0)
+        assert pts.shape == (12703, 3)
+
+    def test_columns(self):
+        pts = stock_3d(n=2500, n_stocks=30, n_days=100, rng=0)
+        assert pts[:, 0].min() >= 0 and pts[:, 0].max() < 30
+        assert pts[:, 2].min() >= 0 and pts[:, 2].max() < 100
+        assert (pts[:, 1] > 0).all()
+
+    def test_contiguous_listing_windows(self):
+        pts = stock_3d(n=2000, n_stocks=10, n_days=300, rng=0)
+        for sid in range(10):
+            days = np.sort(pts[pts[:, 0] == sid, 2])
+            if days.size > 1:
+                assert (np.diff(days) == 1).all()
+
+    def test_per_stock_price_hotspots(self):
+        """Each stock's prices stay near its own level (id x price hot spots)."""
+        pts = stock_3d(n=20000, n_stocks=50, rng=0)
+        spreads = []
+        for sid in range(50):
+            p = pts[pts[:, 0] == sid, 1]
+            if p.size > 10:
+                spreads.append(p.std() / p.mean())
+        assert np.median(spreads) < 0.25
+
+    def test_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            stock_3d(n=100, n_stocks=3, n_days=10)
+
+
+class TestLoader:
+    def test_registry_names(self):
+        assert set(DATASETS) == {
+            "uniform.2d",
+            "hot.2d",
+            "correl.2d",
+            "dsmc.3d",
+            "stock.3d",
+            "dsmc.4d",
+            "mhd.3d",
+        }
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("mnist")
+
+    def test_dataset_fields(self):
+        ds = load("uniform.2d", rng=0, n=500)
+        assert ds.n_records == 500
+        assert ds.dims == 2
+        assert ds.builder == "dynamic"
+
+    def test_build_gridfile_dynamic(self):
+        ds = load("hot.2d", rng=0, n=800)
+        gf = build_gridfile(ds)
+        gf.check_invariants()
+        assert gf.n_records == 800
+
+    def test_build_gridfile_bulk(self):
+        ds = load("dsmc.3d", rng=0, n=4000)
+        gf = build_gridfile(ds, capacity=50)
+        gf.check_invariants()
+        assert gf.scales.dims == 3
+
+    def test_capacity_override(self):
+        ds = load("uniform.2d", rng=0, n=500)
+        gf = build_gridfile(ds, capacity=10)
+        assert gf.capacity == 10
+
+
+class TestPaperCalibration:
+    """The headline Figure 2 statistics (slow-ish: builds the 10k files)."""
+
+    @pytest.mark.parametrize(
+        "name,buckets_lo,buckets_hi,merged_hi",
+        [
+            ("uniform.2d", 200, 320, 60),     # paper: 252 buckets, 4 merged
+            ("hot.2d", 200, 320, None),       # paper: 241 buckets, 169 merged
+            ("correl.2d", 200, 330, None),    # paper: 242 buckets, 164 merged
+        ],
+    )
+    def test_bucket_counts_near_paper(self, name, buckets_lo, buckets_hi, merged_hi):
+        ds = load(name, rng=7)
+        gf = build_gridfile(ds)
+        s = gf.stats()
+        assert buckets_lo <= s.n_nonempty_buckets <= buckets_hi
+        if merged_hi is not None:
+            assert s.n_merged_buckets <= merged_hi
+        else:
+            # The skewed files are dominated by merged buckets, as in the paper.
+            assert s.n_merged_buckets > s.n_nonempty_buckets / 3
+
+
+class TestMHD:
+    def test_count_and_domain(self):
+        from repro.datasets import mhd_3d
+
+        pts = mhd_3d(n=8000, rng=0)
+        assert pts.shape == (8000, 3)
+        assert pts.min() >= 0 and pts.max() <= 1
+
+    def test_planet_evacuated(self):
+        from repro.datasets import mhd_3d
+        from repro.datasets.mhd import PLANET_CENTER, PLANET_RADIUS
+
+        pts = mhd_3d(n=20000, rng=0)
+        dist = np.linalg.norm(pts - PLANET_CENTER, axis=1)
+        assert (dist < PLANET_RADIUS * 0.99).sum() == 0
+
+    def test_tail_is_downstream(self):
+        from repro.datasets import mhd_3d
+        from repro.datasets.mhd import PLANET_CENTER
+
+        pts = mhd_3d(n=30000, rng=0)
+        # A cylinder along +x behind the planet is denser than the mirrored
+        # cylinder upstream.
+        lateral = np.linalg.norm(pts[:, 1:] - PLANET_CENTER[1:], axis=1)
+        near_axis = lateral < 0.08
+        down = ((pts[:, 0] > PLANET_CENTER[0] + 0.15) & near_axis).sum()
+        up = ((pts[:, 0] < PLANET_CENTER[0] - 0.15) & near_axis).sum()
+        assert down > 2 * up
+
+    def test_fraction_validation(self):
+        from repro.datasets import mhd_3d
+
+        with pytest.raises(ValueError):
+            mhd_3d(n=100, wind=0.5, sheath=0.4, tail=0.2)
+
+    def test_loader_and_gridfile(self):
+        ds = load("mhd.3d", rng=0, n=10000)
+        gf = build_gridfile(ds, capacity=60)
+        gf.check_invariants()
+        assert gf.dims == 3

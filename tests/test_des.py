@@ -1,0 +1,104 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.parallel import Resource, Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, log.append, "b")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_equal_time_fifo(self):
+        sim = Simulator()
+        log = []
+        for tag in ("x", "y", "z"):
+            sim.schedule(1.0, log.append, tag)
+        sim.run()
+        assert log == ["x", "y", "z"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(2.0, second)
+
+        def second():
+            log.append(("second", sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, 1)
+        sim.schedule(5.0, log.append, 5)
+        sim.run(until=2.0)
+        assert log == [1]
+        assert sim.pending == 1
+        assert sim.now == 2.0
+        sim.run()
+        assert log == [1, 5]
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_rejects_past_schedule(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestResource:
+    def test_idle_reserve_starts_immediately(self):
+        r = Resource("disk")
+        start, end = r.reserve(5.0, 2.0)
+        assert (start, end) == (5.0, 7.0)
+
+    def test_busy_reserve_queues(self):
+        r = Resource("disk")
+        r.reserve(0.0, 3.0)
+        start, end = r.reserve(1.0, 2.0)
+        assert (start, end) == (3.0, 5.0)
+
+    def test_gap_not_backfilled(self):
+        """FIFO semantics: a later request cannot jump into an earlier gap."""
+        r = Resource("disk")
+        r.reserve(10.0, 1.0)
+        start, _ = r.reserve(0.0, 1.0)
+        assert start == 11.0
+
+    def test_busy_time_accumulates(self):
+        r = Resource("disk")
+        r.reserve(0.0, 3.0)
+        r.reserve(0.0, 2.0)
+        assert r.busy_time == 5.0
+
+    def test_zero_duration(self):
+        r = Resource("x")
+        start, end = r.reserve(1.0, 0.0)
+        assert start == end == 1.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Resource("x").reserve(0.0, -1.0)

@@ -1,0 +1,148 @@
+"""Tests for response-time evaluation and the secondary metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiskModulo
+from repro.gridfile import RangeQuery
+from repro.sim import (
+    degree_of_data_balance,
+    evaluate_queries,
+    nearest_neighbors,
+    closest_pairs_same_disk,
+    response_times,
+    speedup_series,
+    square_queries,
+)
+from repro.sim.diskmodel import query_buckets
+
+
+class TestResponseTimes:
+    def test_max_per_disk(self):
+        assignment = np.array([0, 0, 1, 2])
+        bucket_lists = [np.array([0, 1, 2]), np.array([2, 3]), np.array([], dtype=int)]
+        out = response_times(bucket_lists, assignment, 3)
+        assert out.tolist() == [2, 1, 0]
+
+    def test_brute_force_cross_check(self, small_gridfile, rng):
+        gf = small_gridfile
+        m = 6
+        assignment = DiskModulo().assign(gf, m, rng=rng)
+        queries = square_queries(40, 0.05, [0, 0], [2000, 2000], rng=rng)
+        ev = evaluate_queries(gf, assignment, queries, m)
+        for i, q in enumerate(queries):
+            bids = gf.query_buckets(q.lo, q.hi)
+            counts = np.zeros(m, dtype=int)
+            for b in bids:
+                counts[assignment[b]] += 1
+            assert ev.response[i] == counts.max()
+            assert ev.buckets_touched[i] == len(bids)
+            assert ev.optimal[i] == -(-len(bids) // m)
+
+    def test_response_at_least_optimal(self, small_gridfile, rng):
+        assignment = DiskModulo().assign(small_gridfile, 4, rng=rng)
+        queries = square_queries(50, 0.05, [0, 0], [2000, 2000], rng=rng)
+        ev = evaluate_queries(small_gridfile, assignment, queries, 4)
+        assert (ev.response >= ev.optimal).all()
+
+    def test_single_disk_response_equals_buckets(self, small_gridfile, rng):
+        assignment = np.zeros(small_gridfile.n_buckets, dtype=np.int64)
+        queries = square_queries(20, 0.05, [0, 0], [2000, 2000], rng=rng)
+        ev = evaluate_queries(small_gridfile, assignment, queries, 1)
+        assert np.array_equal(ev.response, ev.buckets_touched)
+
+    def test_precomputed_bucket_lists(self, small_gridfile, rng):
+        queries = square_queries(10, 0.05, [0, 0], [2000, 2000], rng=rng)
+        bl = query_buckets(small_gridfile, queries)
+        assignment = DiskModulo().assign(small_gridfile, 4, rng=rng)
+        a = evaluate_queries(small_gridfile, assignment, queries, 4)
+        b = evaluate_queries(small_gridfile, assignment, queries, 4, bucket_lists=bl)
+        assert np.array_equal(a.response, b.response)
+
+    def test_mean_and_total(self):
+        from repro.sim.diskmodel import QueryEvaluation
+
+        ev = QueryEvaluation(
+            response=np.array([2, 4]),
+            buckets_touched=np.array([4, 8]),
+            optimal=np.array([1, 2]),
+            n_disks=4,
+        )
+        assert ev.mean_response == 3.0
+        assert ev.mean_optimal == 1.5
+        assert ev.total_blocks == 6
+
+
+class TestBalanceMetric:
+    def test_perfect(self):
+        assert degree_of_data_balance(np.array([0, 1, 2, 3]), 4) == 1.0
+
+    def test_skewed(self):
+        # 3 buckets on disk 0, 1 on disk 1: 3 * 2 / 4.
+        assert degree_of_data_balance(np.array([0, 0, 0, 1]), 2) == 1.5
+
+    def test_excludes_empty_buckets(self):
+        assignment = np.array([0, 0, 1])
+        sizes = np.array([5, 0, 5])
+        assert degree_of_data_balance(assignment, 2, sizes) == 1.0
+
+    def test_empty_everything(self):
+        assert degree_of_data_balance(np.array([], dtype=int), 4) == 1.0
+
+
+class TestNearestNeighbors:
+    def test_chain(self):
+        lo = np.array([[0.0, 0.0], [2.0, 0.0], [9.0, 0.0]])
+        hi = lo + 1.0
+        nn = nearest_neighbors(lo, hi, np.array([10.0, 10.0]))
+        assert nn[0] == 1 and nn[1] == 0 and nn[2] == 1
+
+    def test_no_self_loops(self, rng):
+        lo = rng.uniform(0, 9, size=(30, 2))
+        hi = lo + 0.5
+        nn = nearest_neighbors(lo, hi, np.array([10.0, 10.0]))
+        assert (nn != np.arange(30)).all()
+
+
+class TestClosestPairs:
+    def test_counts_unordered_pairs_once(self, small_gridfile):
+        # All buckets on one disk: every closest pair collides.
+        a = np.zeros(small_gridfile.n_buckets, dtype=np.int64)
+        pairs = closest_pairs_same_disk(small_gridfile, a)
+        ne = small_gridfile.nonempty_bucket_ids().size
+        # At most one pair per bucket, at least ne/2 (mutual pairs counted once).
+        assert ne // 2 <= pairs <= ne
+
+    def test_zero_when_alternating(self):
+        """Two far-apart clusters assigned to different disks: no collisions
+        among cross-cluster closest pairs."""
+        from repro.gridfile import bulk_load
+
+        pts = np.concatenate(
+            [
+                np.random.default_rng(0).uniform(0, 1, (50, 2)),
+                np.random.default_rng(1).uniform(9, 10, (50, 2)),
+            ]
+        )
+        gf = bulk_load(pts, [0, 0], [10, 10], capacity=5)
+        # Give every bucket its own disk: nothing can collide.
+        a = np.arange(gf.n_buckets, dtype=np.int64)
+        assert closest_pairs_same_disk(gf, a, None) == 0
+
+    def test_precomputed_neighbors_agree(self, small_gridfile, rng):
+        gf = small_gridfile
+        lo, hi = gf.bucket_regions()
+        ne = gf.nonempty_bucket_ids()
+        nn = nearest_neighbors(lo[ne], hi[ne], gf.scales.lengths)
+        a = DiskModulo().assign(gf, 4, rng=rng)
+        assert closest_pairs_same_disk(gf, a, nn) == closest_pairs_same_disk(gf, a)
+
+
+class TestSpeedup:
+    def test_values(self):
+        out = speedup_series([8.0, 4.0, 2.0])
+        assert out.tolist() == [1.0, 2.0, 4.0]
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            speedup_series([0.0, 1.0])

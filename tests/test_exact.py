@@ -1,0 +1,118 @@
+"""Tests for exact optimal declustering, and heuristics' absolute gaps."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Minimax, make_method
+from repro.core.exact import exact_optimal_assignment
+from repro.gridfile import bulk_load
+from repro.sim import square_queries
+from repro.sim.diskmodel import query_buckets, response_times
+
+
+def total_response(bucket_lists, assignment, m):
+    return int(response_times(bucket_lists, assignment, m).sum())
+
+
+def brute_force_optimal(bucket_lists, n_buckets, m, balanced=True):
+    cap = -(-n_buckets // m)
+    best = np.inf
+    for combo in itertools.product(range(m), repeat=n_buckets):
+        a = np.asarray(combo)
+        if balanced and np.bincount(a, minlength=m).max() > cap:
+            continue
+        best = min(best, total_response(bucket_lists, a, m))
+    return int(best)
+
+
+class TestExactSearch:
+    def test_matches_enumeration(self, rng):
+        """Branch and bound equals full enumeration on random tiny cases."""
+        for _ in range(10):
+            n, m = int(rng.integers(3, 8)), int(rng.integers(2, 4))
+            bls = [
+                rng.choice(n, size=rng.integers(1, n + 1), replace=False)
+                for _ in range(int(rng.integers(1, 6)))
+            ]
+            a, v = exact_optimal_assignment(bls, n, m)
+            assert v == total_response(bls, a, m)
+            assert v == brute_force_optimal(bls, n, m)
+
+    def test_balance_respected(self, rng):
+        n, m = 9, 3
+        bls = [rng.choice(n, size=4, replace=False) for _ in range(5)]
+        a, _ = exact_optimal_assignment(bls, n, m)
+        assert np.bincount(a, minlength=m).max() <= 3
+
+    def test_disjoint_queries_hit_floor(self):
+        """Queries over disjoint bucket pairs, 2 disks: optimal = 1 each."""
+        bls = [np.array([0, 1]), np.array([2, 3]), np.array([4, 5])]
+        a, v = exact_optimal_assignment(bls, 6, 2)
+        assert v == 3
+
+    def test_forced_conflict(self):
+        """Three buckets in one query, 2 disks: response must be 2."""
+        bls = [np.array([0, 1, 2])]
+        _, v = exact_optimal_assignment(bls, 3, 2)
+        assert v == 2
+
+    def test_inactive_buckets_placed(self):
+        bls = [np.array([0])]
+        a, _ = exact_optimal_assignment(bls, 5, 2)
+        assert a.shape == (5,)
+        assert a.min() >= 0 and a.max() < 2
+
+    def test_node_limit(self, rng):
+        bls = [rng.choice(14, size=7, replace=False) for _ in range(12)]
+        with pytest.raises(RuntimeError):
+            exact_optimal_assignment(bls, 14, 4, node_limit=50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_optimal_assignment([np.array([9])], 3, 2)
+
+
+class TestHeuristicGaps:
+    def test_minimax_near_optimal_on_tiny_gridfiles(self, rng):
+        """On exactly solvable instances, minimax lands within 30% of the
+        true optimum (and often on it)."""
+        pts = rng.uniform(0, 1, size=(120, 2))
+        gf = bulk_load(pts, [0, 0], [1, 1], capacity=12, resolution=(4, 4))
+        assert gf.n_buckets <= 16
+        queries = square_queries(25, 0.05, [0, 0], [1, 1], rng=rng)
+        bls = query_buckets(gf, queries)
+        _, opt = exact_optimal_assignment(bls, gf.n_buckets, 3)
+        mini = total_response(bls, Minimax().assign(gf, 3, rng=0), 3)
+        assert opt <= mini <= int(np.ceil(opt * 1.3))
+
+    def test_kl_never_below_exact(self, rng):
+        pts = rng.uniform(0, 1, size=(100, 2))
+        gf = bulk_load(pts, [0, 0], [1, 1], capacity=10, resolution=(4, 4))
+        queries = square_queries(20, 0.05, [0, 0], [1, 1], rng=rng)
+        bls = query_buckets(gf, queries)
+        _, opt = exact_optimal_assignment(bls, gf.n_buckets, 3)
+        kl = total_response(bls, make_method("kl").assign(gf, 3, rng=0), 3)
+        assert kl >= opt  # sanity: the exact value really is a floor
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_exact_is_floor_property(seed):
+    """Property: no heuristic beats the exact optimum on random instances."""
+    rng = np.random.default_rng(seed)
+    n, m = int(rng.integers(4, 10)), int(rng.integers(2, 4))
+    bls = [
+        rng.choice(n, size=rng.integers(1, min(n, 4) + 1), replace=False)
+        for _ in range(int(rng.integers(1, 7)))
+    ]
+    _, opt = exact_optimal_assignment(bls, n, m)
+    for _ in range(5):
+        a = rng.integers(0, m, size=n)
+        cap = -(-n // m)
+        if np.bincount(a, minlength=m).max() > cap:
+            continue
+        assert total_response(bls, a, m) >= opt

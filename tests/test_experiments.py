@@ -1,0 +1,116 @@
+"""Tests for the experiment drivers (quick profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig2_gridfiles,
+    fig3_conflict,
+    fig7_querysize,
+    render_sweep,
+    table23_closest_pairs,
+    table4_animation,
+    table5_random,
+)
+from repro.experiments.report import render_cluster_rows
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return fig3_conflict(rng=11, quick=True)
+
+
+class TestFig2:
+    def test_structures(self):
+        out = fig2_gridfiles(rng=11)
+        assert set(out) == {"uniform.2d", "hot.2d", "correl.2d"}
+        for stats in out.values():
+            assert stats.n_records == 10_000
+        # The skew ordering of merged fractions matches the paper.
+        assert out["uniform.2d"].n_merged_buckets < out["hot.2d"].n_merged_buckets
+
+
+class TestFig3:
+    def test_structure(self, fig3_result):
+        assert set(fig3_result) == {"HCAM", "FX"}
+        for sweep in fig3_result.values():
+            assert len(sweep.curves) == 4
+
+    def test_data_balance_competitive(self, fig3_result):
+        """Data balance is the winning heuristic (mean over the sweep)."""
+        for base, sweep in fig3_result.items():
+            mean_by_heuristic = {
+                name: np.mean(c.response) for name, c in sweep.curves.items()
+            }
+            best = min(mean_by_heuristic.values())
+            d = mean_by_heuristic[f"{base}/D"]
+            assert d <= best * 1.05
+
+    def test_hcam_insensitive_fx_sensitive(self, fig3_result):
+        """The spread across heuristics is wider for FX than for HCAM."""
+        def spread(sweep):
+            curves = np.array([c.response for c in sweep.curves.values()])
+            return float((curves.max(axis=0) - curves.min(axis=0)).mean())
+
+        assert spread(fig3_result["FX"]) > spread(fig3_result["HCAM"])
+
+
+class TestFig7:
+    def test_structure(self):
+        res = fig7_querysize(rng=11, quick=True, ratios=(0.01, 0.1))
+        assert len(res.response) == 4  # 2 methods x 2 ratios
+        for (m, r), curve in res.response.items():
+            assert len(curve) == len(res.disks)
+        for spd in res.speedup.values():
+            assert spd[0] == pytest.approx(1.0)
+
+
+class TestTables23:
+    def test_minimax_near_zero_pairs(self):
+        sweep = table23_closest_pairs("dsmc.3d", rng=11, quick=True)
+        pairs = sweep.closest_pair_series()
+        # minimax rarely collides; DM/FX collide a lot (paper Tables 2-3).
+        assert max(pairs["MiniMax"][1:]) <= 5
+        assert min(pairs["DM/D"]) > 10
+        assert min(pairs["FX/D"]) > 10
+
+
+class TestClusterTables:
+    def test_table4_shape(self):
+        rows = table4_animation(processors=(2, 4), n_records=20_000, rng=11)
+        assert [r.processors for r in rows] == [2, 4]
+        # More processors: same-or-fewer blocks on the critical path,
+        # less elapsed time.
+        assert rows[1].blocks_fetched <= rows[0].blocks_fetched
+        assert rows[1].elapsed_time < rows[0].elapsed_time
+        assert rows[0].cache_hit_rate > 0.2  # temporal reuse
+
+    def test_table5_shape(self):
+        rows = table5_random(
+            processors=(2, 4), ratios=(0.01, 0.1), n_queries=20, n_records=20_000, rng=11
+        )
+        assert len(rows) == 4
+        by = {(r.processors, r.ratio): r for r in rows}
+        # Communication grows with r at fixed processors (paper's note).
+        assert by[(4, 0.1)].comm_time > by[(4, 0.01)].comm_time
+        # Elapsed drops with processors at fixed r.
+        assert by[(4, 0.1)].elapsed_time < by[(2, 0.1)].elapsed_time
+
+
+class TestRendering:
+    def test_render_sweep_metrics(self, fig3_result):
+        sweep = fig3_result["HCAM"]
+        for metric in ("response", "balance"):
+            text = render_sweep(sweep, "T", metric=metric)
+            assert "disks" in text
+
+    def test_render_unknown_metric(self, fig3_result):
+        with pytest.raises(ValueError):
+            render_sweep(fig3_result["HCAM"], "T", metric="latency")
+
+    def test_render_cluster_rows(self):
+        rows = table5_random(
+            processors=(2,), ratios=(0.05,), n_queries=5, n_records=10_000, rng=11
+        )
+        text = render_cluster_rows(rows, "Table 5")
+        assert "blocks fetched" in text

@@ -1,0 +1,97 @@
+"""Tests for generalized disk modulo and the random baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DiskModulo,
+    GeneralizedDiskModulo,
+    RandomBalanced,
+    RandomDecluster,
+    make_method,
+)
+from repro.core.diskmodulo import fibonacci_coefficients
+
+
+class TestCoefficients:
+    def test_fibonacci(self):
+        assert fibonacci_coefficients(5) == (1, 2, 3, 5, 8)
+
+    def test_ones_recover_dm(self):
+        cells = np.random.default_rng(0).integers(0, 30, size=(200, 3))
+        gdm = GeneralizedDiskModulo(coefficients=(1, 1, 1))
+        dm = DiskModulo()
+        assert np.array_equal(
+            gdm.cell_disks(cells, 7, (30, 30, 30)), dm.cell_disks(cells, 7, (30, 30, 30))
+        )
+
+    def test_formula(self):
+        gdm = GeneralizedDiskModulo(coefficients=(2, 3))
+        out = gdm.cell_disks(np.array([[1, 1], [4, 0]]), 5, (8, 8))
+        assert out.tolist() == [0, 3]
+
+    def test_rejects_bad_coefficients(self):
+        with pytest.raises(ValueError):
+            GeneralizedDiskModulo(coefficients=(0, 1))
+        with pytest.raises(ValueError):
+            GeneralizedDiskModulo(coefficients=())
+
+    def test_rejects_dimension_mismatch(self):
+        gdm = GeneralizedDiskModulo(coefficients=(1, 2))
+        with pytest.raises(ValueError):
+            gdm.cell_disks(np.zeros((1, 3), dtype=int), 4, (2, 2, 2))
+
+    def test_default_coefficients_sized_to_grid(self, small_gridfile):
+        a = GeneralizedDiskModulo().assign(small_gridfile, 8, rng=0)
+        assert a.shape == (small_gridfile.n_buckets,)
+
+    def test_gdm_breaks_dm_diagonal_collapse(self):
+        """On anti-diagonal cells i+j = const, DM puts everything on one
+        disk; Fibonacci GDM spreads them."""
+        n = 24
+        cells = np.array([[i, n - i] for i in range(n)])
+        dm = DiskModulo().cell_disks(cells, 8, (32, 32))
+        gdm = GeneralizedDiskModulo().cell_disks(cells, 8, (32, 32))
+        assert len(np.unique(dm)) == 1
+        assert len(np.unique(gdm)) > 4
+
+
+class TestRandomBaselines:
+    def test_random_valid_and_seeded(self, small_gridfile):
+        a1 = RandomDecluster().assign(small_gridfile, 8, rng=3)
+        a2 = RandomDecluster().assign(small_gridfile, 8, rng=3)
+        assert np.array_equal(a1, a2)
+        assert a1.min() >= 0 and a1.max() < 8
+
+    def test_randomrr_perfectly_balanced(self, small_gridfile):
+        a = RandomBalanced().assign(small_gridfile, 8, rng=0)
+        ne = small_gridfile.nonempty_bucket_ids()
+        counts = np.bincount(a[ne], minlength=8)
+        assert counts.max() - counts.min() <= 1
+
+    def test_registry_specs(self):
+        assert isinstance(make_method("gdm/D"), GeneralizedDiskModulo)
+        assert isinstance(make_method("random"), RandomDecluster)
+        assert isinstance(make_method("randomrr"), RandomBalanced)
+        from repro.core import KLRefine
+
+        assert isinstance(make_method("kl:minimax"), KLRefine)
+
+    def test_random_takes_no_conflict_letter(self):
+        with pytest.raises(ValueError):
+            make_method("random/D")
+
+    def test_structured_methods_beat_random(self, small_gridfile, rng):
+        """Sanity: minimax beats uniform random on real workloads."""
+        from repro.core import Minimax
+        from repro.sim import evaluate_queries, square_queries
+
+        queries = square_queries(300, 0.02, [0, 0], [2000, 2000], rng=rng)
+        r = evaluate_queries(
+            small_gridfile, RandomDecluster().assign(small_gridfile, 16, rng=1),
+            queries, 16,
+        )
+        m = evaluate_queries(
+            small_gridfile, Minimax().assign(small_gridfile, 16, rng=1), queries, 16
+        )
+        assert m.mean_response < r.mean_response

@@ -1,0 +1,120 @@
+"""Integration tests: the paper's headline qualitative results.
+
+These run reduced versions of the paper's sweeps end to end and assert the
+*shapes* the paper reports.  They are the executable summary of
+EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import saturation_point
+from repro.datasets import build_gridfile, load
+from repro.sim import square_queries, sweep_methods
+
+DISKS = [4, 8, 12, 16, 20, 24, 28, 32]
+
+
+@pytest.fixture(scope="module")
+def uniform_sweep():
+    ds = load("uniform.2d", rng=42)
+    gf = build_gridfile(ds)
+    queries = square_queries(400, 0.05, ds.domain_lo, ds.domain_hi, rng=42)
+    return sweep_methods(gf, ["dm/D", "fx/D", "hcam/D", "minimax"], DISKS, queries, rng=42)
+
+
+@pytest.fixture(scope="module")
+def hot_sweep():
+    ds = load("hot.2d", rng=42)
+    gf = build_gridfile(ds)
+    queries = square_queries(400, 0.01, ds.domain_lo, ds.domain_hi, rng=42)
+    return sweep_methods(
+        gf, ["dm/D", "fx/D", "hcam/D", "ssp", "minimax"], DISKS, queries, rng=42,
+        compute_pairs=True,
+    )
+
+
+class TestDMFXSaturate:
+    def test_dm_saturates(self, uniform_sweep):
+        """DM's curve flattens well before the sweep ends (paper Fig. 4)."""
+        sat = saturation_point(DISKS, uniform_sweep.curves["DM/D"].response, 0.05)
+        assert sat <= 16
+
+    def test_fx_saturates(self, uniform_sweep):
+        sat = saturation_point(DISKS, uniform_sweep.curves["FX/D"].response, 0.05)
+        assert sat <= 20
+
+    def test_hcam_keeps_scaling(self, uniform_sweep):
+        """HCAM's response at 32 disks clearly beats its response at 8."""
+        c = uniform_sweep.curves["HCAM/D"].response
+        assert c[-1] < 0.75 * c[1]
+
+    def test_dm_gap_to_optimal_grows(self, uniform_sweep):
+        dm = np.array(uniform_sweep.curves["DM/D"].response)
+        opt = np.array(uniform_sweep.optimal)
+        ratio = dm / opt
+        assert ratio[-1] > 1.5 * ratio[0]
+
+
+class TestHCAMvsDMFX:
+    def test_hcam_wins_at_many_disks(self, uniform_sweep, hot_sweep):
+        for sweep in (uniform_sweep, hot_sweep):
+            h = sweep.curves["HCAM/D"].response[-1]
+            assert h < sweep.curves["DM/D"].response[-1]
+            assert h < sweep.curves["FX/D"].response[-1]
+
+    def test_dm_competitive_at_few_disks(self, uniform_sweep):
+        """At 4 disks DM is within a whisker of the best (paper: DM best)."""
+        first = {name: c.response[0] for name, c in uniform_sweep.curves.items()}
+        assert first["DM/D"] <= min(first.values()) * 1.10
+
+
+class TestMinimaxDominates:
+    def test_minimax_best_at_scale(self, hot_sweep):
+        """minimax achieves the lowest response beyond small disk counts."""
+        for i, m in enumerate(DISKS):
+            if m <= 8:
+                continue
+            mini = hot_sweep.curves["MiniMax"].response[i]
+            for name, c in hot_sweep.curves.items():
+                if name != "MiniMax":
+                    assert mini <= c.response[i] * 1.10, (m, name)
+
+    def test_minimax_mean_best_overall(self, hot_sweep):
+        means = {name: np.mean(c.response) for name, c in hot_sweep.curves.items()}
+        assert means["MiniMax"] == min(means.values())
+
+    def test_minimax_perfect_balance(self, hot_sweep):
+        """Balance stays at the unavoidable ceiling: B_max <= ⌈N/M⌉ implies
+        degree <= 1 + M/N (with N >= ~250 nonempty buckets here)."""
+        for i, m in enumerate(DISKS):
+            assert hot_sweep.curves["MiniMax"].balance[i] <= 1.0 + m / 200.0
+
+    def test_pairs_ordering(self, hot_sweep):
+        """Closest-pair collisions: minimax ~ 0, DM and FX high (Tables 2-3)."""
+        pairs = hot_sweep.closest_pair_series()
+        assert np.mean(pairs["MiniMax"]) < np.mean(pairs["SSP"]) + 2
+        assert np.mean(pairs["MiniMax"]) < 0.3 * np.mean(pairs["DM/D"])
+        assert np.mean(pairs["MiniMax"]) < 0.3 * np.mean(pairs["FX/D"])
+
+    def test_ssp_second_tier(self, hot_sweep):
+        """SSP beats the index-based schemes on average at r = 0.01."""
+        means = {name: np.mean(c.response[2:]) for name, c in hot_sweep.curves.items()}
+        assert means["SSP"] < means["DM/D"]
+        assert means["SSP"] < means["FX/D"]
+
+
+class TestQuerySizeEffect:
+    def test_minimax_margin_grows_as_r_shrinks(self):
+        """Fig. 7: minimax's relative advantage over HCAM grows for small r."""
+        ds = load("stock.3d", rng=42, n=30_000, n_stocks=120)
+        gf = build_gridfile(ds, capacity=80)
+        margins = {}
+        for r in (0.01, 0.1):
+            queries = square_queries(250, r, ds.domain_lo, ds.domain_hi, rng=42)
+            sweep = sweep_methods(gf, ["hcam/D", "minimax"], [8, 16, 32], queries, rng=42)
+            h = np.mean(sweep.curves["HCAM/D"].response)
+            m = np.mean(sweep.curves["MiniMax"].response)
+            margins[r] = h / m
+        assert margins[0.01] > margins[0.1] * 0.95
+        assert margins[0.01] > 1.0

@@ -1,0 +1,101 @@
+"""Tests for Kernighan–Lin max-cut refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core import KLRefine, ShortSpanningPath
+from repro.core.kl import kl_refine
+from repro.core.proximity import proximity_matrix
+from repro.sim import evaluate_queries, square_queries
+
+
+def intra_weight(w, assignment):
+    """Total intra-partition weight (the quantity KL minimizes)."""
+    total = 0.0
+    for p in np.unique(assignment):
+        idx = np.nonzero(assignment == p)[0]
+        block = w[np.ix_(idx, idx)]
+        total += (block.sum() - np.trace(block)) / 2.0
+    return total
+
+
+@pytest.fixture
+def weight_matrix(rng):
+    lo = rng.uniform(0, 9, size=(40, 2))
+    hi = lo + rng.uniform(0.1, 1.0, size=(40, 2))
+    return proximity_matrix(lo, np.minimum(hi, 10.0), np.array([10.0, 10.0]))
+
+
+class TestKlRefine:
+    def test_never_increases_intra_weight(self, weight_matrix, rng):
+        initial = rng.integers(0, 4, size=40)
+        refined, swaps = kl_refine(weight_matrix, initial, 4)
+        assert intra_weight(weight_matrix, refined) <= intra_weight(
+            weight_matrix, initial
+        ) + 1e-9
+
+    def test_preserves_partition_sizes(self, weight_matrix, rng):
+        initial = rng.integers(0, 5, size=40)
+        refined, _ = kl_refine(weight_matrix, initial, 5)
+        assert np.array_equal(
+            np.bincount(initial, minlength=5), np.bincount(refined, minlength=5)
+        )
+
+    def test_converged_input_is_fixed_point(self, weight_matrix, rng):
+        initial = rng.integers(0, 4, size=40)
+        once, _ = kl_refine(weight_matrix, initial, 4, passes=8)
+        again, swaps = kl_refine(weight_matrix, once, 4, passes=8)
+        assert swaps == 0
+        assert np.array_equal(once, again)
+
+    def test_two_cluster_toy_case(self):
+        """Two tight clusters, two disks: KL splits each cluster across the
+        disks (minimizing co-located proximity)."""
+        # Vertices 0-3 mutually close, 4-7 mutually close, clusters far apart.
+        w = np.full((8, 8), 0.01)
+        w[:4, :4] = 0.9
+        w[4:, 4:] = 0.9
+        np.fill_diagonal(w, 0.0)
+        # Worst start: cluster = disk.
+        initial = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        refined, swaps = kl_refine(w, initial, 2)
+        assert swaps > 0
+        # Each disk now holds two members of each cluster.
+        for disk in (0, 1):
+            members = np.nonzero(refined == disk)[0]
+            assert (members < 4).sum() == 2
+
+    def test_rejects_bad_shapes(self, weight_matrix):
+        with pytest.raises(ValueError):
+            kl_refine(weight_matrix, np.zeros(3, dtype=int), 2)
+        with pytest.raises(ValueError):
+            kl_refine(np.zeros((3, 4)), np.zeros(3, dtype=int), 2)
+
+    def test_single_partition_noop(self, weight_matrix):
+        initial = np.zeros(40, dtype=np.int64)
+        refined, swaps = kl_refine(weight_matrix, initial, 1)
+        assert swaps == 0
+
+
+class TestKLRefineMethod:
+    def test_improves_or_matches_base(self, small_gridfile, rng):
+        queries = square_queries(200, 0.02, [0, 0], [2000, 2000], rng=rng)
+        base = ShortSpanningPath().assign(small_gridfile, 8, rng=3)
+        kl = KLRefine(base="ssp").assign(small_gridfile, 8, rng=3)
+        ev_base = evaluate_queries(small_gridfile, base, queries, 8)
+        ev_kl = evaluate_queries(small_gridfile, kl, queries, 8)
+        assert ev_kl.mean_response <= ev_base.mean_response * 1.05
+
+    def test_preserves_balance(self, small_gridfile):
+        a = KLRefine().assign(small_gridfile, 8, rng=0)
+        ne = small_gridfile.nonempty_bucket_ids()
+        counts = np.bincount(a[ne], minlength=8)
+        assert counts.max() - counts.min() <= 1  # SSP's dealing preserved
+
+    def test_name_reflects_base(self):
+        assert KLRefine().name == "KL(SSP)"
+        assert KLRefine(base="minimax").name == "KL(MiniMax)"
+
+    def test_rejects_bad_passes(self):
+        with pytest.raises(ValueError):
+            KLRefine(passes=0)

@@ -1,0 +1,105 @@
+"""Tests for workload-tuned local-search declustering."""
+
+import numpy as np
+import pytest
+
+from repro.core import Minimax, WorkloadTuned
+from repro.core.localsearch import tune_assignment
+from repro.sim import evaluate_queries, square_queries
+from repro.sim.diskmodel import query_buckets
+
+
+def total_response(bucket_lists, assignment, m):
+    total = 0
+    for bl in bucket_lists:
+        if len(bl):
+            total += int(np.bincount(assignment[bl], minlength=m).max())
+    return total
+
+
+class TestTuneAssignment:
+    def test_never_worse(self, small_gridfile, rng):
+        m = 8
+        queries = square_queries(100, 0.05, [0, 0], [2000, 2000], rng=rng)
+        bl = query_buckets(small_gridfile, queries)
+        base = Minimax().assign(small_gridfile, m, rng=0)
+        tuned, moves = tune_assignment(bl, base, m, sizes=small_gridfile.bucket_sizes())
+        assert total_response(bl, tuned, m) <= total_response(bl, base, m)
+
+    def test_toy_case_reaches_optimum(self):
+        """Four buckets, two disks, two queries each touching a distinct
+        pair: local search finds the zero-collision assignment.  (Slack 1 is
+        needed: single-bucket moves pass through a momentary 3/1 imbalance
+        on the way to the balanced optimum.)"""
+        bucket_lists = [np.array([0, 1]), np.array([2, 3])]
+        bad = np.array([0, 0, 1, 1])  # both queries hit one disk twice
+        tuned, moves = tune_assignment(bucket_lists, bad, 2, balance_slack=1)
+        assert moves > 0
+        assert total_response(bucket_lists, tuned, 2) == 2  # 1 per query
+        assert np.bincount(tuned).tolist() == [2, 2]  # ends balanced anyway
+
+    def test_zero_slack_blocks_imbalancing_moves(self):
+        """With slack 0 the same toy instance is stuck: every improving
+        single move would violate the hard balance cap."""
+        bucket_lists = [np.array([0, 1]), np.array([2, 3])]
+        tuned, moves = tune_assignment(
+            bucket_lists, np.array([0, 0, 1, 1]), 2, balance_slack=0
+        )
+        assert moves == 0
+
+    def test_balance_constraint(self, small_gridfile, rng):
+        m = 8
+        queries = square_queries(80, 0.05, [0, 0], [2000, 2000], rng=rng)
+        bl = query_buckets(small_gridfile, queries)
+        base = Minimax().assign(small_gridfile, m, rng=0)
+        sizes = small_gridfile.bucket_sizes()
+        tuned, _ = tune_assignment(bl, base, m, sizes=sizes, balance_slack=1)
+        ne = small_gridfile.nonempty_bucket_ids()
+        counts = np.bincount(tuned[ne], minlength=m)
+        assert counts.max() <= -(-ne.size // m) + 1
+
+    def test_untouched_buckets_keep_disk(self):
+        bucket_lists = [np.array([0])]
+        base = np.array([1, 0, 2])
+        tuned, _ = tune_assignment(bucket_lists, base, 3)
+        # Buckets 1 and 2 appear in no query: never moved.
+        assert tuned[1] == 0 and tuned[2] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tune_assignment([], np.array([0]), 2, balance_slack=-1)
+        with pytest.raises(ValueError):
+            tune_assignment([], np.array([0]), 2, max_passes=0)
+
+
+class TestWorkloadTuned:
+    def test_beats_base_on_training(self, small_gridfile, rng):
+        m = 8
+        train = square_queries(150, 0.05, [0, 0], [2000, 2000], rng=1)
+        method = WorkloadTuned(train)
+        a_base = Minimax().assign(small_gridfile, m, rng=0)
+        a_tuned = method.assign(small_gridfile, m, rng=0)
+        ev_base = evaluate_queries(small_gridfile, a_base, train, m)
+        ev_tuned = evaluate_queries(small_gridfile, a_tuned, train, m)
+        assert ev_tuned.mean_response <= ev_base.mean_response
+
+    def test_generalizes_to_held_out(self, small_gridfile):
+        """Tuning on one sample should not hurt (much) on a fresh sample of
+        the same distribution."""
+        m = 8
+        train = square_queries(300, 0.05, [0, 0], [2000, 2000], rng=1)
+        test = square_queries(300, 0.05, [0, 0], [2000, 2000], rng=2)
+        a_base = Minimax().assign(small_gridfile, m, rng=0)
+        a_tuned = WorkloadTuned(train).assign(small_gridfile, m, rng=0)
+        ev_base = evaluate_queries(small_gridfile, a_base, test, m)
+        ev_tuned = evaluate_queries(small_gridfile, a_tuned, test, m)
+        assert ev_tuned.mean_response <= ev_base.mean_response * 1.05
+
+    def test_name(self):
+        q = square_queries(5, 0.05, [0, 0], [1, 1], rng=0)
+        assert WorkloadTuned(q).name == "Tuned(MiniMax)"
+        assert WorkloadTuned(q, base="ssp").name == "Tuned(SSP)"
+
+    def test_rejects_empty_workload(self):
+        with pytest.raises(ValueError):
+            WorkloadTuned([])

@@ -1,0 +1,66 @@
+"""Tests for MBR geometry."""
+
+import numpy as np
+import pytest
+
+from repro.rtree import MBR
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = MBR([0, 1], [2, 3])
+        assert m.dims == 2
+        assert m.area() == 4.0
+        assert m.center.tolist() == [1.0, 2.0]
+
+    def test_point_box(self):
+        m = MBR.of_point([1.0, 2.0])
+        assert m.area() == 0.0
+        assert m.contains_point([1.0, 2.0])
+
+    def test_of_points(self):
+        m = MBR.of_points(np.array([[0, 5], [2, 1], [1, 3]]))
+        assert m.lo.tolist() == [0, 1]
+        assert m.hi.tolist() == [2, 5]
+
+    def test_of_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MBR.of_points(np.empty((0, 2)))
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            MBR([1.0], [0.0])
+
+    def test_copy_independent(self):
+        m = MBR([0, 0], [1, 1])
+        c = m.copy()
+        c.lo[0] = -5
+        assert m.lo[0] == 0
+
+
+class TestGeometry:
+    def test_union(self):
+        u = MBR([0, 0], [1, 1]).union(MBR([2, -1], [3, 0.5]))
+        assert u.lo.tolist() == [0, -1]
+        assert u.hi.tolist() == [3, 1]
+
+    def test_enlargement(self):
+        a = MBR([0, 0], [2, 2])
+        assert a.enlargement(MBR([1, 1], [2, 2])) == 0.0
+        assert a.enlargement(MBR([0, 0], [4, 2])) == 4.0
+
+    def test_intersects_touching(self):
+        a = MBR([0, 0], [1, 1])
+        assert a.intersects(np.array([1, 0]), np.array([2, 1]))
+        assert not a.intersects(np.array([1.1, 0]), np.array([2, 1]))
+
+    def test_contains_box(self):
+        outer = MBR([0, 0], [4, 4])
+        assert outer.contains_box(MBR([1, 1], [2, 2]))
+        assert outer.contains_box(outer)
+        assert not outer.contains_box(MBR([1, 1], [5, 2]))
+
+    def test_equality_hash(self):
+        assert MBR([0], [1]) == MBR([0], [1])
+        assert hash(MBR([0], [1])) == hash(MBR([0], [1]))
+        assert MBR([0], [1]) != MBR([0], [2])

@@ -1,0 +1,94 @@
+"""Tests for the optimal reference and the method registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HCAM,
+    DiskModulo,
+    FieldwiseXor,
+    Minimax,
+    MSTDecluster,
+    ShortSpanningPath,
+    available_methods,
+    make_method,
+    optimal_response_time,
+    optimal_response_times,
+)
+
+
+class TestOptimal:
+    def test_ceil_division(self):
+        out = optimal_response_times([10, 11, 0, 1], 5)
+        assert out.tolist() == [2, 3, 0, 1]
+
+    def test_accepts_bucket_arrays(self):
+        out = optimal_response_times([np.arange(7), np.arange(3)], 2)
+        assert out.tolist() == [4, 2]
+
+    def test_mean(self):
+        assert optimal_response_time([10, 20], 10) == 1.5
+
+    def test_empty_workload(self):
+        assert optimal_response_time([], 4) == 0.0
+
+    def test_rejects_bad_disks(self):
+        with pytest.raises(ValueError):
+            optimal_response_time([1], 0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "spec,cls",
+        [
+            ("dm", DiskModulo),
+            ("fx", FieldwiseXor),
+            ("hcam", HCAM),
+            ("ssp", ShortSpanningPath),
+            ("mst", MSTDecluster),
+            ("minimax", Minimax),
+        ],
+    )
+    def test_basic_specs(self, spec, cls):
+        assert isinstance(make_method(spec), cls)
+
+    @pytest.mark.parametrize(
+        "spec,name",
+        [
+            ("dm/R", "DM/R"),
+            ("dm/F", "DM/F"),
+            ("fx/D", "FX/D"),
+            ("hcam/A", "HCAM/A"),
+            ("DM/d", "DM/D"),
+        ],
+    )
+    def test_conflict_suffixes(self, spec, name):
+        assert make_method(spec).name == name
+
+    def test_hcam_curve_option(self):
+        m = make_method("hcam:zorder/D")
+        assert "ZOrder" in m.name
+
+    def test_minimax_weight_option(self):
+        m = make_method("minimax:euclidean")
+        assert m.weight == "euclidean"
+
+    def test_rejects_conflict_on_proximity_methods(self):
+        with pytest.raises(ValueError):
+            make_method("minimax/D")
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_method("lvm")
+
+    def test_rejects_unknown_conflict_letter(self):
+        with pytest.raises(ValueError):
+            make_method("dm/Z")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_method("  ")
+
+    def test_available_methods_all_constructible(self):
+        for spec in available_methods():
+            make_method(spec)

@@ -1,0 +1,99 @@
+"""Tests for the paged-directory I/O accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gridfile import PagedGridFile
+
+
+@pytest.fixture
+def paged(small_gridfile):
+    return PagedGridFile(small_gridfile, page_bytes=256, entry_bytes=4)
+
+
+class TestStructure:
+    def test_page_count(self, small_gridfile):
+        p = PagedGridFile(small_gridfile, page_bytes=256, entry_bytes=4)
+        cells = small_gridfile.directory.n_cells
+        assert p.n_directory_pages == -(-cells // 64)
+
+    def test_single_page_directory(self, small_gridfile):
+        p = PagedGridFile(small_gridfile, page_bytes=1 << 20)
+        assert p.n_directory_pages == 1
+
+
+class TestPointLookup:
+    def test_two_disk_access_principle(self, paged, small_gridfile):
+        """Every point lookup costs exactly 1 directory page + 1 bucket."""
+        for rid in (0, 5, 99):
+            paged.reset_stats()
+            got = paged.point_lookup(small_gridfile.coords()[rid])
+            assert rid in got
+            assert paged.stats.directory_accesses == 1
+            assert paged.stats.bucket_reads == 1
+
+    def test_missing_point(self, paged):
+        paged.reset_stats()
+        got = paged.point_lookup([0.123456, 0.654321])
+        assert got.size == 0
+        assert paged.stats.directory_accesses == 1
+
+
+class TestRangeQuery:
+    def test_results_match_unpaged(self, paged, small_gridfile, rng):
+        for _ in range(10):
+            lo = rng.uniform(0, 1200, 2)
+            hi = lo + rng.uniform(0, 700, 2)
+            assert np.array_equal(
+                paged.range_query(lo, hi), small_gridfile.query_records(lo, hi)
+            )
+
+    def test_bucket_reads_counted(self, paged, small_gridfile):
+        paged.reset_stats()
+        lo, hi = np.array([0.0, 0.0]), np.array([2000.0, 2000.0])
+        paged.range_query(lo, hi)
+        assert paged.stats.bucket_reads == small_gridfile.query_buckets(lo, hi).size
+        assert paged.stats.directory_page_reads == paged.n_directory_pages
+
+    def test_small_query_few_directory_pages(self, paged):
+        paged.reset_stats()
+        paged.range_query([100.0, 100.0], [150.0, 150.0])
+        assert paged.stats.directory_accesses <= 3
+
+    def test_directory_overhead_is_minor(self, small_gridfile, rng):
+        """With 8 KB pages the whole directory is a handful of pages, so
+        directory I/O is a small fraction of bucket I/O per range query."""
+        p = PagedGridFile(small_gridfile, page_bytes=8192)
+        for _ in range(30):
+            lo = rng.uniform(0, 1500, 2)
+            hi = lo + rng.uniform(100, 500, 2)
+            p.range_query(lo, hi)
+        assert p.stats.directory_accesses < 0.5 * p.stats.bucket_reads
+
+
+class TestBuffer:
+    def test_buffered_lookups_hit(self, small_gridfile):
+        p = PagedGridFile(small_gridfile, page_bytes=8192, buffer_pages=8)
+        pt = small_gridfile.coords()[0]
+        p.point_lookup(pt)
+        first_reads = p.stats.directory_page_reads
+        p.point_lookup(pt)
+        assert p.stats.directory_page_reads == first_reads
+        assert p.stats.directory_page_hits >= 1
+
+    def test_unbuffered_always_reads(self, small_gridfile):
+        p = PagedGridFile(small_gridfile, page_bytes=8192, buffer_pages=0)
+        pt = small_gridfile.coords()[0]
+        p.point_lookup(pt)
+        p.point_lookup(pt)
+        assert p.stats.directory_page_reads == 2
+        assert p.stats.directory_page_hits == 0
+
+    def test_reset_keeps_buffer(self, small_gridfile):
+        p = PagedGridFile(small_gridfile, page_bytes=8192, buffer_pages=8)
+        pt = small_gridfile.coords()[0]
+        p.point_lookup(pt)
+        p.reset_stats()
+        p.point_lookup(pt)
+        assert p.stats.directory_page_hits == 1
+        assert p.stats.directory_page_reads == 0

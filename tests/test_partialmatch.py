@@ -1,0 +1,112 @@
+"""Tests for the partial-match optimality analysis (Du-Sobolewski / Kim-Pramanik)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.partialmatch import (
+    optimal_partial_match_response,
+    partial_match_response,
+    strictly_optimal_queries,
+)
+
+
+def dm(cells):
+    return cells.sum(axis=1)
+
+
+def fx(cells):
+    return np.bitwise_xor.reduce(cells, axis=1)
+
+
+class TestResponse:
+    def test_one_free_dimension(self):
+        # 6x6 grid, pin dim 0 = 2, 3 disks: matching cells (2, j), disks
+        # (2+j) mod 3 -> exactly 2 per disk.
+        assert partial_match_response(dm, (6, 6), {0: 2}, 3) == 2
+
+    def test_all_free(self):
+        assert partial_match_response(dm, (4, 4), {}, 4) == 4
+
+    def test_optimal_reference(self):
+        assert optimal_partial_match_response((6, 6), {0: 2}, 3) == 2
+        assert optimal_partial_match_response((5, 7), {}, 4) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partial_match_response(dm, (4, 4), {0: 0, 1: 0}, 2)
+        with pytest.raises(ValueError):
+            partial_match_response(dm, (4, 4), {5: 0}, 2)
+        with pytest.raises(ValueError):
+            partial_match_response(dm, (4, 4), {0: 9}, 2)
+
+
+class TestDuSobolewski:
+    @pytest.mark.parametrize("n_disks", [2, 3, 4, 5, 7, 8])
+    @pytest.mark.parametrize("shape", [(8, 8), (12, 6), (5, 9, 4)])
+    def test_dm_optimal_one_unspecified(self, n_disks, shape):
+        """DM is strictly optimal for every partial-match query with exactly
+        one unspecified attribute."""
+        optimal, total = strictly_optimal_queries(dm, shape, n_disks, 1)
+        assert optimal == total
+
+    def test_dm_not_always_optimal_two_unspecified(self):
+        """With two free attributes DM can miss the optimum (e.g. M > axis)."""
+        optimal, total = strictly_optimal_queries(dm, (3, 3, 3), 7, 2)
+        assert optimal < total
+
+
+class TestKimPramanik:
+    @pytest.mark.parametrize("n_disks", [2, 4, 8])
+    def test_fx_superset_on_powers_of_two(self, n_disks):
+        """Power-of-two grid and disks: every query optimal for DM is optimal
+        for FX (the superset claim), over all partial-match shapes."""
+        shape = (8, 8)
+        from itertools import combinations, product
+
+        for n_free in (1, 2):
+            for free in combinations(range(2), n_free):
+                pinned = [k for k in range(2) if k not in free]
+                for values in product(*(range(shape[k]) for k in pinned)):
+                    spec = dict(zip(pinned, values))
+                    if n_free == 2 and spec:
+                        continue
+                    opt = optimal_partial_match_response(shape, spec, n_disks)
+                    dm_r = partial_match_response(dm, shape, spec, n_disks)
+                    fx_r = partial_match_response(fx, shape, spec, n_disks)
+                    if dm_r == opt:
+                        assert fx_r == opt, (spec, n_disks)
+
+    def test_fx_optimal_one_unspecified_powers_of_two(self):
+        optimal, total = strictly_optimal_queries(fx, (8, 8), 4, 1)
+        assert optimal == total
+
+    def test_fx_can_fail_on_non_power_of_two(self):
+        """FX loses ground when M is not a power of two: on an 8x8(x8) grid
+        with M = 3, DM is optimal for every two-free-attribute query while FX
+        is optimal for none of them (the power-of-two hypothesis in Kim &
+        Pramanik's theorem is doing real work)."""
+        fx_opt, total = strictly_optimal_queries(fx, (8, 8, 8), 3, 2)
+        dm_opt, _ = strictly_optimal_queries(dm, (8, 8, 8), 3, 2)
+        assert dm_opt == total
+        assert fx_opt < dm_opt
+
+    def test_single_free_always_optimal_both(self):
+        """One free attribute on a full axis: both schemes hit the optimum
+        for any M (the residues of a permuted full axis are maximally even)."""
+        for M in (3, 5, 7, 12):
+            assert strictly_optimal_queries(fx, (8, 8), M, 1)[0] == 16
+            assert strictly_optimal_queries(dm, (8, 8), M, 1)[0] == 16
+
+
+class TestContrastWithRangeQueries:
+    def test_partial_match_good_range_bad(self):
+        """The paper's tension in one test: DM is optimal for single-free
+        partial match on this grid yet 2x off optimal for a square range
+        query with many disks."""
+        from repro.analysis import dm_response_exact
+        from repro.analysis.theorem1 import dm_optimal_response
+
+        optimal, total = strictly_optimal_queries(dm, (16, 16), 12, 1)
+        assert optimal == total
+        l = 6  # 6x6 range query, M = 12 > l
+        assert dm_response_exact(l, 12) >= 2 * dm_optimal_response(l, 12)

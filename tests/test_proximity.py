@@ -1,0 +1,133 @@
+"""Tests for the proximity index (Kamel & Faloutsos) and alternatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import center_distance, proximity_index, proximity_matrix
+from repro.core.proximity import euclidean_similarity
+
+L = np.array([10.0, 10.0])
+
+
+def box(lo, hi):
+    return np.asarray(lo, dtype=float), np.asarray(hi, dtype=float)
+
+
+class TestKnownValues:
+    def test_identical_full_domain_is_one(self):
+        lo, hi = box([0, 0], [10, 10])
+        assert proximity_index(lo, hi, lo, hi, L) == pytest.approx(1.0)
+
+    def test_identical_small_box(self):
+        lo, hi = box([0, 0], [1, 1])
+        # delta = 0.1 per dim -> ((1 + 0.2)/3)^2
+        assert proximity_index(lo, hi, lo, hi, L) == pytest.approx((1.2 / 3) ** 2)
+
+    def test_touching_boxes_factor_third(self):
+        a_lo, a_hi = box([0, 0], [5, 10])
+        b_lo, b_hi = box([5, 0], [10, 10])
+        # Dim 0 touches (1/3); dim 1 fully overlaps ((1+2)/3 = 1).
+        assert proximity_index(a_lo, a_hi, b_lo, b_hi, L) == pytest.approx(1.0 / 3.0)
+
+    def test_disjoint_decay(self):
+        a_lo, a_hi = box([0, 0], [1, 10])
+        b_lo, b_hi = box([6, 0], [7, 10])
+        # Gap = 5 -> Delta = 0.5 -> (0.5)^2/3 in dim 0; dim 1 = 1.
+        assert proximity_index(a_lo, a_hi, b_lo, b_hi, L) == pytest.approx(0.25 / 3.0)
+
+    def test_continuity_at_touch(self):
+        """The intersecting and disjoint branches agree at the boundary."""
+        a_lo, a_hi = box([0, 0], [5, 10])
+        eps = 1e-9
+        just_touching = proximity_index(a_lo, a_hi, *box([5, 0], [10, 10]), L)
+        just_apart = proximity_index(a_lo, a_hi, *box([5 + eps, 0], [10, 10]), L)
+        assert just_touching == pytest.approx(just_apart, abs=1e-6)
+
+
+class TestVectorization:
+    def test_one_vs_many(self):
+        rng = np.random.default_rng(0)
+        lo = rng.uniform(0, 5, size=(20, 2))
+        hi = lo + rng.uniform(0.1, 2, size=(20, 2))
+        row = proximity_index(lo[3], hi[3], lo, hi, L)
+        assert row.shape == (20,)
+        for j in range(20):
+            assert row[j] == pytest.approx(
+                float(proximity_index(lo[3], hi[3], lo[j], hi[j], L))
+            )
+
+    def test_matrix_symmetric(self):
+        rng = np.random.default_rng(1)
+        lo = rng.uniform(0, 5, size=(15, 2))
+        hi = lo + rng.uniform(0.1, 2, size=(15, 2))
+        mat = proximity_matrix(lo, hi, L)
+        assert mat.shape == (15, 15)
+        assert np.allclose(mat, mat.T)
+
+    def test_matrix_diagonal_is_self_proximity(self):
+        lo = np.array([[0.0, 0.0]])
+        hi = np.array([[10.0, 10.0]])
+        assert proximity_matrix(lo, hi, [10.0, 10.0])[0, 0] == pytest.approx(1.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data())
+def test_proximity_properties(data):
+    """Property: proximity is in (0, 1], symmetric, and grows as boxes
+    approach each other along one dimension."""
+    def draw_box():
+        lo = [data.draw(st.floats(0, 9)) for _ in range(2)]
+        hi = [l + data.draw(st.floats(0.01, 10 - l if l < 10 else 0.01)) for l in lo]
+        return np.array(lo), np.minimum(np.array(hi), 10.0)
+
+    a_lo, a_hi = draw_box()
+    b_lo, b_hi = draw_box()
+    p_ab = float(proximity_index(a_lo, a_hi, b_lo, b_hi, L))
+    p_ba = float(proximity_index(b_lo, b_hi, a_lo, a_hi, L))
+    assert 0.0 < p_ab <= 1.0 + 1e-12
+    assert p_ab == pytest.approx(p_ba)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(0.0, 4.0), st.floats(0.1, 4.0))
+def test_proximity_monotone_in_gap(gap_a, extra):
+    """A larger gap along one dimension gives strictly lower proximity."""
+    gap_b = gap_a + extra
+    a = proximity_index(
+        np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+        np.array([1.0 + gap_a, 0.0]), np.array([2.0 + gap_a, 1.0]), L,
+    )
+    b = proximity_index(
+        np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+        np.array([1.0 + gap_b, 0.0]), np.array([2.0 + gap_b, 1.0]), L,
+    )
+    assert float(b) < float(a)
+
+
+class TestEuclidean:
+    def test_center_distance(self):
+        d = center_distance(
+            np.array([0.0, 0.0]), np.array([2.0, 2.0]),
+            np.array([3.0, 0.0]), np.array([5.0, 2.0]),
+        )
+        assert float(d) == pytest.approx(3.0)
+
+    def test_normalized(self):
+        d = center_distance(
+            np.array([0.0]), np.array([2.0]), np.array([4.0]), np.array([6.0]),
+            lengths=np.array([8.0]),
+        )
+        assert float(d) == pytest.approx(0.5)
+
+    def test_similarity_range(self):
+        s = euclidean_similarity(
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+            np.array([9.0, 9.0]), np.array([10.0, 10.0]), L,
+        )
+        assert 0.0 < float(s) < 1.0
+
+    def test_similarity_self_is_one(self):
+        lo, hi = np.array([1.0, 1.0]), np.array([2.0, 2.0])
+        assert float(euclidean_similarity(lo, hi, lo, hi, L)) == pytest.approx(1.0)

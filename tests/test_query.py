@@ -1,0 +1,86 @@
+"""Tests for RangeQuery / PartialMatchQuery objects."""
+
+import numpy as np
+import pytest
+
+from repro.gridfile import PartialMatchQuery, RangeQuery
+
+
+class TestRangeQuery:
+    def test_basic(self):
+        q = RangeQuery(np.array([0.0, 1.0]), np.array([2.0, 3.0]))
+        assert q.dims == 2
+        assert q.side_lengths.tolist() == [2.0, 2.0]
+        assert q.volume() == 4.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            RangeQuery(np.array([1.0]), np.array([0.0]))
+
+    def test_degenerate_allowed(self):
+        q = RangeQuery(np.array([1.0]), np.array([1.0]))
+        assert q.volume() == 0.0
+
+    def test_contains_closed_box(self):
+        q = RangeQuery(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5], [1.0001, 0.5]])
+        assert q.contains(pts).tolist() == [True, True, True, False]
+
+    def test_contains_single_point(self):
+        q = RangeQuery(np.array([0.0]), np.array([1.0]))
+        assert q.contains(np.array([[0.5]])).tolist() == [True]
+
+
+class TestSquareConstruction:
+    def test_volume_fraction(self):
+        q = RangeQuery.square(
+            np.array([1000.0, 1000.0]), 0.05, [0, 0], [2000, 2000], clip=False
+        )
+        assert q.volume() / (2000.0 * 2000.0) == pytest.approx(0.05)
+
+    def test_side_length_formula(self):
+        """l_k = r**(1/d) * L_k (the paper's construction)."""
+        q = RangeQuery.square(
+            np.array([500.0, 500.0, 500.0]), 0.1, [0, 0, 0], [1000, 1000, 1000],
+            clip=False,
+        )
+        want = 0.1 ** (1 / 3) * 1000.0
+        assert np.allclose(q.side_lengths, want)
+
+    def test_anisotropic_domain(self):
+        q = RangeQuery.square(np.array([5.0, 50.0]), 0.25, [0, 0], [10, 100], clip=False)
+        assert np.allclose(q.side_lengths, [5.0, 50.0])
+
+    def test_clipping(self):
+        q = RangeQuery.square(np.array([0.0, 0.0]), 0.25, [0, 0], [10, 10])
+        assert (q.lo >= 0).all()
+        assert q.volume() < 25.0  # clipped corner query
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            RangeQuery.square(np.array([0.5]), 0.0, [0], [1])
+        with pytest.raises(ValueError):
+            RangeQuery.square(np.array([0.5]), 1.5, [0], [1])
+
+
+class TestPartialMatch:
+    def test_as_range(self):
+        q = PartialMatchQuery({0: 3.0})
+        r = q.as_range([0, 0], [10, 10])
+        assert r.lo.tolist() == [3.0, 0.0]
+        assert r.hi.tolist() == [3.0, 10.0]
+
+    def test_n_specified(self):
+        assert PartialMatchQuery({0: 1.0, 2: 5.0}).n_specified == 2
+
+    def test_needs_unspecified_attribute(self):
+        with pytest.raises(ValueError):
+            PartialMatchQuery({0: 1.0, 1: 2.0}).as_range([0, 0], [1, 1])
+
+    def test_rejects_bad_keys(self):
+        with pytest.raises(ValueError):
+            PartialMatchQuery({-1: 1.0})
+
+    def test_rejects_out_of_range_dim(self):
+        with pytest.raises(ValueError):
+            PartialMatchQuery({3: 1.0}).as_range([0, 0], [1, 1])

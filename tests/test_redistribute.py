@@ -1,0 +1,99 @@
+"""Tests for incremental redeclustering (farm expansion)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Minimax, minimax_expand, movement_fraction
+from repro.sim import evaluate_queries, square_queries
+
+L2 = np.array([10.0, 10.0])
+
+
+def random_boxes(n, rng):
+    lo = rng.uniform(0, 9, size=(n, 2))
+    hi = lo + rng.uniform(0.05, 0.8, size=(n, 2))
+    return lo, np.minimum(hi, 10.0)
+
+
+class TestMovementFraction:
+    def test_identical(self):
+        a = np.array([0, 1, 2])
+        assert movement_fraction(a, a) == 0.0
+
+    def test_all_moved(self):
+        assert movement_fraction(np.array([0, 0]), np.array([1, 1])) == 1.0
+
+    def test_sizes_filter(self):
+        old = np.array([0, 0, 1])
+        new = np.array([0, 1, 1])
+        assert movement_fraction(old, new, sizes=np.array([1, 0, 1])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            movement_fraction(np.array([0]), np.array([0, 1]))
+
+
+class TestMinimaxExpand:
+    def test_balance_restored(self, rng):
+        n = 60
+        lo, hi = random_boxes(n, rng)
+        old = Minimax().name and np.arange(n) % 4  # balanced over 4 disks
+        new = minimax_expand(lo, hi, L2, old, 4, 6, rng=rng)
+        counts = np.bincount(new, minlength=6)
+        assert counts.max() <= -(-n // 6)
+        assert counts.min() >= 1
+
+    def test_minimal_movement(self, rng):
+        """Only ~ (M_new - M_old)/M_new of the buckets move."""
+        n = 120
+        lo, hi = random_boxes(n, rng)
+        old = np.arange(n) % 8
+        new = minimax_expand(lo, hi, L2, old, 8, 10, rng=rng)
+        moved = movement_fraction(old, new)
+        assert moved <= (10 - 8) / 10 + 0.05
+        # Unmoved buckets keep their disk exactly.
+        stayed = new[new < 8]
+        assert stayed.size >= n * 0.75
+
+    def test_new_disks_only_gain(self, rng):
+        n = 50
+        lo, hi = random_boxes(n, rng)
+        old = np.arange(n) % 5
+        new = minimax_expand(lo, hi, L2, old, 5, 8, rng=rng)
+        # Buckets either stayed or moved to a brand-new disk.
+        moved_to = np.unique(new[new != old])
+        assert (moved_to >= 5).all()
+
+    def test_quality_close_to_scratch(self, small_gridfile):
+        """Expanded assignment responds within ~15% of a from-scratch
+        minimax at the new size."""
+        gf = small_gridfile
+        queries = square_queries(300, 0.05, [0, 0], [2000, 2000], rng=5)
+        old = Minimax().assign(gf, 8, rng=0)
+        lo, hi = gf.bucket_regions()
+        expanded = minimax_expand(lo, hi, gf.scales.lengths, old, 8, 12, rng=0)
+        scratch = Minimax().assign(gf, 12, rng=0)
+        ev_exp = evaluate_queries(gf, expanded, queries, 12)
+        ev_scr = evaluate_queries(gf, scratch, queries, 12)
+        assert ev_exp.mean_response <= ev_scr.mean_response * 1.15
+        # And strictly better than not expanding at all.
+        ev_old = evaluate_queries(gf, old, queries, 12)
+        assert ev_exp.mean_response < ev_old.mean_response
+
+    def test_validation(self, rng):
+        lo, hi = random_boxes(10, rng)
+        with pytest.raises(ValueError):
+            minimax_expand(lo, hi, L2, np.zeros(10, dtype=int), 4, 4)
+        with pytest.raises(ValueError):
+            minimax_expand(lo, hi, L2, np.full(10, 9), 4, 6)
+
+    def test_empty(self):
+        out = minimax_expand(np.empty((0, 2)), np.empty((0, 2)), L2, np.empty(0, dtype=int), 2, 4)
+        assert out.size == 0
+
+    def test_deterministic(self, rng):
+        lo, hi = random_boxes(40, rng)
+        old = np.arange(40) % 4
+        a = minimax_expand(lo, hi, L2, old, 4, 7, rng=11)
+        b = minimax_expand(lo, hi, L2, old, 4, 7, rng=11)
+        assert np.array_equal(a, b)

@@ -1,0 +1,107 @@
+"""Tests for CellBox (box regions in cell coordinates)."""
+
+import numpy as np
+import pytest
+
+from repro.gridfile import CellBox
+
+
+class TestConstruction:
+    def test_basic(self):
+        b = CellBox([0, 1], [2, 3])
+        assert b.dims == 2
+        assert b.span.tolist() == [2, 2]
+        assert b.n_cells == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CellBox([0, 1], [2, 1])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CellBox([0, 1], [2])
+
+    def test_single(self):
+        b = CellBox.single([3, 4])
+        assert b.n_cells == 1
+        assert b.contains_cell([3, 4])
+        assert not b.contains_cell([3, 5])
+
+    def test_copy_independent(self):
+        b = CellBox([0, 0], [2, 2])
+        c = b.copy()
+        c.lo[0] = 1
+        assert b.lo[0] == 0
+
+
+class TestGeometry:
+    def test_slices(self):
+        grid = np.arange(20).reshape(4, 5)
+        b = CellBox([1, 2], [3, 4])
+        assert grid[b.slices()].tolist() == [[7, 8], [12, 13]]
+
+    def test_cells_enumeration(self):
+        b = CellBox([1, 0], [3, 2])
+        cells = b.cells()
+        assert cells.shape == (4, 2)
+        assert {tuple(c) for c in cells.tolist()} == {(1, 0), (1, 1), (2, 0), (2, 1)}
+
+    def test_intersects(self):
+        a = CellBox([0, 0], [2, 2])
+        assert a.intersects(CellBox([1, 1], [3, 3]))
+        assert not a.intersects(CellBox([2, 0], [3, 2]))  # touching edge, disjoint cells
+
+    def test_equality_and_hash(self):
+        a = CellBox([0, 0], [2, 2])
+        b = CellBox([0, 0], [2, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != CellBox([0, 0], [2, 3])
+
+
+class TestSplit:
+    def test_split_at(self):
+        lower, upper = CellBox([0, 0], [4, 2]).split_at(0, 1)
+        assert lower.hi.tolist() == [1, 2]
+        assert upper.lo.tolist() == [1, 0]
+        assert lower.n_cells + upper.n_cells == 8
+
+    def test_split_rejects_boundary_cut(self):
+        b = CellBox([0, 0], [4, 2])
+        with pytest.raises(ValueError):
+            b.split_at(0, 0)
+        with pytest.raises(ValueError):
+            b.split_at(0, 4)
+
+    def test_split_preserves_cells(self):
+        b = CellBox([2, 1], [6, 4])
+        lower, upper = b.split_at(1, 2)
+        all_cells = {tuple(c) for c in b.cells().tolist()}
+        split_cells = {tuple(c) for c in lower.cells().tolist()} | {
+            tuple(c) for c in upper.cells().tolist()
+        }
+        assert all_cells == split_cells
+
+
+class TestRefinementShift:
+    def test_box_above_split_shifts(self):
+        b = CellBox([3, 0], [5, 1])
+        b.shift_for_refinement(0, 1)
+        assert b.lo.tolist() == [4, 0]
+        assert b.hi.tolist() == [6, 1]
+
+    def test_box_below_split_unchanged(self):
+        b = CellBox([0, 0], [1, 1])
+        b.shift_for_refinement(0, 1)
+        assert b.lo.tolist() == [0, 0] and b.hi.tolist() == [1, 1]
+
+    def test_box_covering_split_grows(self):
+        b = CellBox([1, 0], [2, 1])
+        b.shift_for_refinement(0, 1)
+        assert b.lo.tolist() == [1, 0]
+        assert b.hi.tolist() == [3, 1]
+
+    def test_other_dims_untouched(self):
+        b = CellBox([1, 1], [2, 2])
+        b.shift_for_refinement(0, 0)
+        assert b.lo.tolist() == [2, 1] and b.hi.tolist() == [3, 2]

@@ -1,0 +1,103 @@
+"""Tests for replication schemes and degraded-mode routing."""
+
+import numpy as np
+import pytest
+
+from repro.core import Minimax
+from repro.parallel import apply_failures, replica_assignment
+from repro.sim import evaluate_queries, square_queries
+
+
+class TestReplicaPlacement:
+    def test_chained(self):
+        a = np.array([0, 1, 2, 3])
+        assert replica_assignment(a, 4, "chained").tolist() == [1, 2, 3, 0]
+
+    def test_mirrored(self):
+        a = np.array([0, 1, 2, 3])
+        assert replica_assignment(a, 4, "mirrored").tolist() == [1, 0, 3, 2]
+
+    def test_backup_never_on_primary(self):
+        a = np.arange(8) % 8
+        for scheme in ("chained", "mirrored"):
+            b = replica_assignment(a, 8, scheme)
+            assert (b != a).all()
+
+    def test_mirrored_needs_even(self):
+        with pytest.raises(ValueError):
+            replica_assignment(np.array([0]), 5, "mirrored")
+
+    def test_chained_needs_two(self):
+        with pytest.raises(ValueError):
+            replica_assignment(np.array([0]), 1, "chained")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            replica_assignment(np.array([0]), 4, "raid6")
+
+
+class TestApplyFailures:
+    def test_no_failures_is_identity(self):
+        a = np.array([0, 1, 2])
+        out = apply_failures(a, 4, [])
+        assert np.array_equal(out, a)
+        out[0] = 3
+        assert a[0] == 0  # copy, not view
+
+    def test_single_failure_chained(self):
+        a = np.array([0, 1, 2, 0])
+        out = apply_failures(a, 3, [0], "chained")
+        assert out.tolist() == [1, 1, 2, 1]
+
+    def test_single_failure_mirrored(self):
+        a = np.array([0, 1, 2, 3])
+        out = apply_failures(a, 4, [2], "mirrored")
+        assert out.tolist() == [0, 1, 3, 3]
+
+    def test_adjacent_chained_failures_lose_data(self):
+        a = np.array([0, 1, 2, 3])
+        with pytest.raises(RuntimeError):
+            apply_failures(a, 4, [0, 1], "chained")
+
+    def test_nonadjacent_chained_failures_ok(self):
+        a = np.array([0, 1, 2, 3])
+        out = apply_failures(a, 4, [0, 2], "chained")
+        assert out.tolist() == [1, 1, 3, 3]
+
+    def test_mirror_pair_failure_loses_data(self):
+        a = np.array([0, 1])
+        with pytest.raises(RuntimeError):
+            apply_failures(a, 4, [0, 1], "mirrored")
+
+    def test_all_disks_failed(self):
+        with pytest.raises(RuntimeError):
+            apply_failures(np.array([0]), 2, [0, 1])
+
+    def test_out_of_range_failure(self):
+        with pytest.raises(ValueError):
+            apply_failures(np.array([0]), 2, [5])
+
+
+class TestDegradedResponse:
+    def test_failure_degrades_but_serves(self, small_gridfile, rng):
+        """One failed disk: every query still answered, response worsens."""
+        gf = small_gridfile
+        m = 8
+        a = Minimax().assign(gf, m, rng=0)
+        queries = square_queries(200, 0.05, [0, 0], [2000, 2000], rng=rng)
+        healthy = evaluate_queries(gf, a, queries, m)
+        degraded = evaluate_queries(gf, apply_failures(a, m, [3]), queries, m)
+        assert degraded.mean_response >= healthy.mean_response
+        # Same buckets are still retrieved, just from other disks.
+        assert np.array_equal(degraded.buckets_touched, healthy.buckets_touched)
+
+    def test_mirrored_localizes_damage(self, small_gridfile, rng):
+        """With mirroring, a failure only loads the partner disk."""
+        gf = small_gridfile
+        m = 8
+        a = Minimax().assign(gf, m, rng=0)
+        out = apply_failures(a, m, [4], "mirrored")
+        moved = out[a == 4]
+        assert (moved == 5).all()
+        untouched = out[(a != 4)]
+        assert np.array_equal(untouched, a[a != 4])

@@ -1,0 +1,95 @@
+"""Tests for report rendering (density maps) and the full-report runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import ascii_gridfile_map
+from repro.gridfile import GridFile
+
+
+class TestAsciiGridMap:
+    def test_structure(self, small_gridfile):
+        text = ascii_gridfile_map(small_gridfile)
+        lines = text.splitlines()
+        shape = small_gridfile.directory.shape
+        # stats header + top border + one row per dim-1 interval + bottom.
+        assert len(lines) == shape[1] + 3
+        assert lines[1].startswith("+") and lines[-1].startswith("+")
+        for row in lines[2:-1]:
+            assert row.startswith("|") and row.endswith("|")
+            assert len(row) == shape[0] + 2
+
+    def test_hotspot_darker_than_corner(self, small_gridfile):
+        """The clustered region around (1200, 1200) renders darker than the
+        sparse corners."""
+        text = ascii_gridfile_map(small_gridfile)
+        rows = text.splitlines()[2:-1]
+        shades = " .:-=+*#%@"
+        # Hot spot: cell at ~60% of each axis; origin is bottom-left.
+        shape = small_gridfile.directory.shape
+        hot_col = 1 + int(0.6 * (shape[0] - 1))
+        hot_row = rows[len(rows) - 1 - int(0.6 * (len(rows) - 1))]
+        corner = rows[-1][1]
+        assert shades.index(hot_row[hot_col]) > shades.index(corner)
+
+    def test_downsampling(self, small_gridfile):
+        text = ascii_gridfile_map(small_gridfile, max_width=5)
+        for row in text.splitlines()[2:-1]:
+            assert len(row) <= 7
+
+    def test_rejects_non_2d(self):
+        gf = GridFile.empty([0, 0, 0], [1, 1, 1], capacity=4)
+        with pytest.raises(ValueError):
+            ascii_gridfile_map(gf)
+
+    def test_empty_gridfile(self):
+        gf = GridFile.empty([0, 0], [1, 1], capacity=4)
+        text = ascii_gridfile_map(gf)
+        assert "|" in text  # renders without dividing by zero
+
+
+class TestFullReport:
+    def test_write_report(self, tmp_path, monkeypatch):
+        """A miniature full report runs end to end and contains every section."""
+        from repro.experiments import runall
+
+        # Shrink the datasets for speed: patch the loader used by the module.
+        from repro import datasets
+
+        real_load = datasets.load
+
+        def small_load(name, rng=None, **kw):
+            if name in ("uniform.2d", "hot.2d", "correl.2d"):
+                kw.setdefault("n", 2000)
+            elif name == "dsmc.3d":
+                kw.setdefault("n", 6000)
+            elif name == "stock.3d":
+                kw.setdefault("n", 8000)
+                kw.setdefault("n_stocks", 60)
+            elif name == "dsmc.4d":
+                kw.setdefault("n", 12_000)
+            return real_load(name, rng=rng, **kw)
+
+        monkeypatch.setattr(runall, "load", small_load)
+        # figures.py and tables.py resolve load at module level too.
+        from repro.experiments import figures, tables
+
+        monkeypatch.setattr(figures, "load", small_load)
+        monkeypatch.setattr(tables, "load", small_load)
+
+        out = runall.write_full_report(tmp_path / "r.md", rng=3, quick=True, n_records_4d=12_000)
+        text = out.read_text()
+        for heading in (
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Table 1",
+            "Figure 6",
+            "Table 2",
+            "Table 3",
+            "Figure 7",
+            "Table 4",
+            "Table 5",
+        ):
+            assert heading in text
+        assert "MiniMax" in text

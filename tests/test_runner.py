@@ -1,0 +1,85 @@
+"""Tests for the sweep orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiskModulo
+from repro.sim import square_queries, sweep_methods
+
+
+@pytest.fixture
+def sweep_inputs(small_gridfile, rng):
+    queries = square_queries(60, 0.05, [0, 0], [2000, 2000], rng=rng)
+    return small_gridfile, queries
+
+
+class TestSweep:
+    def test_structure(self, sweep_inputs):
+        gf, queries = sweep_inputs
+        res = sweep_methods(gf, ["dm/D", "minimax"], [4, 8], queries, rng=0)
+        assert res.disks == [4, 8]
+        assert set(res.curves) == {"DM/D", "MiniMax"}
+        for c in res.curves.values():
+            assert len(c.response) == 2
+            assert len(c.balance) == 2
+            assert len(c.evaluations) == 2
+        assert len(res.optimal) == 2
+
+    def test_accepts_method_instances(self, sweep_inputs):
+        gf, queries = sweep_inputs
+        res = sweep_methods(gf, [DiskModulo()], [4], queries, rng=0)
+        assert "DM/D" in res.curves
+
+    def test_rejects_non_methods(self, sweep_inputs):
+        gf, queries = sweep_inputs
+        with pytest.raises(TypeError):
+            sweep_methods(gf, [42], [4], queries, rng=0)
+
+    def test_rejects_duplicate_names(self, sweep_inputs):
+        gf, queries = sweep_inputs
+        with pytest.raises(ValueError):
+            sweep_methods(gf, ["dm/D", "dm/D"], [4], queries, rng=0)
+
+    def test_reproducible(self, small_gridfile, rng):
+        queries = square_queries(30, 0.05, [0, 0], [2000, 2000], rng=1)
+        a = sweep_methods(small_gridfile, ["minimax"], [4, 8], queries, rng=9)
+        b = sweep_methods(small_gridfile, ["minimax"], [4, 8], queries, rng=9)
+        assert a.curves["MiniMax"].response == b.curves["MiniMax"].response
+
+    def test_optimal_monotone_in_disks(self, sweep_inputs):
+        gf, queries = sweep_inputs
+        res = sweep_methods(gf, ["dm/D"], [2, 4, 8, 16], queries, rng=0)
+        assert res.optimal == sorted(res.optimal, reverse=True)
+
+    def test_response_never_below_optimal(self, sweep_inputs):
+        gf, queries = sweep_inputs
+        res = sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], [4, 8], queries, rng=0)
+        for c in res.curves.values():
+            for r, o in zip(c.response, res.optimal):
+                assert r >= o - 1e-12
+
+    def test_pairs_only_when_requested(self, sweep_inputs):
+        gf, queries = sweep_inputs
+        res = sweep_methods(gf, ["dm/D"], [4], queries, rng=0)
+        assert res.curves["DM/D"].closest_pairs == []
+        res2 = sweep_methods(gf, ["dm/D"], [4], queries, rng=0, compute_pairs=True)
+        assert len(res2.curves["DM/D"].closest_pairs) == 1
+
+    def test_keep_assignments(self, sweep_inputs):
+        gf, queries = sweep_inputs
+        res = sweep_methods(gf, ["dm/D"], [4, 8], queries, rng=0, keep_assignments=True)
+        assert len(res.curves["DM/D"].assignments) == 2
+        assert res.curves["DM/D"].assignments[0].shape == (gf.n_buckets,)
+
+    def test_series_accessors(self, sweep_inputs):
+        gf, queries = sweep_inputs
+        res = sweep_methods(gf, ["dm/D"], [4], queries, rng=0, compute_pairs=True)
+        assert "Optimal" in res.response_series()
+        assert "DM/D" in res.balance_series()
+        assert "DM/D" in res.closest_pair_series()
+
+    def test_mean_buckets_touched(self, sweep_inputs):
+        gf, queries = sweep_inputs
+        res = sweep_methods(gf, ["dm/D"], [4], queries, rng=0)
+        touched = [len(gf.query_buckets(q.lo, q.hi)) for q in queries]
+        assert res.mean_buckets_touched == pytest.approx(np.mean(touched))

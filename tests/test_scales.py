@@ -1,0 +1,138 @@
+"""Tests for Scales (per-dimension split points)."""
+
+import numpy as np
+import pytest
+
+from repro.gridfile import Scales
+
+
+def make_scales():
+    return Scales([0.0, 0.0], [10.0, 20.0], [np.array([5.0]), np.array([5.0, 10.0])])
+
+
+class TestConstruction:
+    def test_defaults_single_interval(self):
+        s = Scales([0, 0], [1, 1])
+        assert s.nintervals == (1, 1)
+        assert s.n_cells == 1
+
+    def test_nintervals(self):
+        assert make_scales().nintervals == (2, 3)
+
+    def test_lengths(self):
+        assert make_scales().lengths.tolist() == [10.0, 20.0]
+
+    def test_rejects_inverted_domain(self):
+        with pytest.raises(ValueError):
+            Scales([1.0], [0.0])
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(ValueError):
+            Scales([0.0], [10.0], [np.array([5.0, 3.0])])
+
+    def test_rejects_boundary_outside_domain(self):
+        with pytest.raises(ValueError):
+            Scales([0.0], [10.0], [np.array([10.0])])
+
+    def test_rejects_wrong_boundary_count(self):
+        with pytest.raises(ValueError):
+            Scales([0.0, 0.0], [1.0, 1.0], [np.array([0.5])])
+
+
+class TestLocate:
+    def test_basic(self):
+        s = make_scales()
+        cells = s.locate(np.array([[1.0, 1.0], [6.0, 12.0]]))
+        assert cells.tolist() == [[0, 0], [1, 2]]
+
+    def test_point_on_boundary_goes_up(self):
+        s = make_scales()
+        assert s.locate(np.array([5.0, 5.0])).tolist() == [1, 1]
+
+    def test_domain_edges(self):
+        s = make_scales()
+        assert s.locate(np.array([0.0, 0.0])).tolist() == [0, 0]
+        assert s.locate(np.array([10.0, 20.0])).tolist() == [1, 2]
+
+    def test_single_point_promotion(self):
+        assert make_scales().locate(np.array([1.0, 1.0])).shape == (2,)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            make_scales().locate(np.array([[1.0, 1.0, 1.0]]))
+
+
+class TestIntervals:
+    def test_interval_bounds(self):
+        s = make_scales()
+        assert s.interval(0, 0) == (0.0, 5.0)
+        assert s.interval(0, 1) == (5.0, 10.0)
+        assert s.interval(1, 2) == (10.0, 20.0)
+
+    def test_interval_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_scales().interval(0, 2)
+
+    def test_edges(self):
+        assert make_scales().edges(1).tolist() == [0.0, 5.0, 10.0, 20.0]
+
+    def test_box_bounds(self):
+        s = make_scales()
+        lo, hi = s.box_bounds([[0, 1]], [[2, 3]])
+        assert lo.tolist() == [[0.0, 5.0]]
+        assert hi.tolist() == [[10.0, 20.0]]
+
+
+class TestInsertBoundary:
+    def test_insert_returns_split_interval(self):
+        s = make_scales()
+        assert s.insert_boundary(0, 2.5) == 0
+        assert s.nintervals == (3, 3)
+        assert s.boundaries[0].tolist() == [2.5, 5.0]
+
+    def test_insert_after_existing(self):
+        s = make_scales()
+        assert s.insert_boundary(0, 7.5) == 1
+
+    def test_rejects_duplicate(self):
+        s = make_scales()
+        with pytest.raises(ValueError):
+            s.insert_boundary(0, 5.0)
+
+    def test_rejects_outside_domain(self):
+        s = make_scales()
+        with pytest.raises(ValueError):
+            s.insert_boundary(0, 0.0)
+        with pytest.raises(ValueError):
+            s.insert_boundary(0, 10.0)
+
+    def test_locate_consistent_after_insert(self):
+        s = make_scales()
+        s.insert_boundary(0, 2.5)
+        assert s.locate(np.array([1.0, 1.0])).tolist() == [0, 0]
+        assert s.locate(np.array([3.0, 1.0])).tolist() == [1, 0]
+        assert s.locate(np.array([6.0, 1.0])).tolist() == [2, 0]
+
+
+class TestCellRanges:
+    def test_range_inside(self):
+        s = make_scales()
+        assert s.cell_range_for_interval(1, 6.0, 11.0) == (1, 3)
+
+    def test_range_on_boundaries(self):
+        s = make_scales()
+        # Query starting exactly at a boundary excludes the lower interval.
+        assert s.cell_range_for_interval(0, 5.0, 9.0) == (1, 2)
+        # Query ending exactly at a boundary includes the upper interval
+        # (points equal to the boundary live there).
+        assert s.cell_range_for_interval(0, 2.0, 5.0) == (0, 2)
+
+    def test_full_domain(self):
+        s = make_scales()
+        assert s.cell_range_for_interval(1, 0.0, 20.0) == (0, 3)
+
+    def test_copy_is_deep(self):
+        s = make_scales()
+        c = s.copy()
+        c.insert_boundary(0, 1.0)
+        assert s.nintervals == (2, 3)

@@ -1,0 +1,92 @@
+"""Tests for the analytic selectivity model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    expected_buckets_touched,
+    intersect_probabilities,
+    predicted_optimal_response,
+)
+from repro.sim import square_queries
+from repro.sim.diskmodel import query_buckets
+
+
+class TestProbabilities:
+    def test_bounds(self, small_gridfile):
+        p = intersect_probabilities(small_gridfile, 0.05)
+        assert (p >= 0).all() and (p <= 1.0 + 1e-12).all()
+
+    def test_empty_buckets_zero(self, small_gridfile):
+        p = intersect_probabilities(small_gridfile, 0.05)
+        sizes = small_gridfile.bucket_sizes()
+        assert (p[sizes == 0] == 0).all()
+
+    def test_full_domain_bucket_always_touched(self):
+        """A bucket covering the whole domain is touched with probability 1
+        (clipped queries always intersect it)."""
+        from repro.gridfile import GridFile
+
+        gf = GridFile.empty([0, 0], [10, 10], capacity=4)
+        gf.insert_point([5.0, 5.0])
+        for ratio in (0.01, 0.5, 1.0):
+            p = intersect_probabilities(gf, ratio)
+            assert p[0] == pytest.approx(1.0)
+
+    def test_clipping_shrinks_edge_coverage(self, small_gridfile):
+        """Even at ratio 1.0 a clipped query does not reach everything: a
+        corner-centered query covers only a quadrant, so corner buckets see
+        probability < 1."""
+        p = intersect_probabilities(small_gridfile, 1.0)
+        sizes = small_gridfile.bucket_sizes()
+        assert p[sizes > 0].max() <= 1.0 + 1e-12
+        # Every bucket is still touched with substantial probability (the
+        # worst case is a tiny corner bucket: ~(1/2 + b/L)^d).
+        assert p[sizes > 0].min() > 0.25
+
+    def test_monotone_in_ratio(self, small_gridfile):
+        small = expected_buckets_touched(small_gridfile, 0.01)
+        big = expected_buckets_touched(small_gridfile, 0.1)
+        assert big > small
+
+    def test_rejects_zero_ratio(self, small_gridfile):
+        with pytest.raises(ValueError):
+            intersect_probabilities(small_gridfile, 0.0)
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("ratio", [0.01, 0.05, 0.1])
+    def test_expected_buckets_matches_measured(self, small_gridfile, ratio):
+        """The closed form agrees with the Monte-Carlo mean within a few %."""
+        queries = square_queries(3000, ratio, [0, 0], [2000, 2000], rng=5)
+        measured = np.mean([len(b) for b in query_buckets(small_gridfile, queries)])
+        predicted = expected_buckets_touched(small_gridfile, ratio)
+        assert predicted == pytest.approx(measured, rel=0.08)
+
+    def test_predicted_optimal_tracks_sweep(self, small_gridfile):
+        from repro.sim import evaluate_queries
+        from repro.core import Minimax
+
+        queries = square_queries(2000, 0.05, [0, 0], [2000, 2000], rng=6)
+        m = 8
+        ev = evaluate_queries(
+            small_gridfile, Minimax().assign(small_gridfile, m, rng=0), queries, m
+        )
+        pred = predicted_optimal_response(small_gridfile, 0.05, m)
+        # The prediction is a (slight) lower bound on the measured optimum.
+        assert pred <= ev.mean_optimal * 1.02
+        assert pred >= 0.7 * ev.mean_optimal
+
+
+class TestPredictedOptimal:
+    def test_floor_at_one(self, small_gridfile):
+        assert predicted_optimal_response(small_gridfile, 0.01, 10_000) == 1.0
+
+    def test_decreases_with_disks(self, small_gridfile):
+        a = predicted_optimal_response(small_gridfile, 0.1, 4)
+        b = predicted_optimal_response(small_gridfile, 0.1, 16)
+        assert b < a
+
+    def test_rejects_bad_disks(self, small_gridfile):
+        with pytest.raises(ValueError):
+            predicted_optimal_response(small_gridfile, 0.1, 0)

@@ -1,0 +1,191 @@
+"""Tests for the space-filling curves (Hilbert, Z-order, Gray, scan)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc import CURVES, GrayCurve, HilbertCurve, ScanCurve, ZOrderCurve, bits_for
+from repro.sfc.base import deinterleave_bits, interleave_bits
+from repro.sfc.gray import gray_decode, gray_encode
+
+ALL_CURVES = [HilbertCurve, ZOrderCurve, GrayCurve, ScanCurve]
+
+
+class TestBitsFor:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (16, 4), (17, 5)]
+    )
+    def test_values(self, n, expected):
+        assert bits_for(n) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bits_for(0)
+
+
+class TestInterleave:
+    def test_roundtrip(self):
+        coords = np.array([[3, 1], [0, 0], [7, 5]])
+        keys = interleave_bits(coords, bits=3)
+        back = deinterleave_bits(keys, dims=2, bits=3)
+        assert np.array_equal(back, coords)
+
+    def test_dim0_most_significant(self):
+        # (1, 0) must come after (0, 1) in Z-order with dim 0 leading.
+        keys = interleave_bits(np.array([[0, 1], [1, 0]]), bits=1)
+        assert keys[0] < keys[1]
+
+
+class TestCurveConstruction:
+    @pytest.mark.parametrize("curve_cls", ALL_CURVES)
+    def test_rejects_int64_overflow(self, curve_cls):
+        with pytest.raises(ValueError):
+            curve_cls(dims=8, bits=8)
+
+    @pytest.mark.parametrize("curve_cls", ALL_CURVES)
+    def test_rejects_bad_dims(self, curve_cls):
+        with pytest.raises((ValueError, TypeError)):
+            curve_cls(dims=0, bits=2)
+
+    def test_size(self):
+        assert HilbertCurve(2, 3).size == 64
+
+    @pytest.mark.parametrize("curve_cls", ALL_CURVES)
+    def test_rejects_out_of_range_coords(self, curve_cls):
+        c = curve_cls(2, 2)
+        with pytest.raises(ValueError):
+            c.index(np.array([[4, 0]]))
+        with pytest.raises(ValueError):
+            c.index(np.array([[-1, 0]]))
+
+    @pytest.mark.parametrize("curve_cls", ALL_CURVES)
+    def test_rejects_out_of_range_index(self, curve_cls):
+        c = curve_cls(2, 2)
+        with pytest.raises(ValueError):
+            c.coords(np.array([16]))
+
+
+@pytest.mark.parametrize("curve_cls", ALL_CURVES)
+@pytest.mark.parametrize("dims,bits", [(1, 3), (2, 1), (2, 3), (3, 2), (4, 2)])
+class TestBijectivity:
+    def test_index_coords_roundtrip(self, curve_cls, dims, bits):
+        c = curve_cls(dims, bits)
+        idx = np.arange(c.size)
+        xy = c.coords(idx)
+        assert np.array_equal(c.index(xy), idx)
+
+    def test_all_positions_distinct(self, curve_cls, dims, bits):
+        c = curve_cls(dims, bits)
+        axes = [np.arange(1 << bits) for _ in range(dims)]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        cells = np.stack([m.ravel() for m in mesh], axis=1)
+        keys = c.index(cells)
+        assert len(np.unique(keys)) == c.size
+        assert keys.min() == 0 and keys.max() == c.size - 1
+
+
+class TestHilbert:
+    def test_2d_unit_curve_shape(self):
+        # The canonical U: (0,0) (0,1) (1,1) (1,0).
+        xy = HilbertCurve(2, 1).coords(np.arange(4))
+        assert xy.tolist() == [[0, 0], [0, 1], [1, 1], [1, 0]]
+
+    @pytest.mark.parametrize("dims,bits", [(2, 4), (3, 3), (4, 2)])
+    def test_adjacency(self, dims, bits):
+        """Consecutive curve positions differ by 1 in exactly one coordinate."""
+        c = HilbertCurve(dims, bits)
+        xy = c.coords(np.arange(c.size))
+        step = np.abs(np.diff(xy, axis=0))
+        assert (step.sum(axis=1) == 1).all()
+
+    def test_single_point_promotion(self):
+        c = HilbertCurve(2, 2)
+        out = c.index(np.array([1, 2]))
+        assert out.shape == (1,)
+
+    def test_scalar_index_coords(self):
+        c = HilbertCurve(2, 2)
+        assert c.coords(np.int64(0)).shape == (2,)
+
+    def test_clustering_hierarchy(self):
+        """Mean number of curve runs covering a 4x4 query: Hilbert best.
+
+        The standard clustering metric: how many maximal runs of consecutive
+        curve positions a square query decomposes into (fewer = better
+        locality).  Hilbert beats Gray and Z-order and at least matches scan
+        (which is exactly q runs for a q-row query).
+        """
+        bits, q = 4, 4
+        n = 1 << bits
+
+        def mean_runs(curve):
+            runs = []
+            for a in range(n - q):
+                for b in range(n - q):
+                    cells = np.stack(
+                        np.meshgrid(np.arange(a, a + q), np.arange(b, b + q), indexing="ij"),
+                        -1,
+                    ).reshape(-1, 2)
+                    k = np.sort(curve.index(cells))
+                    runs.append(1 + int((np.diff(k) > 1).sum()))
+            return float(np.mean(runs))
+
+        h = mean_runs(HilbertCurve(2, bits))
+        assert h < mean_runs(ZOrderCurve(2, bits))
+        assert h < mean_runs(GrayCurve(2, bits))
+        assert h <= mean_runs(ScanCurve(2, bits))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.data(),
+    )
+    def test_roundtrip_property(self, dims, bits, data):
+        c = HilbertCurve(dims, bits)
+        coords = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(
+                        st.integers(min_value=0, max_value=(1 << bits) - 1),
+                        min_size=dims,
+                        max_size=dims,
+                    ),
+                    min_size=1,
+                    max_size=20,
+                )
+            ),
+            dtype=np.int64,
+        )
+        assert np.array_equal(c.coords(c.index(coords)), coords)
+
+
+class TestGray:
+    def test_encode_decode_roundtrip(self):
+        v = np.arange(1024)
+        assert np.array_equal(gray_decode(gray_encode(v)), v)
+
+    def test_gray_consecutive_single_bit(self):
+        codes = gray_encode(np.arange(256))
+        diff = codes[1:] ^ codes[:-1]
+        # Each XOR is a power of two: exactly one bit flips.
+        assert np.all(diff & (diff - 1) == 0)
+        assert np.all(diff > 0)
+
+    def test_gray_curve_interleaved_word_single_bit_steps(self):
+        c = GrayCurve(2, 3)
+        xy = c.coords(np.arange(c.size))
+        words = interleave_bits(xy, bits=3)
+        diff = words[1:] ^ words[:-1]
+        assert np.all(diff & (diff - 1) == 0)
+
+
+class TestCurveRegistry:
+    def test_names(self):
+        assert set(CURVES) == {"hilbert", "zorder", "gray", "scan"}
+
+    def test_scan_is_row_major(self):
+        c = ScanCurve(2, 2)
+        assert c.index(np.array([[0, 3]]))[0] == 3
+        assert c.index(np.array([[1, 0]]))[0] == 4

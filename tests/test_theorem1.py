@@ -1,0 +1,125 @@
+"""Tests certifying Theorem 1 (DM response and optimality) by brute force."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    dm_is_strictly_optimal,
+    dm_optimality_condition,
+    dm_response_exact,
+)
+from repro.analysis.theorem1 import dm_optimal_response, dm_response_formula
+
+
+class TestClosedForm:
+    @pytest.mark.parametrize("l", range(1, 25))
+    @pytest.mark.parametrize("M", [1, 2, 3, 4, 5, 6, 8, 13, 16, 32])
+    def test_formula_matches_brute_force(self, l, M):
+        """Theorem 1(ii) exactly over a dense (l, M) grid."""
+        assert dm_response_formula(l, M) == dm_response_exact(l, M)
+
+    def test_large_M_clause(self):
+        """R_DM = l whenever M > l: the scalability ceiling."""
+        for l in (3, 5, 10):
+            for M in (l + 1, 2 * l, 5 * l):
+                assert dm_response_formula(l, M) == l
+                assert dm_response_exact(l, M) == l
+
+    def test_saturation_interpretation(self):
+        """Adding disks beyond l leaves DM's response unchanged."""
+        l = 6
+        responses = [dm_response_exact(l, M) for M in range(l + 1, 40)]
+        assert len(set(responses)) == 1
+
+    def test_optimal_keeps_decreasing(self):
+        l = 6
+        opt = [dm_optimal_response(l, M) for M in range(4, 37)]
+        assert opt[-1] < opt[0]
+
+
+class TestOptimalityCondition:
+    @pytest.mark.parametrize("M", range(2, 16))
+    def test_exact_below_threshold(self, M):
+        """Theorem 1(i) is exact for M < l."""
+        for l in range(M + 1, 50):
+            assert dm_optimality_condition(l, M) == dm_is_strictly_optimal(l, M)
+
+    def test_beta_zero_optimal(self):
+        # l a multiple of M: perfectly balanced residues.
+        assert dm_is_strictly_optimal(12, 4)
+        assert dm_optimality_condition(12, 4)
+
+    def test_beta_one_not_optimal(self):
+        # beta = 1 <= M(1 - 1/1) = 0 is false -> condition beta > M(1-1/beta)
+        # becomes 1 > 0: optimal.
+        assert dm_optimality_condition(13, 4) == dm_is_strictly_optimal(13, 4)
+
+    def test_known_non_optimal_case(self):
+        # l = 6, M = 4: beta = 2, M(1 - 1/2) = 2, not beta > 2 -> not optimal.
+        assert not dm_optimality_condition(6, 4)
+        assert not dm_is_strictly_optimal(6, 4)
+        assert dm_response_formula(6, 4) == dm_optimal_response(6, 4) + 2 - 1
+
+    def test_boundary_cases_documented(self):
+        """For M >= l the paper's predicate may under-report optimality
+        (e.g. M = l); the exact predicate catches it."""
+        assert dm_is_strictly_optimal(4, 4)
+        assert not dm_optimality_condition(4, 4)
+
+
+class TestValidation:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            dm_response_formula(0, 4)
+        with pytest.raises(ValueError):
+            dm_response_formula(4, 0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(min_value=1, max_value=60), st.integers(min_value=1, max_value=60))
+def test_theorem1_property(l, M):
+    """Property: formula == brute force and response bounds hold everywhere."""
+    r = dm_response_exact(l, M)
+    assert dm_response_formula(l, M) == r
+    assert dm_optimal_response(l, M) <= r <= l * l
+    # The paper's improvement over Li et al.: R <= R_opt + M - 2 for M >= 3.
+    if M >= 3 and M <= l:
+        assert r <= dm_optimal_response(l, M) + M - 2
+
+
+class TestBoxGeneralization:
+    """dm_response_exact_box: the d-dimensional convolution form."""
+
+    def test_matches_2d_squares(self):
+        from repro.analysis.theorem1 import dm_response_exact_box
+
+        for l in range(1, 15):
+            for m in (2, 3, 5, 8):
+                assert dm_response_exact_box((l, l), m) == dm_response_exact(l, m)
+
+    def test_matches_enumeration_rectangles(self):
+        from repro.analysis.bruteforce import response_for_query
+        from repro.analysis.theorem1 import dm_response_exact_box
+
+        dm = lambda c: c.sum(axis=1)
+        for shape in ((3, 7), (5, 2), (4, 4, 4), (2, 3, 5), (6,)):
+            for m in (2, 3, 4, 7, 11):
+                assert dm_response_exact_box(shape, m) == response_for_query(dm, shape, m)
+
+    def test_high_dimensional_cheap(self):
+        from repro.analysis.theorem1 import dm_response_exact_box
+
+        # 8-dim box with 10^8 cells: enumeration is hopeless, convolution is
+        # instant; total cells conserved.
+        r = dm_response_exact_box((10,) * 8, 16)
+        assert r >= 10**8 // 16
+
+    def test_saturation_in_d_dims(self):
+        """The 2-d saturation generalizes: for M > all sides, response is
+        fixed at the largest anti-diagonal count and stops improving."""
+        from repro.analysis.theorem1 import dm_response_exact_box
+
+        shape = (4, 5, 3)
+        big = [dm_response_exact_box(shape, m) for m in range(13, 30)]
+        assert len(set(big)) == 1

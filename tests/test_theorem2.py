@@ -1,0 +1,76 @@
+"""Tests certifying Theorem 2 (FX bounds) by brute force."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fx_expected_response,
+    fx_response_bounds,
+    fx_response_formula,
+    fx_response_positions,
+)
+
+# Brute force is O(4^max(m,n) * 4^m); keep the grid small but meaningful.
+SMALL = [(m, n) for m in range(0, 4) for n in range(0, 5)]
+
+
+class TestPropertyI:
+    @pytest.mark.parametrize("m,n", [(m, n) for m, n in SMALL if n <= m])
+    def test_exact_below_threshold(self, m, n):
+        """R_FX(2^n) = 2^(m + (m - n)) for n <= m — and position independent."""
+        positions = fx_response_positions(m, n)
+        assert positions.min() == positions.max() == (1 << (m + (m - n)))
+        assert fx_expected_response(m, n) == float(fx_response_formula(m, n))
+
+    def test_strictly_optimal_below_threshold(self):
+        # Optimal = total / M = 4^m / 2^n = 2^(2m - n) = the formula.
+        for m, n in [(2, 1), (3, 2), (3, 3)]:
+            assert fx_response_formula(m, n) == (1 << (2 * m)) >> n
+
+
+class TestPropertyII:
+    @pytest.mark.parametrize("m,n", [(m, n) for m, n in SMALL if n > m])
+    def test_bounds_above_threshold(self, m, n):
+        lo, hi = fx_response_bounds(m, n)
+        mean = fx_expected_response(m, n)
+        assert lo - 1e-9 <= mean <= hi + 1e-9
+        # Per-position responses also respect the upper bound.
+        assert fx_response_positions(m, n).max() <= hi
+
+    def test_formula_none_above_threshold(self):
+        assert fx_response_formula(1, 3) is None
+
+    def test_bounds_collapse_below_threshold(self):
+        lo, hi = fx_response_bounds(3, 2)
+        assert lo == hi == float(fx_response_formula(3, 2))
+
+
+class TestPropertyIII:
+    @pytest.mark.parametrize("m", [0, 1, 2])
+    def test_doubling_ratio(self, m):
+        """R_FX(2^(n+1)) >= (3/4) R_FX(2^n) for n > m: doubling disks cuts
+        expected response by at most 25%."""
+        for n in range(m + 1, m + 3):
+            r_n = fx_expected_response(m, n)
+            r_n1 = fx_expected_response(m, n + 1)
+            assert r_n1 >= 0.75 * r_n - 1e-9
+
+    def test_far_from_ideal_scaling(self):
+        """Ideal scaling would halve response per doubling; FX does not."""
+        m = 2
+        r = [fx_expected_response(m, n) for n in range(m + 1, m + 4)]
+        for a, b in zip(r, r[1:]):
+            assert b > 0.5 * a
+
+
+class TestValidation:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fx_expected_response(-1, 0)
+        with pytest.raises(ValueError):
+            fx_response_formula(0, -1)
+
+    def test_positions_shape(self):
+        out = fx_response_positions(1, 2)
+        assert out.shape == (4, 4)
+        assert out.dtype == np.int64

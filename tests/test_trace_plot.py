@@ -1,0 +1,103 @@
+"""Tests for the particle-tracing workload and the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro._util import line_chart
+from repro.sim import trace_queries
+
+LO4 = np.array([0.0, 0.0, 0.0, 0.0])
+HI4 = np.array([58.0, 1.0, 1.0, 1.0])
+
+
+class TestTraceQueries:
+    def test_count(self):
+        qs = trace_queries(LO4, HI4, 0.05, n_traces=2, rng=0)
+        assert len(qs) == 2 * 59
+
+    def test_time_advances_per_trace(self):
+        qs = trace_queries(LO4, HI4, 0.05, n_traces=1, rng=0)
+        times = [float(q.lo[0]) for q in qs]
+        assert times == sorted(times)
+        assert times[0] == 0.0 and times[-1] == 58.0
+
+    def test_queries_inside_domain(self):
+        qs = trace_queries(LO4, HI4, 0.05, n_traces=3, rng=1)
+        for q in qs:
+            assert (q.lo >= LO4 - 1e-12).all()
+            assert (q.hi <= HI4 + 1e-12).all()
+
+    def test_consecutive_queries_overlap_spatially(self):
+        """Slow drift: the neighbourhood at t+1 overlaps the one at t."""
+        qs = trace_queries(LO4, HI4, 0.1, speed=0.01, wander=0.1, rng=2)
+        overlaps = 0
+        for a, b in zip(qs, qs[1:]):
+            inter = np.minimum(a.hi[1:], b.hi[1:]) - np.maximum(a.lo[1:], b.lo[1:])
+            overlaps += bool((inter > 0).all())
+        assert overlaps > len(qs) * 0.6
+
+    def test_particle_moves(self):
+        qs = trace_queries(LO4, HI4, 0.02, speed=0.05, rng=3)
+        centers = np.array([(q.lo[1:] + q.hi[1:]) / 2 for q in qs])
+        assert np.linalg.norm(centers[-1] - centers[0]) > 0.05
+
+    def test_reflection_keeps_positions_valid(self):
+        # High speed forces wall hits.
+        qs = trace_queries(LO4, HI4, 0.02, speed=0.3, wander=1.0, rng=4)
+        for q in qs:
+            assert (q.lo[1:] >= 0).all() and (q.hi[1:] <= 1.0 + 1e-12).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trace_queries(LO4, HI4, 0.0)
+        with pytest.raises(ValueError):
+            trace_queries(LO4, HI4, 0.05, time_dim=9)
+        with pytest.raises(ValueError):
+            trace_queries(np.array([0.0]), np.array([5.0]), 0.05)
+        with pytest.raises(ValueError):
+            trace_queries(LO4, HI4, 0.05, n_traces=0)
+
+    def test_reproducible(self):
+        a = trace_queries(LO4, HI4, 0.05, rng=9)
+        b = trace_queries(LO4, HI4, 0.05, rng=9)
+        for qa, qb in zip(a, b):
+            assert np.array_equal(qa.lo, qb.lo)
+
+
+class TestLineChart:
+    X = [4, 8, 16, 32]
+    S = {"a": [4.0, 3.0, 2.0, 1.0], "b": [4.0, 3.5, 3.0, 2.9]}
+
+    def test_contains_markers_and_legend(self):
+        text = line_chart(self.X, self.S)
+        assert "o a" in text and "x b" in text
+        assert "o" in text.splitlines()[0] or any("o" in l for l in text.splitlines())
+
+    def test_title_and_labels(self):
+        text = line_chart(self.X, self.S, title="T", y_label="resp")
+        assert text.splitlines()[0] == "T"
+        assert "resp" in text
+
+    def test_extremes_on_first_and_last_rows(self):
+        text = line_chart(self.X, {"a": [4.0, 3.0, 2.0, 1.0]}, height=10)
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert "o" in rows[0]      # max value at the top
+        assert "o" in rows[-1]     # min value at the bottom
+
+    def test_axis_bounds_printed(self):
+        text = line_chart(self.X, self.S)
+        assert "4" in text and "32" in text
+
+    def test_flat_series_ok(self):
+        text = line_chart(self.X, {"a": [2.0, 2.0, 2.0, 2.0]})
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart(self.X, {"a": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart(self.X, {})
+        with pytest.raises(ValueError):
+            line_chart(self.X, self.S, width=2)
