@@ -7,7 +7,6 @@ paper's datasets the midpoint policy reproduces the published structure
 response-time differences.
 """
 
-import numpy as np
 from conftest import SEED, once
 
 from repro._util import format_table

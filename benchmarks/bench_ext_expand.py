@@ -11,7 +11,6 @@ compares three strategies per step:
   minimum, response within a few percent of scratch).
 """
 
-import numpy as np
 from conftest import N_QUERIES, SEED, once
 
 from repro._util import format_table

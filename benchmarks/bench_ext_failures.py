@@ -5,7 +5,6 @@ measures response time with 0, 1 and 2 failed disks — the availability story
 a production deployment of the paper's system needs.
 """
 
-import numpy as np
 from conftest import N_QUERIES, SEED, once
 
 from repro._util import format_table

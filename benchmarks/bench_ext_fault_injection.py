@@ -1,0 +1,108 @@
+"""Extension: mid-run fault injection and coordinator failover.
+
+Where ``bench_ext_failures`` measures *static* degraded declustering (disks
+already marked failed before the run), this benchmark crashes nodes *during*
+the simulated run and measures how the §3.5 protocol — timeouts, retries,
+replica failover — absorbs them: degraded latency (mean / p95 vs healthy),
+failover traffic, and availability, across replication schemes and
+declustering methods.
+"""
+
+import numpy as np
+from conftest import N_QUERIES, SEED, once
+
+from repro._util import format_table
+from repro.core import HCAM, Minimax
+from repro.datasets import build_gridfile, load
+from repro.parallel import ClusterParams, FaultPlan, ParallelGridFile
+from repro.sim import square_queries
+
+M = 16
+
+#: (label, FaultPlan factory).  The crash times sit inside the busy phase of
+#: the closed-mode run so failover actually happens mid-stream.
+SCENARIOS = [
+    ("healthy", lambda: None),
+    ("1 crash", lambda: FaultPlan().node_crash(0.05, node=3)),
+    ("2 crashes", lambda: FaultPlan().node_crash(0.05, node=3).node_crash(0.07, node=9)),
+    (
+        "crash+recover",
+        lambda: FaultPlan().node_crash(0.05, node=3).node_recover(0.25, node=3),
+    ),
+]
+
+
+def _run():
+    ds = load("hot.2d", rng=SEED)
+    gf = build_gridfile(ds)
+    queries = square_queries(N_QUERIES, 0.05, ds.domain_lo, ds.domain_hi, rng=SEED)
+
+    rows = []
+    stats = {}
+    for method_name, method in (("minimax", Minimax()), ("hcam", HCAM())):
+        assignment = method.assign(gf, M, rng=SEED)
+        for scheme in ("chained", "mirrored"):
+            params = ClusterParams(replication=scheme)
+            for label, make_plan in SCENARIOS:
+                pgf = ParallelGridFile(gf, assignment, M, params)
+                rep = pgf.run_queries(queries, faults=make_plan())
+                lat = rep.latencies
+                rows.append(
+                    [
+                        method_name,
+                        scheme,
+                        label,
+                        round(float(lat.mean()) * 1e3, 3),
+                        round(float(np.percentile(lat, 95)) * 1e3, 3),
+                        rep.timeouts,
+                        rep.failovers,
+                        rep.aborted_queries,
+                        round(rep.availability, 4),
+                    ]
+                )
+                stats[(method_name, scheme, label)] = rep
+    return rows, stats
+
+
+def test_ext_fault_injection(benchmark, report_sink):
+    rows, stats = once(benchmark, _run)
+    report_sink(
+        "ext_fault_injection",
+        format_table(
+            [
+                "method",
+                "replication",
+                "scenario",
+                "mean lat (ms)",
+                "p95 lat (ms)",
+                "timeouts",
+                "failovers",
+                "aborted",
+                "availability",
+            ],
+            rows,
+            title=f"Extension: mid-run fault injection (hot.2d, M={M})",
+        ),
+    )
+    for method in ("minimax", "hcam"):
+        for scheme in ("chained", "mirrored"):
+            healthy = stats[(method, scheme, "healthy")]
+            crash1 = stats[(method, scheme, "1 crash")]
+            # Healthy runs see no fault machinery at all.
+            assert healthy.timeouts == healthy.failovers == 0
+            assert healthy.availability == 1.0
+            # One crash: everything still answered, via replicas, at a
+            # bounded latency penalty (the acceptance bound).
+            assert crash1.aborted_queries == 0
+            assert crash1.failovers > 0
+            assert crash1.records_returned == healthy.records_returned
+            assert crash1.latencies.mean() < 2.0 * healthy.latencies.mean()
+            # Recovery helps: fewer failovers than leaving the node down.
+            recov = stats[(method, scheme, "crash+recover")]
+            assert recov.aborted_queries == 0
+            assert recov.failovers <= crash1.failovers
+        # Two crashes are harder than one but still fully served under
+        # cascaded chained failover.
+        crash2 = stats[(method, "chained", "2 crashes")]
+        assert crash2.aborted_queries == 0
+        assert crash2.failovers >= stats[(method, "chained", "1 crash")].failovers

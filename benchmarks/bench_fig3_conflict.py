@@ -6,7 +6,7 @@ sensitive (right graph).
 """
 
 import numpy as np
-from conftest import DISKS, FULL, N_QUERIES, SEED, once
+from conftest import DISKS, N_QUERIES, SEED, once
 
 from repro.datasets import build_gridfile, load
 from repro.experiments import render_sweep

@@ -5,7 +5,6 @@ DM/FX saturate as disks grow while HCAM keeps improving; the gap between
 HCAM and optimal grows with skew.
 """
 
-import numpy as np
 from conftest import DISKS, N_QUERIES, SEED, once
 
 from repro.analysis import saturation_point

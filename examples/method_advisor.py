@@ -64,14 +64,12 @@ def main() -> None:
 
     winner = recs[0].name
     print(f"\ndeploying the mixed-workload winner ({winner}) and running a kNN query:")
-    # Map display name back to a spec for this demo slate.
-    spec = {r.name: c for c, r in zip(CANDIDATES, recommend(gf, mixed_q[:10], m, candidates=CANDIDATES, rng=1996))}
     method = make_method({"DM/D": "dm/D", "FX/D": "fx/D", "HCAM/D": "hcam/D",
                           "SSP": "ssp", "MiniMax": "minimax", "KL(SSP)": "kl"}[winner])
     method.assign(gf, m, rng=1996)
     probe = np.array([42.0, 55.0, 250.0])  # stock 42, ~$55, day 250
     ids, dist = knn_query(gf, probe, 5)
-    print(f"  5 quotes nearest to stock=42, price=$55, day=250:")
+    print("  5 quotes nearest to stock=42, price=$55, day=250:")
     for rid, d in zip(ids, dist):
         s, p, day = gf.points[rid]
         print(f"    stock {int(s):3d}  ${p:7.2f}  day {int(day):3d}  (distance {d:.2f})")

@@ -18,9 +18,6 @@ certified against brute force in ``tests/test_theorem2.py``.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro._util import check_positive_int
 from repro.analysis.bruteforce import fx_response_positions
 
 __all__ = ["fx_expected_response", "fx_response_formula", "fx_response_bounds"]

@@ -10,6 +10,9 @@ Subcommands
     Decluster a dataset and report balance / response-time statistics.
 ``experiment ID``
     Regenerate a paper figure/table (fig2..fig7, table1..table5).
+``fault-sim NAME --scheme S --crash-node N --crash-time T``
+    Run the simulated cluster with a mid-run node crash and report the
+    degraded-mode statistics (timeouts, retries, failovers, availability).
 """
 
 from __future__ import annotations
@@ -147,6 +150,47 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_fault_sim(args) -> int:
+    from repro.parallel import ClusterParams, FaultPlan, ParallelGridFile
+
+    ds = load(args.name, rng=args.seed)
+    gf = build_gridfile(ds)
+    method = make_method(args.method)
+    assignment = method.assign(gf, args.disks, rng=args.seed)
+    queries = square_queries(args.queries, args.ratio, ds.domain_lo, ds.domain_hi, rng=args.seed)
+
+    if args.crash_node >= args.disks:
+        print(f"--crash-node must be < --disks ({args.disks})", file=sys.stderr)
+        return 2
+    if args.crash_time < 0:
+        print("--crash-time must be non-negative", file=sys.stderr)
+        return 2
+    if args.recover_time is not None and args.recover_time <= args.crash_time:
+        print("--recover-time must be after --crash-time", file=sys.stderr)
+        return 2
+    plan = FaultPlan().node_crash(args.crash_time, node=args.crash_node)
+    if args.recover_time is not None:
+        plan = plan.node_recover(args.recover_time, node=args.crash_node)
+
+    params = ClusterParams(replication=args.scheme)
+    healthy = ParallelGridFile(gf, assignment, args.disks, params).run_queries(queries)
+    rep = ParallelGridFile(gf, assignment, args.disks, params).run_queries(queries, faults=plan)
+
+    recover = f", recover at t={args.recover_time}" if args.recover_time is not None else ""
+    print(f"dataset            : {ds.name} ({gf.stats()})")
+    print(f"method             : {method.name}, disks={args.disks}, scheme={args.scheme}")
+    print(f"fault plan         : crash node {args.crash_node} at t={args.crash_time}{recover}")
+    print(f"queries            : {args.queries} (r={args.ratio})")
+    print(f"elapsed time       : {rep.elapsed_time * 1e3:.2f} ms (healthy {healthy.elapsed_time * 1e3:.2f} ms)")
+    print(f"mean latency       : {rep.mean_latency * 1e3:.3f} ms (healthy {healthy.mean_latency * 1e3:.3f} ms)")
+    print(f"timeouts / retries : {rep.timeouts} / {rep.retries}")
+    print(f"failovers          : {rep.failovers}")
+    print(f"messages lost      : {rep.messages_lost}")
+    print(f"aborted queries    : {rep.aborted_queries}")
+    print(f"availability       : {rep.availability:.4f}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     p = argparse.ArgumentParser(
@@ -174,6 +218,17 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--quick", action="store_true", help="reduced sweep for a fast run")
     e.add_argument("--plot", action="store_true", help="also render ASCII charts")
 
+    f = sub.add_parser("fault-sim", help="simulate a node crash mid-run and report failover")
+    f.add_argument("name", choices=sorted(DATASETS))
+    f.add_argument("--method", default="minimax", help="method spec (see `list`)")
+    f.add_argument("--disks", type=int, default=16)
+    f.add_argument("--scheme", default="chained", choices=["chained", "mirrored"])
+    f.add_argument("--crash-node", type=int, default=3, help="node to crash")
+    f.add_argument("--crash-time", type=float, default=0.05, help="crash time (s)")
+    f.add_argument("--recover-time", type=float, default=None, help="optional recovery time (s)")
+    f.add_argument("--ratio", type=float, default=0.05, help="query volume ratio r")
+    f.add_argument("--queries", type=int, default=200)
+
     r = sub.add_parser("report", help="run every experiment into a markdown report")
     r.add_argument("output", help="output .md path")
     r.add_argument("--full", action="store_true", help="full (paper-scale) profile")
@@ -193,6 +248,8 @@ def main(argv=None) -> int:
         return _cmd_decluster(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "fault-sim":
+        return _cmd_fault_sim(args)
     if args.command == "report":
         from repro.experiments.runall import write_full_report
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro._util import as_rng, check_positive_int
 from repro.core.registry import available_methods, make_method

@@ -19,14 +19,16 @@ depend on the cost model at all.
 
 from repro.parallel.cache import LRUCache
 from repro.parallel.cluster import ClusterParams, ParallelGridFile, PerfReport
-from repro.parallel.des import Resource, Simulator
+from repro.parallel.des import Event, Resource, Simulator
 from repro.parallel.disk import DiskModel
+from repro.parallel.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.parallel.network import NetworkModel
-from repro.parallel.replication import apply_failures, replica_assignment
+from repro.parallel.replication import apply_failures, effective_disk, replica_assignment
 from repro.parallel.stores import GridFileStore, PageStore, RTreeStore, as_page_store
 
 __all__ = [
     "apply_failures",
+    "effective_disk",
     "replica_assignment",
     "PageStore",
     "GridFileStore",
@@ -34,10 +36,14 @@ __all__ = [
     "as_page_store",
     "Simulator",
     "Resource",
+    "Event",
     "LRUCache",
     "DiskModel",
     "NetworkModel",
     "ClusterParams",
     "ParallelGridFile",
     "PerfReport",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
 ]

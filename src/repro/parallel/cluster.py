@@ -24,6 +24,23 @@ Reported metrics mirror Tables 4-5: *response time by definition* (blocks,
 ``max_i N_i(q)`` summed over queries — a pure declustering property),
 *communication time* (seconds on the wire) and *elapsed time* (simulated
 wall clock), plus latency, cache and utilization detail.
+
+Fault tolerance (mid-run degraded mode)
+---------------------------------------
+
+Passing a :class:`repro.parallel.faults.FaultPlan` to either run method
+injects node crashes, recoveries, disk slowdowns and message loss *while
+queries are in flight*.  The coordinator then runs the robust protocol:
+every request carries a timeout; a timed-out request is retried with
+exponential backoff up to ``ClusterParams.max_retries`` times; when retries
+are exhausted the target node is *suspected* and the request's buckets fail
+over to their replica disks (``ClusterParams.replication`` — chained walks
+cascade past consecutive dead disks).  Requests of later queries destined to
+suspected nodes are rerouted at submit time; a recovery heartbeat clears
+suspicion.  A query aborts only when some bucket has no live replica.  With
+no faults and no explicit timeout the engine takes the exact legacy path —
+``PerfReport`` numbers are bit-for-bit identical to the pre-fault-layer
+engine (regression-tested).
 """
 
 from __future__ import annotations
@@ -39,6 +56,7 @@ from repro.parallel.disk import DiskModel
 from repro.parallel.message import BlockRequest
 from repro.parallel.network import NetworkModel
 from repro.parallel.node import WorkerNode
+from repro.parallel.replication import replica_assignment
 
 __all__ = ["ClusterParams", "PerfReport", "ParallelGridFile", "LoadReport"]
 
@@ -67,6 +85,21 @@ class ClusterParams:
     plan_time_per_bucket: float = 2e-6
     #: Outstanding queries in closed mode (1 = the paper's workload).
     pipeline_depth: int = 1
+    #: Replication scheme for dynamic failover ("chained"/"mirrored";
+    #: None disables failover — timed-out requests abort after retries).
+    replication: "str | None" = None
+    #: Per-request timeout *slack* in seconds, added on top of the healthy
+    #: service-time estimate for the request's size (so large requests get
+    #: proportionally later deadlines).  None = disabled on fault-free runs,
+    #: auto (DEFAULT_REQUEST_TIMEOUT) when faults are injected; set
+    #: explicitly to force timeouts on.
+    request_timeout: "float | None" = None
+    #: Retransmissions to the same node before suspecting it.
+    max_retries: int = 1
+    #: Base backoff before a retry (doubles per attempt).
+    retry_backoff: float = 0.02
+    #: Delay until a recovered node's heartbeat clears coordinator suspicion.
+    heartbeat_delay: float = 0.05
 
 
 @dataclass
@@ -94,8 +127,23 @@ class PerfReport:
     completion_times: np.ndarray
     #: Per-query latencies (completion - submission).
     latencies: np.ndarray
-    #: Per-node busy fractions of the disk resources.
+    #: Per-node busy fractions of the disk resources (over alive windows).
     disk_utilization: np.ndarray
+    #: Coordinator request timeouts observed.
+    timeouts: int = 0
+    #: Retransmissions to the same node after a timeout.
+    retries: int = 0
+    #: Requests rerouted to replica disks (suspected/crashed targets).
+    failovers: int = 0
+    #: Messages dropped by fault-injected lossy links.
+    messages_lost: int = 0
+    #: Queries aborted because some bucket had no live replica.
+    aborted_queries: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries answered (1.0 = nothing aborted)."""
+        return 1.0 - self.aborted_queries / self.n_queries if self.n_queries else 1.0
 
     @property
     def mean_latency(self) -> float:
@@ -117,10 +165,26 @@ class PerfReport:
         return (self.blocks_fetched, self.comm_time, self.elapsed_time)
 
 
+#: Request timeout slack used when faults are injected but none was configured.
+DEFAULT_REQUEST_TIMEOUT = 0.05
+
+
+class _RequestState:
+    """Coordinator-side bookkeeping for one in-flight block request."""
+
+    __slots__ = ("qid", "req", "timeout_ev", "done")
+
+    def __init__(self, qid: int, req: BlockRequest):
+        self.qid = qid
+        self.req = req
+        self.timeout_ev = None
+        self.done = False
+
+
 class _Engine:
     """One simulation run: resources, protocol callbacks, statistics."""
 
-    def __init__(self, owner: "ParallelGridFile", queries):
+    def __init__(self, owner: "ParallelGridFile", queries, faults=None):
         self.owner = owner
         self.params = owner.params
         self.net = owner.params.network
@@ -148,6 +212,29 @@ class _Engine:
         self.completion = np.zeros(len(self.queries))
         self.on_complete = None  # optional hook(qid)
 
+        # -- fault-tolerance state ------------------------------------------
+        self.injector = None
+        if faults is not None:
+            from repro.parallel.faults import FaultInjector, FaultPlan
+
+            if isinstance(faults, FaultPlan):
+                faults = FaultInjector(
+                    faults, owner.n_nodes, disks_per_node=self.params.disks_per_node
+                )
+            self.injector = faults
+            self.injector.install(self)
+        self.timeout = self.params.request_timeout
+        if self.timeout is None and self.injector is not None:
+            self.timeout = DEFAULT_REQUEST_TIMEOUT
+        #: Nodes the coordinator currently believes down (timeout-detected).
+        self.suspected: set[int] = set()
+        self.aborted: set[int] = set()
+        self._states_by_qid: dict[int, list[_RequestState]] = {}
+        self.n_timeouts = 0
+        self.n_retries = 0
+        self.n_failovers = 0
+        self.n_messages_lost = 0
+
     # -- protocol steps ------------------------------------------------------
 
     def submit(self, qid: int) -> None:
@@ -160,25 +247,50 @@ class _Engine:
         if not plan.requests:
             self.sim.schedule_at(lookup_end, self._complete, qid)
             return
-        self.remaining[qid] = len(plan.requests)
-        for req in plan.requests:
-            req_bytes = (
-                self.params.header_bytes + self.params.bucket_id_bytes * req.n_blocks
-            )
-            t = self.net.transfer_time(req_bytes)
-            _, send_end = self.coord_nic.reserve(lookup_end, t)
-            self.comm_time += t + self.net.latency
-            self.sim.schedule_at(send_end + self.net.latency, self._worker_receive, qid, req)
+        requests = plan.requests
+        if self.suspected:
+            requests = self._reroute_suspected(plan, requests)
+            if requests is None:
+                self.sim.schedule_at(lookup_end, self._abort, qid)
+                return
+        self.remaining[qid] = len(requests)
+        for req in requests:
+            self._send_request(_RequestState(qid, req), lookup_end)
 
-    def _worker_receive(self, qid: int, req: BlockRequest) -> None:
-        plan = self.plans[qid]
+    def _send_request(self, state: _RequestState, earliest: float) -> None:
+        """Transmit one block request, arming its timeout if enabled."""
+        req = state.req
+        req_bytes = (
+            self.params.header_bytes + self.params.bucket_id_bytes * req.n_blocks
+        )
+        t = self.net.transfer_time(req_bytes)
+        _, send_end = self.coord_nic.reserve(earliest, t)
+        self.comm_time += t + self.net.latency
+        arrive = send_end + self.net.latency
+        self.sim.schedule_at(arrive, self._worker_receive, state)
+        if self.timeout is not None:
+            self._states_by_qid.setdefault(state.qid, []).append(state)
+            state.timeout_ev = self.sim.schedule_at(
+                arrive + self.timeout + self._service_estimate(req),
+                self._request_timeout,
+                state,
+            )
+
+    def _worker_receive(self, state: _RequestState) -> None:
+        req = state.req
         node = self.nodes[req.node_id]
+        if self.injector is not None:
+            if not node.alive:
+                return  # dropped on the floor; the timeout recovers it
+            if not self.injector.message_delivered(req.node_id):
+                self.n_messages_lost += 1
+                return
         ready, reply = node.serve(
             self.sim.now,
             req,
-            self.owner.coordinator.local_disk_of_bucket,
-            candidates=plan.candidates_per_node[req.node_id],
-            qualified=plan.qualified_per_node[req.node_id],
+            self._disk_lookup(req),
+            candidates=req.candidates,
+            qualified=req.qualified,
         )
         reply_bytes = (
             self.params.header_bytes + self.params.record_bytes * reply.n_qualified
@@ -187,16 +299,55 @@ class _Engine:
         _, send_end = node.nic.reserve(ready, t)
         self.comm_time += t + self.net.latency
         self.sim.schedule_at(
-            send_end + self.net.latency, self._coordinator_receive, qid, reply_bytes
+            send_end + self.net.latency, self._coordinator_receive, state, reply_bytes
         )
 
-    def _coordinator_receive(self, qid: int, reply_bytes: float) -> None:
+    def _service_estimate(self, req: BlockRequest) -> float:
+        """Healthy-case service time for a request (deadline scaling).
+
+        A cold read of every block plus the CPU filter pass and the reply
+        transfer: large requests get proportionally later deadlines, so the
+        timeout slack (``request_timeout``) measures *anomaly*, not size.
+        """
+        reply_bytes = self.params.header_bytes + self.params.record_bytes * req.qualified
+        return (
+            self.params.disk.service_time(req.n_blocks)
+            + self.params.cpu_filter_per_record * req.candidates
+            + self.net.transfer_time(reply_bytes)
+            + self.net.latency
+        )
+
+    def _disk_lookup(self, req: BlockRequest):
+        """Bucket -> local disk mapping (replica-aware for failover reads)."""
+        if req.target_disks is None:
+            return self.owner.coordinator.local_disk_of_bucket
+        dpn = self.params.disks_per_node
+        local = {
+            int(b): int(d) % dpn for b, d in zip(req.bucket_ids, req.target_disks)
+        }
+        return local.__getitem__
+
+    def _coordinator_receive(self, state: _RequestState, reply_bytes: float) -> None:
+        if state.done:
+            return  # duplicate/late reply: the request was already resolved
+        if self.injector is not None and not self.injector.message_delivered(
+            state.req.node_id
+        ):
+            self.n_messages_lost += 1
+            return
+        state.done = True
+        if state.timeout_ev is not None:
+            state.timeout_ev.cancel()
+        if state.qid in self.aborted:
+            return
         _, ingest_end = self.coord_ingest.reserve(
             self.sim.now, self.net.transfer_time(reply_bytes)
         )
-        self.sim.schedule_at(ingest_end, self._reply_done, qid)
+        self.sim.schedule_at(ingest_end, self._reply_done, state.qid)
 
     def _reply_done(self, qid: int) -> None:
+        if qid not in self.remaining:
+            return  # aborted while this reply was being ingested
         self.remaining[qid] -= 1
         if self.remaining[qid] == 0:
             del self.remaining[qid]
@@ -207,18 +358,108 @@ class _Engine:
         if self.on_complete is not None:
             self.on_complete(qid)
 
+    # -- failure handling ----------------------------------------------------
+
+    def node_recovered(self, node_id: int) -> None:
+        """Called by the injector on recovery: heartbeat clears suspicion."""
+        self.sim.schedule(
+            self.params.heartbeat_delay, self.suspected.discard, node_id
+        )
+
+    def _suspected_disks(self) -> set:
+        disks = set()
+        for n in self.suspected:
+            disks.update(self.owner.coordinator.disks_of_node(n))
+        return disks
+
+    def _reroute_suspected(self, plan: QueryPlan, requests):
+        """Replica-aware planning: reroute requests aimed at suspected nodes."""
+        out = []
+        failed = self._suspected_disks()
+        for req in requests:
+            if req.node_id not in self.suspected:
+                out.append(req)
+                continue
+            if self.params.replication is None:
+                return None
+            rerouted = self.owner.coordinator.failover_requests(
+                plan, req, failed, self.params.replication
+            )
+            if rerouted is None:
+                return None
+            self.n_failovers += 1
+            out.extend(rerouted)
+        return out
+
+    def _request_timeout(self, state: _RequestState) -> None:
+        if state.done:
+            return
+        self.n_timeouts += 1
+        state.done = True
+        req = state.req
+        if req.node_id not in self.suspected and req.attempt < self.params.max_retries:
+            # Retry the same node with exponential backoff.
+            self.n_retries += 1
+            delay = self.params.retry_backoff * (2.0**req.attempt)
+            self._send_request(
+                _RequestState(state.qid, req.retry()), self.sim.now + delay
+            )
+            return
+        # Retries exhausted (or the node is already suspected): declare the
+        # node down and fail the request over to its replica disks.
+        self.suspected.add(req.node_id)
+        self._failover(state)
+
+    def _failover(self, state: _RequestState) -> None:
+        qid = state.qid
+        if qid in self.aborted:
+            return
+        plan = self.plans[qid]
+        new_reqs = None
+        if self.params.replication is not None:
+            new_reqs = self.owner.coordinator.failover_requests(
+                plan, state.req, self._suspected_disks(), self.params.replication
+            )
+        if new_reqs is None:
+            self._abort(qid)
+            return
+        self.n_failovers += 1
+        # Re-planning the replica route costs coordinator CPU.
+        _, replan_end = self.coord_cpu.reserve(
+            self.sim.now,
+            self.owner.coordinator.plan_time_per_bucket * state.req.n_blocks,
+        )
+        self.remaining[qid] += len(new_reqs) - 1
+        for nr in new_reqs:
+            self._send_request(_RequestState(qid, nr), replan_end)
+
+    def _abort(self, qid: int) -> None:
+        """Give up on a query whose data is unreachable."""
+        if qid in self.aborted:
+            return
+        self.aborted.add(qid)
+        for st in self._states_by_qid.get(qid, []):
+            st.done = True
+            if st.timeout_ev is not None:
+                st.timeout_ev.cancel()
+        self.remaining.pop(qid, None)
+        self._complete(qid)
+
     # -- reporting -----------------------------------------------------------
 
     def report(self) -> PerfReport:
         total_hits = sum(n.cache.hits for n in self.nodes)
         total_access = sum(n.cache.hits + n.cache.misses for n in self.nodes)
         elapsed = float(self.completion.max()) if self.queries else 0.0
+        # Utilization over each node's *alive* window, so a crashed node's
+        # dead time doesn't dilute its busy fraction.
+        windows = [n.alive_window(elapsed) for n in self.nodes]
         disk_util = np.array(
             [
-                sum(d.busy_time for d in n.disks) / (elapsed * len(n.disks))
-                if elapsed > 0
+                sum(d.busy_time for d in n.disks) / (w * len(n.disks))
+                if w > 0
                 else 0.0
-                for n in self.nodes
+                for n, w in zip(self.nodes, windows)
             ]
         )
         return PerfReport(
@@ -235,6 +476,11 @@ class _Engine:
             completion_times=self.completion,
             latencies=self.completion - self.submit_time,
             disk_utilization=disk_util,
+            timeouts=self.n_timeouts,
+            retries=self.n_retries,
+            failovers=self.n_failovers,
+            messages_lost=self.n_messages_lost,
+            aborted_queries=len(self.aborted),
         )
 
 
@@ -267,6 +513,17 @@ class ParallelGridFile:
         params: "ClusterParams | None" = None,
     ):
         self.params = params or ClusterParams()
+        if self.params.replication is not None:
+            # Validate eagerly (scheme name, mirrored needs even M).
+            replica_assignment(
+                np.asarray(assignment, dtype=np.int64), int(n_disks), self.params.replication
+            )
+        if self.params.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.params.max_retries}")
+        if self.params.request_timeout is not None and self.params.request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive, got {self.params.request_timeout}"
+            )
         self.coordinator = Coordinator(
             store,
             assignment,
@@ -279,9 +536,20 @@ class ParallelGridFile:
         self.n_disks = int(n_disks)
         self.n_nodes = self.coordinator.n_nodes
 
-    def run_queries(self, queries) -> PerfReport:
-        """Closed-system run: at most ``pipeline_depth`` outstanding queries."""
-        engine = _Engine(self, queries)
+    def run_queries(self, queries, faults=None) -> PerfReport:
+        """Closed-system run: at most ``pipeline_depth`` outstanding queries.
+
+        Parameters
+        ----------
+        queries:
+            The workload.
+        faults:
+            Optional :class:`repro.parallel.faults.FaultPlan` (or a bound
+            :class:`~repro.parallel.faults.FaultInjector`) injecting crashes,
+            slowdowns and message loss mid-run; see the module docs for the
+            degraded-mode protocol.
+        """
+        engine = _Engine(self, queries, faults=faults)
         n = len(engine.queries)
         state = {"next": 0}
 
@@ -297,7 +565,7 @@ class ParallelGridFile:
         engine.sim.run()
         return engine.report()
 
-    def run_open(self, queries, arrival_rate: float, rng=None) -> PerfReport:
+    def run_open(self, queries, arrival_rate: float, rng=None, faults=None) -> PerfReport:
         """Open-system run: Poisson arrivals at ``arrival_rate`` queries/s.
 
         Queries enter the system at their arrival instants regardless of how
@@ -313,11 +581,14 @@ class ParallelGridFile:
             Mean arrivals per simulated second (> 0).
         rng:
             Seed/generator for the exponential inter-arrival times.
+        faults:
+            Optional :class:`repro.parallel.faults.FaultPlan` injected
+            mid-run (see :meth:`run_queries`).
         """
         if arrival_rate <= 0:
             raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
         rng = as_rng(rng)
-        engine = _Engine(self, queries)
+        engine = _Engine(self, queries, faults=faults)
         arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=len(engine.queries)))
         for qid, t in enumerate(arrivals):
             engine.sim.schedule_at(float(t), engine.submit, qid)

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.base import validate_assignment
 from repro.gridfile.query import RangeQuery
 from repro.parallel.message import BlockRequest
+from repro.parallel.replication import effective_disk
 from repro.parallel.stores import PageStore, as_page_store
 
 __all__ = ["Coordinator", "QueryPlan"]
@@ -36,6 +37,10 @@ class QueryPlan:
     candidates_per_node: dict[int, int]
     #: Qualified records per node.
     qualified_per_node: dict[int, int]
+    #: Candidate records per touched bucket (failover re-aggregation).
+    candidates_per_bucket: dict[int, int] = None  # type: ignore[assignment]
+    #: Qualified records per touched bucket (failover re-aggregation).
+    qualified_per_bucket: dict[int, int] = None  # type: ignore[assignment]
 
     @property
     def response_by_definition(self) -> int:
@@ -95,6 +100,56 @@ class Coordinator:
         """Local disk index (within the owning node) of a page."""
         return int(self.assignment[bucket_id]) % self.disks_per_node
 
+    def node_of_disk(self, disk: int) -> int:
+        """Owning node of a disk."""
+        return int(disk) // self.disks_per_node
+
+    def disks_of_node(self, node: int) -> range:
+        """Global disk ids owned by ``node``."""
+        return range(node * self.disks_per_node, (node + 1) * self.disks_per_node)
+
+    def failover_requests(
+        self,
+        plan: QueryPlan,
+        req: BlockRequest,
+        failed_disks,
+        scheme: str,
+    ) -> "list[BlockRequest] | None":
+        """Re-route one request's buckets to replica disks (§3.5, degraded).
+
+        ``failed_disks`` is the coordinator's current suspicion set (every
+        disk of every node it believes down).  Each bucket is walked to its
+        effective replica disk under ``scheme`` (cascaded for chained);
+        surviving targets are regrouped into per-node requests carrying
+        ``target_disks`` so workers read the replica copies.  Returns ``None``
+        when some bucket has no live replica (the query must abort).
+        """
+        failed = {int(f) for f in failed_disks}
+        by_node: dict[int, list[tuple[int, int]]] = {}
+        for b in req.bucket_ids:
+            b = int(b)
+            target = effective_disk(int(self.assignment[b]), self.n_disks, failed, scheme)
+            if target is None:
+                return None
+            by_node.setdefault(self.node_of_disk(target), []).append((b, target))
+        out = []
+        for node in sorted(by_node):
+            pairs = by_node[node]
+            bids = np.array([b for b, _ in pairs], dtype=np.int64)
+            targets = np.array([d for _, d in pairs], dtype=np.int64)
+            out.append(
+                BlockRequest(
+                    query_id=req.query_id,
+                    node_id=node,
+                    bucket_ids=bids,
+                    candidates=sum(plan.candidates_per_bucket[b] for b, _ in pairs),
+                    qualified=sum(plan.qualified_per_bucket[b] for b, _ in pairs),
+                    attempt=0,  # fresh retry budget against the new target
+                    target_disks=targets,
+                )
+            )
+        return out
+
     def plan(self, query_id: int, query: RangeQuery) -> QueryPlan:
         """Translate a query into per-node block requests."""
         bids = self.store.query_pages(query.lo, query.hi)
@@ -104,17 +159,27 @@ class Coordinator:
         requests: list[BlockRequest] = []
         candidates: dict[int, int] = {}
         qualified: dict[int, int] = {}
+        cand_bucket: dict[int, int] = {}
+        qual_bucket: dict[int, int] = {}
         nodes = disks // self.disks_per_node
         for node in np.unique(nodes):
             node_bids = bids[nodes == node]
-            requests.append(BlockRequest(query_id, int(node), node_bids))
             cand = 0
             qual = 0
             for b in node_bids:
                 rec = self.store.page_records(int(b))
-                cand += rec.size
+                bq = 0
                 if rec.size:
-                    qual += int(query.contains(self.store.record_coords(rec)).sum())
+                    bq = int(query.contains(self.store.record_coords(rec)).sum())
+                cand_bucket[int(b)] = rec.size
+                qual_bucket[int(b)] = bq
+                cand += rec.size
+                qual += bq
+            requests.append(
+                BlockRequest(
+                    query_id, int(node), node_bids, candidates=cand, qualified=qual
+                )
+            )
             candidates[int(node)] = cand
             qualified[int(node)] = qual
         return QueryPlan(
@@ -123,6 +188,8 @@ class Coordinator:
             blocks_per_disk=blocks_per_disk,
             candidates_per_node=candidates,
             qualified_per_node=qualified,
+            candidates_per_bucket=cand_bucket,
+            qualified_per_bucket=qual_bucket,
         )
 
     def plan_cpu_time(self, plan: QueryPlan) -> float:

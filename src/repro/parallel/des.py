@@ -2,10 +2,14 @@
 
 Deterministic, callback-based: events fire in (time, insertion-order) order,
 so equal-time events are processed first-scheduled-first — which makes whole
-cluster runs exactly reproducible.  :class:`Resource` models a serially
-usable unit (a disk, a NIC) through reservation: callers ask for the
-earliest slot at or after a given time and the resource returns the granted
-``(start, end)`` window.
+cluster runs exactly reproducible.  :meth:`Simulator.schedule_at` returns an
+:class:`Event` handle that can be cancelled before it fires (the cluster's
+request timeouts are scheduled eagerly and cancelled when the reply lands);
+cancelled events are skipped without advancing the clock or perturbing the
+ordering of live events.  :class:`Resource` models a serially usable unit
+(a disk, a NIC) through reservation: callers ask for the earliest slot at or
+after a given time and the resource returns the granted ``(start, end)``
+window.
 """
 
 from __future__ import annotations
@@ -13,29 +17,51 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-__all__ = ["Simulator", "Resource"]
+__all__ = ["Simulator", "Resource", "Event"]
+
+
+class Event:
+    """Handle for a scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "cancelled", "fired")
+
+    def __init__(self, time: float):
+        self.time = time
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not fired, not cancelled)."""
+        return not (self.cancelled or self.fired)
 
 
 class Simulator:
     """Event loop: schedule callbacks at future times, run until drained."""
 
     def __init__(self):
-        self._heap: list[tuple[float, int, object, tuple]] = []
+        self._heap: list[tuple[float, int, Event, object, tuple]] = []
         self._seq = 0
         self.now = 0.0
 
-    def schedule_at(self, time: float, callback, *args) -> None:
+    def schedule_at(self, time: float, callback, *args) -> Event:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
         if time < self.now - 1e-12:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        heapq.heappush(self._heap, (float(time), self._seq, callback, args))
+        ev = Event(float(time))
+        heapq.heappush(self._heap, (float(time), self._seq, ev, callback, args))
         self._seq += 1
+        return ev
 
-    def schedule(self, delay: float, callback, *args) -> None:
+    def schedule(self, delay: float, callback, *args) -> Event:
         """Schedule ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        self.schedule_at(self.now + delay, callback, *args)
+        return self.schedule_at(self.now + delay, callback, *args)
 
     def run(self, until: "float | None" = None) -> float:
         """Process events (optionally only up to time ``until``).
@@ -43,11 +69,16 @@ class Simulator:
         Returns the simulation clock after the run.
         """
         while self._heap:
-            time, _, callback, args = self._heap[0]
+            time, _, ev, callback, args = self._heap[0]
+            if ev.cancelled:
+                # Cancelled events are discarded without touching the clock.
+                heapq.heappop(self._heap)
+                continue
             if until is not None and time > until:
                 break
             heapq.heappop(self._heap)
             self.now = time
+            ev.fired = True
             callback(*args)
         if until is not None and until > self.now:
             self.now = until
@@ -55,8 +86,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events not yet processed."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events not yet processed."""
+        return sum(1 for _, _, ev, _, _ in self._heap if not ev.cancelled)
 
 
 @dataclass

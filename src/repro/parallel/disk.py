@@ -36,12 +36,19 @@ class DiskModel:
     transfer_rate: float = 4.0e6
     block_bytes: int = 8192
 
-    def service_time(self, n_blocks: int) -> float:
-        """Time to read ``n_blocks`` blocks in one request."""
+    def service_time(self, n_blocks: int, slowdown: float = 1.0) -> float:
+        """Time to read ``n_blocks`` blocks in one request.
+
+        ``slowdown`` is a degraded-mode multiplier (>= 1 in practice): a disk
+        under a fault-injected slowdown serves the same request proportionally
+        slower.  The healthy value 1.0 leaves the model bit-for-bit unchanged.
+        """
         if n_blocks < 0:
             raise ValueError(f"negative block count {n_blocks}")
+        if slowdown <= 0:
+            raise ValueError(f"slowdown multiplier must be positive, got {slowdown}")
         if n_blocks == 0:
             return 0.0
         transfer = n_blocks * self.block_bytes / self.transfer_rate
         positioning = self.position_time + (n_blocks - 1) * self.reposition_time
-        return positioning + transfer
+        return (positioning + transfer) * slowdown

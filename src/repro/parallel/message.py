@@ -18,16 +18,44 @@ __all__ = ["BlockRequest", "BlockReply"]
 
 @dataclass(frozen=True)
 class BlockRequest:
-    """Coordinator -> worker: fetch these buckets for query ``query_id``."""
+    """Coordinator -> worker: fetch these buckets for query ``query_id``.
+
+    The retry metadata (``attempt``, ``target_disks``) is filled in by the
+    fault-tolerant engine: ``attempt`` counts prior transmissions of the same
+    logical request, and ``target_disks`` — when not ``None`` — carries the
+    *effective* per-bucket disk ids after replica failover (aligned with
+    ``bucket_ids``; the worker maps them to its local disk indices instead of
+    consulting the primary assignment).
+    """
 
     query_id: int
     node_id: int
     bucket_ids: np.ndarray
+    #: Candidate (stored) records under the requested buckets.
+    candidates: int = 0
+    #: Records inside the query box (reply payload size).
+    qualified: int = 0
+    #: Retransmission count of this logical request (0 = first send).
+    attempt: int = 0
+    #: Effective per-bucket disk ids after failover (None = primary copies).
+    target_disks: "np.ndarray | None" = None
 
     @property
     def n_blocks(self) -> int:
         """Number of blocks requested."""
         return int(len(self.bucket_ids))
+
+    def retry(self) -> "BlockRequest":
+        """Copy of this request with the attempt counter bumped."""
+        return BlockRequest(
+            query_id=self.query_id,
+            node_id=self.node_id,
+            bucket_ids=self.bucket_ids,
+            candidates=self.candidates,
+            qualified=self.qualified,
+            attempt=self.attempt + 1,
+            target_disks=self.target_disks,
+        )
 
 
 @dataclass(frozen=True)

@@ -35,3 +35,16 @@ class NetworkModel:
         if n_bytes < 0:
             raise ValueError(f"negative message size {n_bytes}")
         return n_bytes / self.bandwidth
+
+    def delivered(self, rng, loss_prob: float) -> bool:
+        """Whether one message survives a lossy link.
+
+        Draws from ``rng`` only when ``loss_prob > 0``, so healthy links
+        consume no randomness and fault-free runs stay bit-for-bit
+        reproducible.
+        """
+        if not 0.0 <= loss_prob <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {loss_prob}")
+        if loss_prob == 0.0:
+            return True
+        return bool(rng.random() >= loss_prob)

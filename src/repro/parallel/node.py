@@ -22,7 +22,14 @@ __all__ = ["WorkerNode"]
 
 @dataclass
 class WorkerNode:
-    """One worker: disks + cache + CPU + NIC, all FIFO resources."""
+    """One worker: disks + cache + CPU + NIC, all FIFO resources.
+
+    Degradable state (mutated by :class:`repro.parallel.faults.FaultInjector`
+    mid-run): ``alive`` gates whether delivered requests are served at all,
+    and ``disk_slowdown`` holds a per-local-disk service-time multiplier that
+    :meth:`serve` applies on every read.  Crash/recovery bookkeeping feeds the
+    alive-window utilization in :class:`repro.parallel.cluster.PerfReport`.
+    """
 
     node_id: int
     disk_model: DiskModel
@@ -37,6 +44,14 @@ class WorkerNode:
     blocks_read: int = 0
     records_filtered: int = 0
     records_qualified: int = 0
+    #: False while the node is crashed (requests delivered then are dropped).
+    alive: bool = True
+    #: Simulated time of the current crash (None while up).
+    down_since: "float | None" = None
+    #: Accumulated crashed time over completed down intervals.
+    down_time: float = 0.0
+    #: Per-local-disk service-time multipliers (1.0 = healthy).
+    disk_slowdown: list = field(default_factory=list)
 
     @classmethod
     def create(
@@ -56,7 +71,41 @@ class WorkerNode:
             cpu=Resource(f"node{node_id}.cpu"),
             nic=Resource(f"node{node_id}.nic"),
             cpu_filter_per_record=cpu_filter_per_record,
+            disk_slowdown=[1.0] * disks_per_node,
         )
+
+    # -- degraded-mode transitions ------------------------------------------
+
+    def crash(self, now: float) -> None:
+        """Take the node down: volatile state (the buffer cache) is lost."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.down_since = now
+        # A restarted node comes back with a cold cache; hit/miss counters
+        # survive (they are run statistics, not node state).
+        hits, misses = self.cache.hits, self.cache.misses
+        self.cache = LRUCache(self.cache.capacity)
+        self.cache.hits, self.cache.misses = hits, misses
+
+    def recover(self, now: float) -> None:
+        """Bring a crashed node back up (cold cache, healthy disks)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.down_time += now - self.down_since
+        self.down_since = None
+        # Work queued on the disks died with the node: restart with an empty
+        # queue (requests delivered while down were dropped, not deferred).
+        for d in self.disks:
+            d.busy_until = now
+
+    def alive_window(self, elapsed: float) -> float:
+        """Seconds this node was up within ``[0, elapsed]``."""
+        down = self.down_time
+        if self.down_since is not None:
+            down += max(0.0, elapsed - self.down_since)
+        return max(0.0, elapsed - down)
 
     def serve(
         self,
@@ -98,9 +147,13 @@ class WorkerNode:
                 n_misses += 1
 
         # Disks work in parallel; each disk serves its blocks as one request.
+        # A degraded disk's fault-injected slowdown multiplies service time.
         disk_done = arrival
         for d, n_blocks in misses_per_disk.items():
-            _, end = self.disks[d].reserve(arrival, self.disk_model.service_time(n_blocks))
+            slow = self.disk_slowdown[d] if d < len(self.disk_slowdown) else 1.0
+            _, end = self.disks[d].reserve(
+                arrival, self.disk_model.service_time(n_blocks, slow)
+            )
             disk_done = max(disk_done, end)
 
         # CPU filtering starts when all blocks are in memory.

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro._util import check_positive_int
 
-__all__ = ["replica_assignment", "apply_failures", "SCHEMES"]
+__all__ = ["replica_assignment", "apply_failures", "effective_disk", "SCHEMES"]
 
 #: Supported replication schemes.
 SCHEMES = ("chained", "mirrored")
@@ -54,6 +54,40 @@ def replica_assignment(assignment: np.ndarray, n_disks: int, scheme: str = "chai
     raise ValueError(f"unknown replication scheme {scheme!r}; choose from {SCHEMES}")
 
 
+def effective_disk(primary: int, n_disks: int, failed, scheme: str = "chained") -> "int | None":
+    """Live disk serving one bucket whose primary is ``primary``.
+
+    Returns the primary itself when it is up, the replica location otherwise,
+    or ``None`` when the bucket is unreachable under the scheme:
+
+    * **chained** — walk ``(d + 1) mod M`` past *consecutive* failed disks
+      (cascaded failover: each surviving disk re-exports the chain segment
+      behind it), so data is lost only when every disk is down.
+    * **mirrored** — only the XOR-partner holds a copy; both down = lost.
+    """
+    primary = int(primary)
+    failed = {int(f) for f in failed}
+    if scheme == "chained":
+        if n_disks < 2:
+            raise ValueError("chained replication needs at least 2 disks")
+        if primary not in failed:
+            return primary
+        d = (primary + 1) % n_disks
+        while d != primary:
+            if d not in failed:
+                return d
+            d = (d + 1) % n_disks
+        return None
+    if scheme == "mirrored":
+        if n_disks % 2:
+            raise ValueError("mirrored replication needs an even number of disks")
+        if primary not in failed:
+            return primary
+        partner = primary ^ 1
+        return None if partner in failed else partner
+    raise ValueError(f"unknown replication scheme {scheme!r}; choose from {SCHEMES}")
+
+
 def apply_failures(
     assignment: np.ndarray,
     n_disks: int,
@@ -63,8 +97,12 @@ def apply_failures(
     """Effective read assignment when ``failed`` disks are down.
 
     Buckets whose primary disk failed are served from their backup copy.
-    Raises ``RuntimeError`` if any bucket's primary *and* backup both failed
-    (data unavailable).
+    Chained replication fails over *cascadingly*: when the immediate backup
+    ``(d + 1) mod M`` is also down, the walk continues to the next live disk,
+    so chained data is unreachable only when every disk failed.  Mirrored
+    pairs hold the only two copies, so a fully-failed pair loses its buckets.
+    Raises ``RuntimeError`` only when some bucket's data is truly
+    unreachable.
 
     Parameters
     ----------
@@ -77,24 +115,30 @@ def apply_failures(
     scheme:
         Replication scheme that placed the backups.
     """
+    check_positive_int(n_disks, "n_disks")
     assignment = np.asarray(assignment, dtype=np.int64)
     failed = sorted(set(int(f) for f in failed))
     for f in failed:
         if not 0 <= f < n_disks:
             raise ValueError(f"failed disk {f} out of range [0, {n_disks})")
     if not failed:
+        # Validate the scheme name even on the trivial path.
+        replica_assignment(assignment[:0], n_disks, scheme)
         return assignment.copy()
     if len(failed) >= n_disks:
         raise RuntimeError("every disk failed; no data available")
-    backup = replica_assignment(assignment, n_disks, scheme)
-    failed_mask = np.zeros(n_disks, dtype=bool)
-    failed_mask[failed] = True
-    out = assignment.copy()
-    down = failed_mask[assignment]
-    if failed_mask[backup[down]].any():
-        lost = int(np.count_nonzero(failed_mask[backup] & down))
+    # Per-disk redirect table: where disk d's buckets are actually served.
+    redirect = np.arange(n_disks, dtype=np.int64)
+    lost_disks = []
+    for f in failed:
+        target = effective_disk(f, n_disks, failed, scheme)
+        if target is None:
+            lost_disks.append(f)
+        else:
+            redirect[f] = target
+    if lost_disks:
+        lost = int(np.isin(assignment, lost_disks).sum())
         raise RuntimeError(
-            f"{lost} buckets lost: primary and backup disks both failed"
+            f"{lost} buckets lost: primary and every replica disk failed"
         )
-    out[down] = backup[down]
-    return out
+    return redirect[assignment]

@@ -15,7 +15,7 @@ from repro._util import as_rng, check_positive_int
 from repro.core.minimax import minimax_partition
 from repro.core.optimal import optimal_response_times
 from repro.core.ssp import short_spanning_path
-from repro.sfc import HilbertCurve, bits_for
+from repro.sfc import HilbertCurve
 from repro.sim.diskmodel import QueryEvaluation
 from repro.rtree.rtree import RTree
 

@@ -40,7 +40,9 @@ class TestExpectedResponse:
         assert got == response_for_query(dm2, (3, 3), 4)
 
     def test_fx_position_dependent(self):
-        fx = lambda c: np.bitwise_xor.reduce(c, axis=1)
+        def fx(c):
+            return np.bitwise_xor.reduce(c, axis=1)
+
         vals = {
             response_for_query(fx, (2, 2), 4, origin=(a, b))
             for a in range(4)

@@ -23,6 +23,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["dataset", "imagenet"])
 
+    def test_fault_sim_defaults(self):
+        args = build_parser().parse_args(["fault-sim", "hot.2d"])
+        assert args.scheme == "chained"
+        assert args.crash_node == 3
+        assert args.crash_time == 0.05
+        assert args.recover_time is None
+
+    def test_fault_sim_rejects_bad_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fault-sim", "hot.2d", "--scheme", "raid6"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -63,3 +74,25 @@ class TestCommands:
         assert main(["--seed", "3", "experiment", "table1", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "data balance" in out
+
+    def test_fault_sim(self, capsys):
+        rc = main(
+            [
+                "--seed", "3",
+                "fault-sim", "uniform.2d",
+                "--disks", "8",
+                "--scheme", "chained",
+                "--crash-node", "2",
+                "--crash-time", "0.02",
+                "--queries", "40",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "failovers" in out
+        assert "availability" in out
+        assert "aborted queries    : 0" in out
+
+    def test_fault_sim_crash_node_out_of_range(self, capsys):
+        rc = main(["fault-sim", "uniform.2d", "--disks", "4", "--crash-node", "7"])
+        assert rc == 2

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.parallel import Resource, Simulator
+from repro.parallel import Event, Resource, Simulator
 
 
 class TestSimulator:
@@ -67,6 +67,70 @@ class TestSimulator:
         sim.schedule(2.0, lambda: sim.schedule_at(1.0, lambda: None))
         with pytest.raises(ValueError):
             sim.run()
+
+
+class TestEventCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        log = []
+        ev = sim.schedule(1.0, log.append, "doomed")
+        sim.schedule(2.0, log.append, "kept")
+        ev.cancel()
+        sim.run()
+        assert log == ["kept"]
+
+    def test_schedule_returns_event(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        assert isinstance(ev, Event)
+        assert ev.active
+        assert ev.time == 1.0
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        ev.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_from_callback(self):
+        """A callback can defuse an already-scheduled later event."""
+        sim = Simulator()
+        log = []
+        timeout = sim.schedule(5.0, log.append, "timeout")
+        sim.schedule(1.0, timeout.cancel)
+        sim.run()
+        assert log == []
+        assert sim.now == 1.0  # cancelled events never advance the clock
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        log = []
+        ev = sim.schedule(1.0, log.append, "x")
+        sim.run()
+        assert log == ["x"]
+        assert ev.fired and not ev.active
+        ev.cancel()  # no error, no effect
+        assert not ev.cancelled or log == ["x"]
+
+    def test_cancel_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert not ev.active
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancelled_tail_leaves_clock_alone(self):
+        """run() skipping a cancelled final event must not move ``now``."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        ev = sim.schedule(9.0, lambda: None)
+        ev.cancel()
+        sim.run()
+        assert sim.now == 1.0
 
 
 class TestResource:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import DiskModulo
-from repro.gridfile import RangeQuery
 from repro.sim import (
     degree_of_data_balance,
     evaluate_queries,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import Minimax
-from repro.parallel import apply_failures, replica_assignment
+from repro.parallel import apply_failures, effective_disk, replica_assignment
 from repro.sim import evaluate_queries, square_queries
 
 
@@ -54,10 +54,23 @@ class TestApplyFailures:
         out = apply_failures(a, 4, [2], "mirrored")
         assert out.tolist() == [0, 1, 3, 3]
 
-    def test_adjacent_chained_failures_lose_data(self):
+    def test_adjacent_chained_failures_cascade(self):
+        """Chained failover walks past consecutive failed disks."""
         a = np.array([0, 1, 2, 3])
-        with pytest.raises(RuntimeError):
-            apply_failures(a, 4, [0, 1], "chained")
+        out = apply_failures(a, 4, [0, 1], "chained")
+        assert out.tolist() == [2, 2, 2, 3]
+
+    def test_chained_cascade_length_three(self):
+        """A chain of three consecutive failures lands on the survivor."""
+        a = np.array([0, 1, 2, 3])
+        out = apply_failures(a, 4, [0, 1, 2], "chained")
+        assert out.tolist() == [3, 3, 3, 3]
+
+    def test_chained_cascade_wraps(self):
+        """The (d+1) mod M walk wraps around the end of the farm."""
+        a = np.array([0, 1, 2, 3])
+        out = apply_failures(a, 4, [3, 0], "chained")
+        assert out.tolist() == [1, 1, 2, 1]
 
     def test_nonadjacent_chained_failures_ok(self):
         a = np.array([0, 1, 2, 3])
@@ -69,13 +82,55 @@ class TestApplyFailures:
         with pytest.raises(RuntimeError):
             apply_failures(a, 4, [0, 1], "mirrored")
 
+    def test_mirrored_odd_disks_rejected(self):
+        with pytest.raises(ValueError):
+            apply_failures(np.array([0]), 5, [2], "mirrored")
+
     def test_all_disks_failed(self):
         with pytest.raises(RuntimeError):
             apply_failures(np.array([0]), 2, [0, 1])
 
+    def test_all_but_one_chained_still_serves(self):
+        """Cascaded chained: any single survivor carries everything."""
+        a = np.arange(6) % 6
+        out = apply_failures(a, 6, [0, 1, 2, 4, 5], "chained")
+        assert (out == 3).all()
+
     def test_out_of_range_failure(self):
         with pytest.raises(ValueError):
             apply_failures(np.array([0]), 2, [5])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            apply_failures(np.array([0]), 4, [1], "raid6")
+
+
+class TestEffectiveDisk:
+    def test_healthy_primary_untouched(self):
+        assert effective_disk(2, 8, set(), "chained") == 2
+        assert effective_disk(2, 8, {3}, "mirrored") == 2
+
+    def test_chained_walks_consecutive_failures(self):
+        assert effective_disk(0, 4, {0}, "chained") == 1
+        assert effective_disk(0, 4, {0, 1}, "chained") == 2
+        assert effective_disk(0, 4, {0, 1, 2}, "chained") == 3
+        assert effective_disk(3, 4, {3, 0, 1}, "chained") == 2  # wraps
+
+    def test_chained_unreachable_when_all_down(self):
+        assert effective_disk(1, 4, {0, 1, 2, 3}, "chained") is None
+
+    def test_mirrored_partner_only(self):
+        assert effective_disk(4, 8, {4}, "mirrored") == 5
+        assert effective_disk(5, 8, {5}, "mirrored") == 4
+        assert effective_disk(4, 8, {4, 5}, "mirrored") is None
+
+    def test_mirrored_needs_even(self):
+        with pytest.raises(ValueError):
+            effective_disk(0, 5, {0}, "mirrored")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            effective_disk(0, 4, {0}, "btrfs")
 
 
 class TestDegradedResponse:

@@ -1,6 +1,5 @@
 """Tests for report rendering (density maps) and the full-report runner."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.report import ascii_gridfile_map

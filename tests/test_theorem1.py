@@ -102,7 +102,9 @@ class TestBoxGeneralization:
         from repro.analysis.bruteforce import response_for_query
         from repro.analysis.theorem1 import dm_response_exact_box
 
-        dm = lambda c: c.sum(axis=1)
+        def dm(c):
+            return c.sum(axis=1)
+
         for shape in ((3, 7), (5, 2), (4, 4, 4), (2, 3, 5), (6,)):
             for m in (2, 3, 4, 7, 11):
                 assert dm_response_exact_box(shape, m) == response_for_query(dm, shape, m)
