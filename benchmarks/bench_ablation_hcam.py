@@ -7,7 +7,7 @@ quantifies the difference in balance and response.
 """
 
 import numpy as np
-from conftest import DISKS, N_QUERIES, SEED, once
+from conftest import DISKS, JOBS, N_QUERIES, SEED, once
 
 from repro.core.hcam import HCAM
 from repro.datasets import build_gridfile, load
@@ -35,7 +35,7 @@ def _run():
     ds = load("hot.2d", rng=SEED)
     gf = build_gridfile(ds)
     queries = square_queries(N_QUERIES, 0.05, ds.domain_lo, ds.domain_hi, rng=SEED)
-    return sweep_methods(gf, [RankHCAM(), RawHCAM()], DISKS, queries, rng=SEED)
+    return sweep_methods(gf, [RankHCAM(), RawHCAM()], DISKS, queries, rng=SEED, jobs=JOBS)
 
 
 def test_ablation_hcam_rank_vs_raw(benchmark, report_sink):

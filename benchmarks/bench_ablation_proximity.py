@@ -6,7 +6,7 @@ weights on the skewed datasets.
 """
 
 import numpy as np
-from conftest import DISKS, N_QUERIES, SEED, once
+from conftest import DISKS, JOBS, N_QUERIES, SEED, once
 
 from repro.core import Minimax
 from repro.datasets import build_gridfile, load
@@ -26,6 +26,7 @@ def _run():
             DISKS,
             queries,
             rng=SEED,
+            jobs=JOBS,
         )
     return out
 

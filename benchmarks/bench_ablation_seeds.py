@@ -6,7 +6,7 @@ bench measures whether the extra care buys response time.
 """
 
 import numpy as np
-from conftest import DISKS, N_QUERIES, SEED, once
+from conftest import DISKS, JOBS, N_QUERIES, SEED, once
 
 from repro.core import Minimax
 from repro.datasets import build_gridfile, load
@@ -26,7 +26,7 @@ def _run():
     ds = load("hot.2d", rng=SEED)
     gf = build_gridfile(ds)
     queries = square_queries(N_QUERIES, 0.01, ds.domain_lo, ds.domain_hi, rng=SEED)
-    return sweep_methods(gf, [Minimax(), FarthestMinimax()], DISKS, queries, rng=SEED)
+    return sweep_methods(gf, [Minimax(), FarthestMinimax()], DISKS, queries, rng=SEED, jobs=JOBS)
 
 
 def test_ablation_minimax_seeding(benchmark, report_sink):

@@ -6,7 +6,7 @@ each curve, response time on hot.2d at r = 0.05.
 """
 
 import numpy as np
-from conftest import DISKS, N_QUERIES, SEED, once
+from conftest import DISKS, JOBS, N_QUERIES, SEED, once
 
 from repro.core.hcam import HCAM
 from repro.datasets import build_gridfile, load
@@ -19,7 +19,7 @@ def _run():
     gf = build_gridfile(ds)
     queries = square_queries(N_QUERIES, 0.05, ds.domain_lo, ds.domain_hi, rng=SEED)
     methods = [HCAM(curve=c) for c in ("hilbert", "zorder", "gray", "scan")]
-    return sweep_methods(gf, methods, DISKS, queries, rng=SEED)
+    return sweep_methods(gf, methods, DISKS, queries, rng=SEED, jobs=JOBS)
 
 
 def test_ablation_hcam_linearization(benchmark, report_sink):

@@ -8,7 +8,7 @@ generalized disk modulo.
 """
 
 import numpy as np
-from conftest import DISKS, N_QUERIES, SEED, once
+from conftest import DISKS, JOBS, N_QUERIES, SEED, once
 
 from repro.datasets import build_gridfile, load
 from repro.experiments import render_sweep
@@ -21,7 +21,7 @@ def _run():
     ds = load("hot.2d", rng=SEED)
     gf = build_gridfile(ds)
     queries = square_queries(N_QUERIES, 0.01, ds.domain_lo, ds.domain_hi, rng=SEED)
-    return sweep_methods(gf, METHODS, DISKS, queries, rng=SEED)
+    return sweep_methods(gf, METHODS, DISKS, queries, rng=SEED, jobs=JOBS)
 
 
 def test_ext_method_field(benchmark, report_sink):

@@ -10,7 +10,7 @@ under mixed workloads.
 """
 
 import numpy as np
-from conftest import DISKS, N_QUERIES, SEED, once
+from conftest import DISKS, JOBS, N_QUERIES, SEED, once
 
 from repro.datasets import build_gridfile, load
 from repro.experiments import render_sweep
@@ -27,7 +27,7 @@ def _run():
         queries = partial_match_workload(
             N_QUERIES, ds.domain_lo, ds.domain_hi, 1, rng=SEED, value_pool=ds.points
         )
-        out[name] = sweep_methods(gf, METHODS, DISKS, queries, rng=SEED)
+        out[name] = sweep_methods(gf, METHODS, DISKS, queries, rng=SEED, jobs=JOBS)
     return out
 
 

@@ -8,7 +8,7 @@ center distributions and checks the paper's ordering survives the skew.
 """
 
 import numpy as np
-from conftest import DISKS, N_QUERIES, SEED, once
+from conftest import DISKS, JOBS, N_QUERIES, SEED, once
 
 from repro.datasets import build_gridfile, load
 from repro.experiments import render_sweep
@@ -26,7 +26,7 @@ def _run():
         queries = square_queries(
             N_QUERIES, 0.01, ds.domain_lo, ds.domain_hi, rng=SEED, centers=centers
         )
-        out[kind] = sweep_methods(gf, METHODS, DISKS, queries, rng=SEED)
+        out[kind] = sweep_methods(gf, METHODS, DISKS, queries, rng=SEED, jobs=JOBS)
     return out
 
 

@@ -6,7 +6,7 @@ sensitive (right graph).
 """
 
 import numpy as np
-from conftest import DISKS, N_QUERIES, SEED, once
+from conftest import DISKS, JOBS, N_QUERIES, SEED, once, sweep_data
 
 from repro.datasets import build_gridfile, load
 from repro.experiments import render_sweep
@@ -20,7 +20,7 @@ def _run():
     out = {}
     for base in ("hcam", "fx"):
         methods = [f"{base}/R", f"{base}/F", f"{base}/D", f"{base}/A"]
-        out[base.upper()] = sweep_methods(gf, methods, DISKS, queries, rng=SEED)
+        out[base.upper()] = sweep_methods(gf, methods, DISKS, queries, rng=SEED, jobs=JOBS)
     return out
 
 
@@ -35,7 +35,11 @@ def test_fig3_conflict_heuristics(benchmark, report_sink):
         render_sweep(sweep, f"Figure 3: conflict heuristics under {base} (hot.2d, r=0.05)")
         for base, sweep in sweeps.items()
     )
-    report_sink("fig3_conflict", text)
+    report_sink(
+        "fig3_conflict",
+        text,
+        data={name: sweep_data(sweep) for name, sweep in sweeps.items()},
+    )
 
     # Data balance is the winner (within noise) for both schemes.
     for base, sweep in sweeps.items():

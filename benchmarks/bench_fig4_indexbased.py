@@ -5,7 +5,7 @@ DM/FX saturate as disks grow while HCAM keeps improving; the gap between
 HCAM and optimal grows with skew.
 """
 
-from conftest import DISKS, N_QUERIES, SEED, once
+from conftest import DISKS, JOBS, N_QUERIES, SEED, once, sweep_data
 
 from repro.analysis import saturation_point
 from repro.datasets import build_gridfile, load
@@ -21,7 +21,7 @@ def _run():
         ds = load(name, rng=SEED)
         gf = build_gridfile(ds)
         queries = square_queries(N_QUERIES, 0.05, ds.domain_lo, ds.domain_hi, rng=SEED)
-        out[name] = sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], DISKS, queries, rng=SEED)
+        out[name] = sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], DISKS, queries, rng=SEED, jobs=JOBS)
     return out
 
 
@@ -31,7 +31,11 @@ def test_fig4_index_based(benchmark, report_sink):
         render_sweep(sweep, f"Figure 4: index-based declustering ({name}, r=0.05)")
         for name, sweep in sweeps.items()
     )
-    report_sink("fig4_indexbased", text)
+    report_sink(
+        "fig4_indexbased",
+        text,
+        data={name: sweep_data(sweep) for name, sweep in sweeps.items()},
+    )
 
     for name, sweep in sweeps.items():
         dm = sweep.curves["DM/D"].response

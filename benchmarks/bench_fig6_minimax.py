@@ -7,7 +7,7 @@ curves flatten earlier than hot.2d's (its uniform fraction is larger).
 """
 
 import numpy as np
-from conftest import DISKS, N_QUERIES, SEED, once
+from conftest import DISKS, JOBS, N_QUERIES, SEED, once, sweep_data
 
 from repro.datasets import build_gridfile, load
 from repro.experiments import render_sweep
@@ -23,7 +23,7 @@ def _run():
         ds = load(name, rng=SEED)
         gf = build_gridfile(ds)
         queries = square_queries(N_QUERIES, 0.01, ds.domain_lo, ds.domain_hi, rng=SEED)
-        out[name] = sweep_methods(gf, METHODS, DISKS, queries, rng=SEED)
+        out[name] = sweep_methods(gf, METHODS, DISKS, queries, rng=SEED, jobs=JOBS)
     return out
 
 
@@ -33,7 +33,11 @@ def test_fig6_proximity_vs_index_based(benchmark, report_sink):
         render_sweep(sweep, f"Figure 6: declustering comparison ({name}, r=0.01)")
         for name, sweep in sweeps.items()
     )
-    report_sink("fig6_minimax", text)
+    report_sink(
+        "fig6_minimax",
+        text,
+        data={name: sweep_data(sweep) for name, sweep in sweeps.items()},
+    )
 
     for name, sweep in sweeps.items():
         means = {n: float(np.mean(c.response[2:])) for n, c in sweep.curves.items()}

@@ -5,7 +5,7 @@ every query size; its relative advantage grows as the query ratio shrinks.
 """
 
 import numpy as np
-from conftest import DISKS, N_QUERIES, SEED, once
+from conftest import DISKS, JOBS, N_QUERIES, SEED, once, sweep_data
 
 from repro.datasets import build_gridfile, load
 from repro.experiments import series_text
@@ -20,7 +20,7 @@ def _run():
     out = {}
     for r in RATIOS:
         queries = square_queries(N_QUERIES, r, ds.domain_lo, ds.domain_hi, rng=SEED)
-        out[r] = sweep_methods(gf, ["hcam/D", "minimax"], DISKS, queries, rng=SEED)
+        out[r] = sweep_methods(gf, ["hcam/D", "minimax"], DISKS, queries, rng=SEED, jobs=JOBS)
     return out
 
 
@@ -38,7 +38,14 @@ def test_fig7_query_size_effect(benchmark, report_sink):
         + "\n\n"
         + series_text("disks", disks, speedup, title="Figure 7: speedup vs 4 disks (stock.3d)")
     )
-    report_sink("fig7_querysize", text)
+    report_sink(
+        "fig7_querysize",
+        text,
+        data={
+            "speedup": speedup,
+            "sweeps": {f"r={r}": sweep_data(sweep) for r, sweep in sweeps.items()},
+        },
+    )
 
     margins = {}
     for r, sweep in sweeps.items():

@@ -6,6 +6,8 @@ proximity rows, minimax partitioning, grid file bulk loading, and query
 evaluation throughput.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -15,7 +17,12 @@ from repro.datasets import load
 from repro.gridfile import bulk_load
 from repro.sfc import HilbertCurve
 from repro.sim import square_queries
-from repro.sim.diskmodel import query_buckets
+from repro.sim.diskmodel import (
+    _response_times_reference,
+    query_buckets,
+    resolve_query_buckets,
+    response_times,
+)
 
 
 @pytest.fixture(scope="module")
@@ -71,6 +78,62 @@ def test_query_evaluation_throughput(benchmark):
     queries = square_queries(1000, 0.05, ds.domain_lo, ds.domain_hi, rng=1)
     lists = benchmark.pedantic(query_buckets, args=(gf, queries), rounds=3, iterations=1)
     assert len(lists) == 1000
+
+
+def test_response_times_vectorized_speedup(benchmark, report_sink):
+    """Acceptance gate: the CSR response-time kernel beats the per-query loop >= 5x.
+
+    Fig-6-scale setup — the stock.3d grid file (~1,500 buckets) under 10,000
+    random square queries at r = 0.01.  Both kernels consume the same
+    CSR-packed bucket lists, so the comparison isolates the evaluation loop
+    itself; timings and the speedup land in results/micro_response_speedup.json.
+    """
+    ds = load("stock.3d", rng=0)
+    gf = bulk_load(ds.points, ds.domain_lo, ds.domain_hi, 150, resolution=(32, 22, 9))
+    queries = square_queries(10_000, 0.01, ds.domain_lo, ds.domain_hi, rng=1)
+    bls = resolve_query_buckets(gf, queries)
+    n_disks = 16
+    assignment = np.random.default_rng(2).integers(0, n_disks, size=gf.n_buckets)
+
+    def best_of(fn, rounds):
+        best, out = np.inf, None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            out = fn(bls, assignment, n_disks)
+            best = min(best, time.perf_counter() - t0)
+        return best, out
+
+    t_vec, vec = best_of(response_times, rounds=5)
+    t_ref, ref = best_of(_response_times_reference, rounds=2)
+    assert np.array_equal(vec, ref)
+
+    out = benchmark.pedantic(
+        response_times, args=(bls, assignment, n_disks), rounds=3, iterations=1
+    )
+    assert out.shape == (10_000,)
+
+    speedup = t_ref / t_vec
+    text = (
+        f"response_times kernel, stock.3d ({gf.n_buckets} buckets), "
+        f"10,000 queries r=0.01, M={n_disks}\n"
+        f"  per-query loop : {t_ref * 1e3:9.2f} ms\n"
+        f"  vectorized CSR : {t_vec * 1e3:9.2f} ms\n"
+        f"  speedup        : {speedup:9.2f}x (acceptance floor: 5x)"
+    )
+    report_sink(
+        "micro_response_speedup",
+        text,
+        data={
+            "n_queries": 10_000,
+            "n_buckets": int(gf.n_buckets),
+            "n_disks": n_disks,
+            "ratio": 0.01,
+            "loop_seconds": t_ref,
+            "vectorized_seconds": t_vec,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 5.0, f"vectorized kernel only {speedup:.2f}x faster"
 
 
 def test_knn_query_throughput(benchmark):

@@ -5,7 +5,7 @@ exactly 1.00 at small disk counts.
 """
 
 import numpy as np
-from conftest import DISKS, N_QUERIES, SEED, once
+from conftest import DISKS, JOBS, N_QUERIES, SEED, once, sweep_data
 
 from repro.datasets import build_gridfile, load
 from repro.experiments import render_sweep
@@ -16,7 +16,7 @@ def _run():
     ds = load("hot.2d", rng=SEED)
     gf = build_gridfile(ds)
     queries = square_queries(N_QUERIES, 0.05, ds.domain_lo, ds.domain_hi, rng=SEED)
-    return sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], DISKS, queries, rng=SEED)
+    return sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], DISKS, queries, rng=SEED, jobs=JOBS)
 
 
 def test_table1_degree_of_data_balance(benchmark, report_sink):
@@ -24,6 +24,7 @@ def test_table1_degree_of_data_balance(benchmark, report_sink):
     report_sink(
         "table1_balance",
         render_sweep(sweep, "Table 1: degree of data balance (hot.2d)", metric="balance"),
+        data=sweep_data(sweep),
     )
     balances = sweep.balance_series()
     # Perfect balance at the smallest configuration for every scheme.

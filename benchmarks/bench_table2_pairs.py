@@ -6,7 +6,7 @@ always zero.
 """
 
 import numpy as np
-from conftest import DISKS, SEED, once
+from conftest import DISKS, JOBS, SEED, once, sweep_data
 
 from repro.datasets import build_gridfile, load
 from repro.experiments import render_sweep
@@ -19,7 +19,7 @@ def _run():
     ds = load("dsmc.3d", rng=SEED)
     gf = build_gridfile(ds)
     queries = square_queries(50, 0.01, ds.domain_lo, ds.domain_hi, rng=SEED)
-    return sweep_methods(gf, METHODS, DISKS, queries, rng=SEED, compute_pairs=True)
+    return sweep_methods(gf, METHODS, DISKS, queries, rng=SEED, compute_pairs=True, jobs=JOBS)
 
 
 def test_table2_closest_pairs_dsmc(benchmark, report_sink):
@@ -27,6 +27,7 @@ def test_table2_closest_pairs_dsmc(benchmark, report_sink):
     report_sink(
         "table2_pairs",
         render_sweep(sweep, "Table 2: closest pairs on the same disk (DSMC.3d)", metric="pairs"),
+        data=sweep_data(sweep),
     )
     pairs = sweep.closest_pair_series()
     # minimax: (near) zero beyond small disk counts.

@@ -11,19 +11,32 @@ Run with::
 Set ``REPRO_BENCH_FULL=1`` for the paper's full workload (1000 queries,
 disks 4..32 in steps of 2, full-size datasets); the default profile is a
 reduced sweep that finishes in a few minutes and preserves every
-qualitative shape.
+qualitative shape.  Set ``REPRO_BENCH_JOBS=N`` to fan sweep cells over N
+worker processes (results are bit-for-bit identical to serial runs).
+
+Every report is archived twice: human-readable ``results/<name>.txt`` and
+machine-readable ``results/<name>.json`` (run metadata plus any structured
+series/timings the bench passes).  ``tools/bench_compare.py`` diffs two
+JSON files and flags regressions.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Worker processes for sweep cells (``sweep_methods(jobs=...)``).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
 
 #: Benchmark profile: (disk sweep, queries per configuration, 4-d records).
 if FULL:
@@ -42,19 +55,62 @@ else:
 SEED = 1996
 
 
+def _run_metadata() -> dict:
+    return {
+        "profile": "full" if FULL else "quick",
+        "seed": SEED,
+        "jobs": JOBS,
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
 @pytest.fixture(scope="session")
 def report_sink():
-    """Callable that prints a rendered table and archives it to results/."""
+    """Callable that prints a rendered table and archives it to results/.
+
+    ``sink(name, text, data=None)`` writes ``results/<name>.txt`` (the
+    stamped human-readable report) and ``results/<name>.json`` (run
+    metadata, the raw text, and ``data`` — any JSON-serializable dict of
+    series, timings and speedups the bench wants machines to read).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def sink(name: str, text: str):
+    def sink(name: str, text: str, data: "dict | None" = None):
         profile = "full (paper-scale)" if FULL else "quick"
         stamped = f"[profile: {profile}, seed {SEED}]\n{text}"
         print()
         print(stamped)
         (RESULTS_DIR / f"{name}.txt").write_text(stamped + "\n")
+        payload = {"name": name, "meta": _run_metadata(), "text": text}
+        if data is not None:
+            payload["data"] = data
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n"
+        )
 
     return sink
+
+
+def sweep_data(sweep) -> dict:
+    """JSON-serializable series from a :class:`SweepResult` (for results/*.json)."""
+    out = {
+        "disks": [int(m) for m in sweep.disks],
+        "optimal": [float(v) for v in sweep.optimal],
+        "mean_buckets_touched": float(sweep.mean_buckets_touched),
+        "response": {n: [float(v) for v in c.response] for n, c in sweep.curves.items()},
+        "balance": {n: [float(v) for v in c.balance] for n, c in sweep.curves.items()},
+    }
+    pairs = {
+        n: [int(v) for v in c.closest_pairs]
+        for n, c in sweep.curves.items()
+        if c.closest_pairs
+    }
+    if pairs:
+        out["closest_pairs"] = pairs
+    return out
 
 
 def once(benchmark, fn, *args, **kwargs):

@@ -95,6 +95,7 @@ def _cmd_experiment(args) -> int:
     exp = args.id.lower()
     quick = args.quick
     seed = args.seed
+    jobs = args.jobs
     if exp == "fig2":
         if getattr(args, "plot", False):
             from repro.datasets import build_gridfile as _build, load as _load
@@ -109,32 +110,32 @@ def _cmd_experiment(args) -> int:
             for name, stats in fig2_gridfiles(rng=seed).items():
                 print(f"{name}: {stats}")
     elif exp == "fig3":
-        for base, sweep in fig3_conflict(rng=seed, quick=quick).items():
+        for base, sweep in fig3_conflict(rng=seed, quick=quick, jobs=jobs).items():
             print(render_sweep(sweep, f"Figure 3 ({base}, hot.2d, r=0.05)"))
             print()
     elif exp == "fig4":
-        for name, sweep in fig4_index_based(rng=seed, quick=quick).items():
+        for name, sweep in fig4_index_based(rng=seed, quick=quick, jobs=jobs).items():
             print(render_sweep(sweep, f"Figure 4 ({name}, r=0.05)"))
             _maybe_plot(args, sweep, f"Figure 4 ({name})")
             print()
     elif exp == "fig6":
-        for name, sweep in fig6_minimax(rng=seed, quick=quick).items():
+        for name, sweep in fig6_minimax(rng=seed, quick=quick, jobs=jobs).items():
             print(render_sweep(sweep, f"Figure 6 ({name}, r=0.01)"))
             _maybe_plot(args, sweep, f"Figure 6 ({name})")
             print()
     elif exp == "fig7":
-        res = fig7_querysize(rng=seed, quick=quick)
+        res = fig7_querysize(rng=seed, quick=quick, jobs=jobs)
         resp = {f"{m} r={r}": v for (m, r), v in res.response.items()}
         spd = {f"{m} r={r}": list(v) for (m, r), v in res.speedup.items()}
         print(series_text("disks", res.disks, resp, title="Figure 7 (response, stock.3d)"))
         print()
         print(series_text("disks", res.disks, spd, title="Figure 7 (speedup, stock.3d)"))
     elif exp == "table1":
-        sweep = table1_balance(rng=seed, quick=quick)
+        sweep = table1_balance(rng=seed, quick=quick, jobs=jobs)
         print(render_sweep(sweep, "Table 1 (degree of data balance, hot.2d)", metric="balance"))
     elif exp in ("table2", "table3"):
         dataset = "dsmc.3d" if exp == "table2" else "stock.3d"
-        sweep = table23_closest_pairs(dataset, rng=seed, quick=quick)
+        sweep = table23_closest_pairs(dataset, rng=seed, quick=quick, jobs=jobs)
         print(render_sweep(sweep, f"Table {exp[-1]} (closest pairs on same disk, {dataset})", metric="pairs"))
     elif exp == "table4":
         n = 60_000 if quick else 300_000
@@ -217,6 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("id", help="fig2|fig3|fig4|fig6|fig7|table1..table5")
     e.add_argument("--quick", action="store_true", help="reduced sweep for a fast run")
     e.add_argument("--plot", action="store_true", help="also render ASCII charts")
+    e.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep cells (0 = all cores); results are "
+        "bit-for-bit identical to --jobs 1",
+    )
 
     f = sub.add_parser("fault-sim", help="simulate a node crash mid-run and report failover")
     f.add_argument("name", choices=sorted(DATASETS))
@@ -232,6 +238,11 @@ def build_parser() -> argparse.ArgumentParser:
     r = sub.add_parser("report", help="run every experiment into a markdown report")
     r.add_argument("output", help="output .md path")
     r.add_argument("--full", action="store_true", help="full (paper-scale) profile")
+    r.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep cells (0 = all cores); results are "
+        "bit-for-bit identical to --jobs 1",
+    )
 
     return p
 
@@ -253,7 +264,7 @@ def main(argv=None) -> int:
     if args.command == "report":
         from repro.experiments.runall import write_full_report
 
-        path = write_full_report(args.output, rng=args.seed, quick=not args.full)
+        path = write_full_report(args.output, rng=args.seed, quick=not args.full, jobs=args.jobs)
         print(f"wrote {path}")
         return 0
     raise AssertionError("unreachable")

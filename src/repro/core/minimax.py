@@ -27,12 +27,36 @@ import numpy as np
 
 from repro._util import as_rng, check_positive_int
 from repro.core.base import DeclusteringMethod, validate_assignment
-from repro.core.proximity import euclidean_similarity, proximity_index
+from repro.core.proximity import euclidean_similarity, pairwise_rows, proximity_index
 from repro.gridfile.gridfile import GridFile
 
 __all__ = ["Minimax", "minimax_partition"]
 
 _WEIGHTS = {"proximity": proximity_index, "euclidean": euclidean_similarity}
+
+#: Default memory cap for the precomputed pairwise weight matrix (bytes).
+#: 256 MiB holds the full matrix for ~5,800 buckets — comfortably above the
+#: paper's 2-d/3-d files, well below its 19,956-bucket 4-d file.
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Target size of the (block, n, d) broadcast temporaries while filling the
+#: cache — small enough to stay in L2/L3 (large blocks thrash memory and are
+#: measurably slower), large enough to amortize dispatch overhead.
+_CACHE_BLOCK_BYTES = 4 * 1024 * 1024
+
+
+def _weight_cache(weight_fn, lo, hi, lengths, cache_bytes: int) -> "np.ndarray | None":
+    """Blockwise-precomputed pairwise weight matrix, or ``None`` over the cap.
+
+    Rows are bit-for-bit identical to the streamed one-vs-all computation,
+    so reading cached rows cannot change any partition.
+    """
+    n = lo.shape[0]
+    if n == 0 or n * n * 8 > cache_bytes:
+        return None
+    d = lo.shape[1]
+    block = max(1, _CACHE_BLOCK_BYTES // max(1, n * d * 8))
+    return pairwise_rows(weight_fn, lo, hi, lengths, block)
 
 
 def _farthest_point_seeds(lo, hi, lengths, m, rng) -> np.ndarray:
@@ -60,6 +84,9 @@ def minimax_partition(
     weight: str = "proximity",
     seeding: str = "random",
     seeds: "np.ndarray | None" = None,
+    precompute: "bool | str" = "auto",
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
+    rows: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Partition ``n`` boxes over ``n_disks`` with Algorithm 2.
 
@@ -82,6 +109,18 @@ def minimax_partition(
         Explicit seed bucket indices (length ``n_disks``, distinct);
         overrides ``seeding``.  Used by tests to compare against reference
         implementations step by step.
+    precompute:
+        ``"auto"`` (default): blockwise-precompute the full pairwise weight
+        matrix when it fits under ``cache_bytes``, so the O(N²) expansion
+        reads cached rows instead of re-materializing one row per step.
+        ``True`` forces precomputation, ``False`` always streams rows.  The
+        result is bit-for-bit identical either way.
+    cache_bytes:
+        Memory cap (bytes) for the precomputed matrix under ``"auto"``.
+    rows:
+        Optional externally precomputed ``(n, n)`` pairwise weight matrix
+        (e.g. shared across the disk counts of a sweep); takes precedence
+        over ``precompute``.
 
     Returns
     -------
@@ -101,6 +140,21 @@ def minimax_partition(
         raise ValueError(f"unknown weight {weight!r}; choose from {sorted(_WEIGHTS)}")
     weight_fn = _WEIGHTS[weight]
     rng = as_rng(rng)
+
+    if precompute not in (True, False, "auto"):
+        raise ValueError(f"precompute must be True, False or 'auto', got {precompute!r}")
+    cache = rows
+    if cache is not None:
+        if cache.shape != (n, n):
+            raise ValueError(f"rows must have shape ({n}, {n}), got {cache.shape}")
+    elif precompute is True:
+        block = max(1, _CACHE_BLOCK_BYTES // max(1, n * lo.shape[1] * 8))
+        cache = pairwise_rows(weight_fn, lo, hi, lengths, block)
+    elif precompute == "auto":
+        cache = _weight_cache(weight_fn, lo, hi, lengths, int(cache_bytes))
+
+    def weight_row(y: int) -> np.ndarray:
+        return cache[y] if cache is not None else weight_fn(lo[y], hi[y], lo, hi, lengths)
 
     # Phase 1: seeding.
     if seeds is not None:
@@ -122,8 +176,7 @@ def minimax_partition(
     # MAX_x(K): max edge weight from bucket x to members of tree K.
     max_w = np.empty((n, m), dtype=np.float64)
     for k in range(m):
-        s = seeds[k]
-        max_w[:, k] = weight_fn(lo[s], hi[s], lo, hi, lengths)
+        max_w[:, k] = weight_row(int(seeds[k]))
     max_w[~unassigned, :] = np.inf  # never re-select assigned buckets
 
     # Phase 2: round-robin expansion.
@@ -132,7 +185,7 @@ def minimax_partition(
         y = int(np.argmin(max_w[:, k]))
         assign[y] = k
         unassigned[y] = False
-        row = weight_fn(lo[y], hi[y], lo, hi, lengths)
+        row = weight_row(y)
         np.maximum(max_w[:, k], row, out=max_w[:, k])
         max_w[y, :] = np.inf
         k = (k + 1) % m
@@ -149,6 +202,12 @@ class Minimax(DeclusteringMethod):
         or ``"euclidean"``.
     seeding:
         Seed placement, ``"random"`` (default) or ``"farthest"``.
+    precompute:
+        Row-cache policy passed to :func:`minimax_partition` — ``"auto"``
+        (default) precomputes the pairwise weight matrix blockwise when it
+        fits under ``cache_bytes``; assignments are identical either way.
+    cache_bytes:
+        Memory cap for the row cache (bytes).
 
     Notes
     -----
@@ -159,26 +218,64 @@ class Minimax(DeclusteringMethod):
 
     name = "MiniMax"
 
-    def __init__(self, weight: str = "proximity", seeding: str = "random"):
+    def __init__(
+        self,
+        weight: str = "proximity",
+        seeding: str = "random",
+        precompute: "bool | str" = "auto",
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ):
         if weight not in _WEIGHTS:
             raise ValueError(f"unknown weight {weight!r}")
         self.weight = weight
         self.seeding = seeding
+        self.precompute = precompute
+        self.cache_bytes = int(cache_bytes)
         if weight != "proximity" or seeding != "random":
             self.name = f"MiniMax[{weight},{seeding}]"
+        # Memoized (lo, hi, rows) of the last grid file declustered, so a
+        # sweep over disk counts computes the O(N²) weight matrix once.
+        self._rows_memo: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_rows_memo"] = None  # never ship the O(N²) cache to workers
+        return state
+
+    def _cached_rows(self, lo: np.ndarray, hi: np.ndarray, lengths) -> "np.ndarray | None":
+        """Pairwise weight rows for these regions, memoized across calls."""
+        if self.precompute is False:
+            return None
+        memo = self._rows_memo
+        if memo is not None and np.array_equal(memo[0], lo) and np.array_equal(memo[1], hi):
+            return memo[2]
+        rows = _weight_cache(
+            _WEIGHTS[self.weight],
+            lo,
+            hi,
+            np.asarray(lengths, dtype=np.float64),
+            self.cache_bytes,
+        )
+        self._rows_memo = None if rows is None else (lo.copy(), hi.copy(), rows)
+        return rows
 
     def assign(self, gf: GridFile, n_disks: int, rng=None) -> np.ndarray:
         rng = as_rng(rng)
         lo, hi = gf.bucket_regions()
         nonempty = gf.nonempty_bucket_ids()
+        lo_ne = np.ascontiguousarray(lo[nonempty])
+        hi_ne = np.ascontiguousarray(hi[nonempty])
         part = minimax_partition(
-            lo[nonempty],
-            hi[nonempty],
+            lo_ne,
+            hi_ne,
             gf.scales.lengths,
             min(n_disks, max(1, nonempty.size)),
             rng=rng,
             weight=self.weight,
             seeding=self.seeding,
+            precompute=self.precompute,
+            cache_bytes=self.cache_bytes,
+            rows=self._cached_rows(lo_ne, hi_ne, gf.scales.lengths),
         )
         assignment = np.zeros(gf.n_buckets, dtype=np.int64)
         assignment[nonempty] = part

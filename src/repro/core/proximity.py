@@ -22,6 +22,7 @@ import numpy as np
 __all__ = [
     "proximity_index",
     "proximity_matrix",
+    "pairwise_rows",
     "center_distance",
     "euclidean_similarity",
 ]
@@ -70,15 +71,51 @@ def proximity_index(lo_a, hi_a, lo_b, hi_b, lengths) -> np.ndarray:
     return np.prod(factors, axis=-1)
 
 
-def proximity_matrix(lo, hi, lengths) -> np.ndarray:
+def proximity_matrix(lo, hi, lengths, block_rows: "int | None" = None) -> np.ndarray:
     """Full pairwise proximity matrix of ``n`` boxes (``(n, n)``, symmetric).
 
-    O(n²·d) memory/time — intended for analysis and tests; the minimax
-    algorithm itself streams one row at a time.
+    Parameters
+    ----------
+    lo, hi:
+        ``(n, d)`` box bounds.
+    lengths:
+        Domain extent per dimension.
+    block_rows:
+        When set, the matrix is filled in row blocks of this height, keeping
+        the broadcast temporaries at ``O(block_rows * n * d)`` instead of
+        ``O(n² * d)``.  Entries are bit-for-bit identical either way (the
+        per-element arithmetic does not depend on the blocking).
+
+    O(n²·d) time; the minimax algorithm uses the blocked form as a row cache
+    when it fits its memory cap, and streams one row at a time otherwise.
     """
     lo = np.asarray(lo, dtype=np.float64)
     hi = np.asarray(hi, dtype=np.float64)
-    return proximity_index(lo[:, None, :], hi[:, None, :], lo[None, :, :], hi[None, :, :], lengths)
+    if block_rows is None:
+        return proximity_index(
+            lo[:, None, :], hi[:, None, :], lo[None, :, :], hi[None, :, :], lengths
+        )
+    return pairwise_rows(proximity_index, lo, hi, lengths, block_rows)
+
+
+def pairwise_rows(weight_fn, lo, hi, lengths, block_rows: int) -> np.ndarray:
+    """Fill an ``(n, n)`` pairwise weight matrix in row blocks.
+
+    ``weight_fn`` is any broadcasting box-pair weight (``proximity_index``,
+    ``euclidean_similarity``, ...).  Row ``i`` of the result is bit-for-bit
+    identical to ``weight_fn(lo[i], hi[i], lo, hi, lengths)``.
+    """
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    n = lo.shape[0]
+    block_rows = max(1, int(block_rows))
+    out = np.empty((n, n), dtype=np.float64)
+    for s in range(0, n, block_rows):
+        e = min(n, s + block_rows)
+        out[s:e] = weight_fn(
+            lo[s:e, None, :], hi[s:e, None, :], lo[None, :, :], hi[None, :, :], lengths
+        )
+    return out
 
 
 def center_distance(lo_a, hi_a, lo_b, hi_b, lengths=None) -> np.ndarray:

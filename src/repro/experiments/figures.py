@@ -55,10 +55,12 @@ def fig3_conflict(
     ratio: float = 0.05,
     rng=SEED,
     quick: bool = False,
+    jobs: int = 1,
 ) -> dict[str, SweepResult]:
     """Figure 3: conflict-resolution heuristics under HCAM (left) and FX (right).
 
-    Returns one sweep per base scheme, each containing the four heuristics.
+    Returns one sweep per base scheme, each containing the four heuristics;
+    ``jobs`` fans the sweep cells over worker processes (results identical).
     """
     disks, n_queries = _profile(quick)
     ds, gf = _prepare(dataset, rng)
@@ -66,7 +68,7 @@ def fig3_conflict(
     out = {}
     for base in ("hcam", "fx"):
         methods = [f"{base}/R", f"{base}/F", f"{base}/D", f"{base}/A"]
-        out[base.upper()] = sweep_methods(gf, methods, disks, queries, rng=rng)
+        out[base.upper()] = sweep_methods(gf, methods, disks, queries, rng=rng, jobs=jobs)
     return out
 
 
@@ -75,6 +77,7 @@ def fig4_index_based(
     ratio: float = 0.05,
     rng=SEED,
     quick: bool = False,
+    jobs: int = 1,
 ) -> dict[str, SweepResult]:
     """Figure 4: DM/D vs FX/D vs HCAM/D vs optimal on the three 2-d files."""
     disks, n_queries = _profile(quick)
@@ -82,7 +85,7 @@ def fig4_index_based(
     for name in datasets:
         ds, gf = _prepare(name, rng)
         queries = square_queries(n_queries, ratio, ds.domain_lo, ds.domain_hi, rng=rng)
-        out[name] = sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], disks, queries, rng=rng)
+        out[name] = sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], disks, queries, rng=rng, jobs=jobs)
     return out
 
 
@@ -92,6 +95,7 @@ def fig6_minimax(
     rng=SEED,
     quick: bool = False,
     compute_pairs: bool = False,
+    jobs: int = 1,
 ) -> dict[str, SweepResult]:
     """Figure 6: the five-way comparison including SSP and minimax, r = 0.01."""
     disks, n_queries = _profile(quick)
@@ -106,6 +110,7 @@ def fig6_minimax(
             queries,
             rng=rng,
             compute_pairs=compute_pairs,
+            jobs=jobs,
         )
     return out
 
@@ -127,6 +132,7 @@ def fig7_querysize(
     methods=("hcam/D", "minimax"),
     rng=SEED,
     quick: bool = False,
+    jobs: int = 1,
 ) -> QuerySizeResult:
     """Figure 7: effect of query size on stock.3d — HCAM/D vs minimax."""
     disks, n_queries = _profile(quick)
@@ -135,7 +141,7 @@ def fig7_querysize(
     speedup: dict[tuple[str, float], np.ndarray] = {}
     for r in ratios:
         queries = square_queries(n_queries, r, ds.domain_lo, ds.domain_hi, rng=rng)
-        sweep = sweep_methods(gf, list(methods), disks, queries, rng=rng)
+        sweep = sweep_methods(gf, list(methods), disks, queries, rng=rng, jobs=jobs)
         for name, curve in sweep.curves.items():
             response[(name, r)] = curve.response
             speedup[(name, r)] = speedup_series(curve.response)

@@ -37,8 +37,14 @@ from repro.experiments.tables import (
 __all__ = ["write_full_report", "full_report_text"]
 
 
-def full_report_text(rng=SEED, quick: bool = True, n_records_4d: int = 60_000) -> str:
-    """Run every experiment and return the markdown report text."""
+def full_report_text(
+    rng=SEED, quick: bool = True, n_records_4d: int = 60_000, jobs: int = 1
+) -> str:
+    """Run every experiment and return the markdown report text.
+
+    ``jobs`` fans each sweep's (method, disk-count) cells over worker
+    processes; the report is bit-for-bit identical for every value.
+    """
     started = time.time()
     parts: list[str] = [
         "# Full experiment report",
@@ -65,40 +71,40 @@ def full_report_text(rng=SEED, quick: bool = True, n_records_4d: int = 60_000) -
     # Figure 3.
     bodies = [
         render_sweep(sweep, f"conflict heuristics under {base} (hot.2d, r=0.05)")
-        for base, sweep in fig3_conflict(rng=rng, quick=quick).items()
+        for base, sweep in fig3_conflict(rng=rng, quick=quick, jobs=jobs).items()
     ]
     section("Figure 3 — conflict resolution", "\n\n".join(bodies))
 
     # Figure 4.
     bodies = [
         render_sweep(sweep, f"{name}, r=0.05")
-        for name, sweep in fig4_index_based(rng=rng, quick=quick).items()
+        for name, sweep in fig4_index_based(rng=rng, quick=quick, jobs=jobs).items()
     ]
     section("Figure 4 — index-based declustering", "\n\n".join(bodies))
 
     # Table 1.
     section(
         "Table 1 — degree of data balance",
-        render_sweep(table1_balance(rng=rng, quick=quick), "hot.2d", metric="balance"),
+        render_sweep(table1_balance(rng=rng, quick=quick, jobs=jobs), "hot.2d", metric="balance"),
     )
 
     # Figure 6.
     bodies = [
         render_sweep(sweep, f"{name}, r=0.01")
-        for name, sweep in fig6_minimax(rng=rng, quick=quick).items()
+        for name, sweep in fig6_minimax(rng=rng, quick=quick, jobs=jobs).items()
     ]
     section("Figure 6 — proximity-based declustering", "\n\n".join(bodies))
 
     # Tables 2-3.
     for table, dataset in (("Table 2", "dsmc.3d"), ("Table 3", "stock.3d")):
-        sweep = table23_closest_pairs(dataset, rng=rng, quick=quick)
+        sweep = table23_closest_pairs(dataset, rng=rng, quick=quick, jobs=jobs)
         section(
             f"{table} — closest pairs on the same disk",
             render_sweep(sweep, dataset, metric="pairs"),
         )
 
     # Figure 7.
-    res = fig7_querysize(rng=rng, quick=quick)
+    res = fig7_querysize(rng=rng, quick=quick, jobs=jobs)
     resp = {f"{m} r={r}": v for (m, r), v in res.response.items()}
     spd = {f"{m} r={r}": list(v) for (m, r), v in res.speedup.items()}
     section(
@@ -126,8 +132,12 @@ def full_report_text(rng=SEED, quick: bool = True, n_records_4d: int = 60_000) -
     return "\n".join(parts)
 
 
-def write_full_report(path, rng=SEED, quick: bool = True, n_records_4d: int = 60_000) -> Path:
+def write_full_report(
+    path, rng=SEED, quick: bool = True, n_records_4d: int = 60_000, jobs: int = 1
+) -> Path:
     """Write :func:`full_report_text` to ``path`` and return it."""
     path = Path(path)
-    path.write_text(full_report_text(rng=rng, quick=quick, n_records_4d=n_records_4d))
+    path.write_text(
+        full_report_text(rng=rng, quick=quick, n_records_4d=n_records_4d, jobs=jobs)
+    )
     return path

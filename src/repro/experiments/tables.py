@@ -40,6 +40,7 @@ def table1_balance(
     ratio: float = 0.05,
     rng=SEED,
     quick: bool = False,
+    jobs: int = 1,
 ) -> SweepResult:
     """Table 1: degree of data balance of DM/D, FX/D, HCAM/D on hot.2d.
 
@@ -49,13 +50,14 @@ def table1_balance(
     ds = load(dataset, rng=rng)
     gf = build_gridfile(ds)
     queries = square_queries(n_queries, ratio, ds.domain_lo, ds.domain_hi, rng=rng)
-    return sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], disks, queries, rng=rng)
+    return sweep_methods(gf, ["dm/D", "fx/D", "hcam/D"], disks, queries, rng=rng, jobs=jobs)
 
 
 def table23_closest_pairs(
     dataset: str,
     rng=SEED,
     quick: bool = False,
+    jobs: int = 1,
 ) -> SweepResult:
     """Tables 2-3: closest bucket pairs on the same disk (DSMC.3d / stock.3d).
 
@@ -73,6 +75,7 @@ def table23_closest_pairs(
         queries,
         rng=rng,
         compute_pairs=True,
+        jobs=jobs,
     )
 
 

@@ -112,6 +112,12 @@ class GridFile:
         self._n = self.points.shape[0]
         self._next_split_dim = 0
         self._deleted: set[int] = set()
+        #: Cached per-bucket record counts (``None`` when stale).  Every
+        #: structural mutation funnels through :meth:`invalidate_caches`;
+        #: ``_sizes_rebuilds`` counts actual recomputations so tests can
+        #: assert the cache is not rebuilt per query.
+        self._sizes_cache: "np.ndarray | None" = None
+        self._sizes_rebuilds = 0
         #: Deletion triggers a buddy-merge attempt when a bucket's occupancy
         #: falls below ``merge_trigger * capacity``; a merge is performed only
         #: if the combined bucket stays below ``merge_fill * capacity``
@@ -225,6 +231,7 @@ class GridFile:
         cell = self.scales.locate(self.points[rid])
         bucket = self.buckets[self.directory.bucket_at(cell)]
         bucket.record_ids.append(rid)
+        self.invalidate_caches()
         self._handle_overflow(bucket)
         return rid
 
@@ -255,6 +262,7 @@ class GridFile:
         except ValueError:  # pragma: no cover - guarded by the directory
             raise KeyError(f"record {rid} not found in its bucket") from None
         self._deleted.add(rid)
+        self.invalidate_caches()
         if bucket.overflowed and bucket.n_records <= self.capacity:
             bucket.overflowed = False
         self._maybe_merge(bucket)
@@ -310,6 +318,7 @@ class GridFile:
 
     def _merge_buckets(self, a: Bucket, b: Bucket) -> Bucket:
         """Merge buddy buckets; returns the surviving bucket."""
+        self.invalidate_caches()
         lo = np.minimum(a.cellbox.lo, b.cellbox.lo)
         hi = np.maximum(a.cellbox.hi, b.cellbox.hi)
         a.cellbox = CellBox(lo, hi)
@@ -322,6 +331,7 @@ class GridFile:
 
     def _remove_bucket(self, bid: int) -> None:
         """Delete a bucket id, renumbering the last bucket into its slot."""
+        self.invalidate_caches()
         last = len(self.buckets) - 1
         if bid != last:
             moved = self.buckets[last]
@@ -343,6 +353,7 @@ class GridFile:
                     stack.append(new)
 
     def _new_bucket(self, box: CellBox, record_ids=None) -> Bucket:
+        self.invalidate_caches()
         b = Bucket(len(self.buckets), box, record_ids)
         self.buckets.append(b)
         return b
@@ -355,6 +366,7 @@ class GridFile:
         """
         if b.cellbox.n_cells == 1 and not self._refine_for(b):
             return None
+        self.invalidate_caches()
         dim, cut = self._choose_cut(b)
         lower, upper = b.cellbox.split_at(dim, cut)
         plane = self.scales.edges(dim)[cut]
@@ -468,6 +480,52 @@ class GridFile:
         sizes = self._bucket_sizes()
         return ids[sizes[ids] > 0]
 
+    def batch_query_buckets(
+        self, lo, hi, include_empty: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve a whole workload of box queries to buckets in one pass.
+
+        Equivalent to calling :meth:`query_buckets` per query, but the
+        scale lookups are batched (one ``searchsorted`` per dimension for
+        the entire workload) and the bucket-size filter reuses the cached
+        size array, so cost per query drops to the directory slice itself.
+
+        Parameters
+        ----------
+        lo, hi:
+            ``(n, d)`` arrays of closed query-box bounds.
+        include_empty:
+            Also return empty buckets (as in :meth:`query_buckets`).
+
+        Returns
+        -------
+        (ids, offsets):
+            CSR-packed bucket lists: ``ids[offsets[i]:offsets[i+1]]`` are the
+            sorted unique bucket ids of query ``i`` (int64).
+        """
+        lo = np.atleast_2d(np.asarray(lo, dtype=np.float64))
+        hi = np.atleast_2d(np.asarray(hi, dtype=np.float64))
+        starts, stops = self.scales.cell_ranges_for_boxes(lo, hi)
+        sizes = None if include_empty else self._bucket_sizes()
+        grid = self.directory.grid
+        n = starts.shape[0]
+        chunks: list[np.ndarray] = []
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        for i in range(n):
+            sl = tuple(
+                slice(int(starts[i, k]), int(stops[i, k])) for k in range(self.dims)
+            )
+            ids = np.unique(grid[sl])
+            if sizes is not None:
+                ids = ids[sizes[ids] > 0]
+            chunks.append(ids)
+            offsets[i + 1] = offsets[i] + ids.size
+        if chunks:
+            ids_all = np.concatenate(chunks).astype(np.int64, copy=False)
+        else:
+            ids_all = np.empty(0, dtype=np.int64)
+        return ids_all, offsets
+
     def query_records(self, lo, hi) -> np.ndarray:
         """Record ids of points inside the closed query box (exact filter)."""
         lo = np.asarray(lo, dtype=np.float64)
@@ -496,12 +554,31 @@ class GridFile:
 
     # ------------------------------------------------------------ structure
 
+    def invalidate_caches(self) -> None:
+        """Drop derived caches (bucket sizes) after a structural mutation.
+
+        All built-in mutators (insert, delete, split, merge, refinement) call
+        this automatically; callers that mutate ``buckets[...].record_ids``
+        directly must call it themselves.
+        """
+        self._sizes_cache = None
+
     def _bucket_sizes(self) -> np.ndarray:
-        return np.array([b.n_records for b in self.buckets], dtype=np.int64)
+        """Cached per-bucket record counts (do not mutate the result)."""
+        if self._sizes_cache is None:
+            self._sizes_cache = np.array(
+                [b.n_records for b in self.buckets], dtype=np.int64
+            )
+            self._sizes_rebuilds += 1
+        return self._sizes_cache
 
     def bucket_sizes(self) -> np.ndarray:
-        """Number of records in each bucket, indexed by bucket id."""
-        return self._bucket_sizes()
+        """Number of records in each bucket, indexed by bucket id.
+
+        Returns a copy of the internal cache, so the result stays valid (and
+        safely mutable) across later grid-file mutations.
+        """
+        return self._bucket_sizes().copy()
 
     def nonempty_bucket_ids(self) -> np.ndarray:
         """Ids of buckets that hold at least one record."""

@@ -168,6 +168,38 @@ class Scales:
         stop = int(np.searchsorted(b, hi, side="right")) + 1
         return start, stop
 
+    def cell_ranges_for_boxes(self, lo, hi) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`cell_range_for_interval` over a stack of query boxes.
+
+        One ``searchsorted`` per dimension resolves a whole workload at once,
+        which is the hot path of batched query evaluation
+        (:meth:`repro.gridfile.GridFile.batch_query_buckets`).
+
+        Parameters
+        ----------
+        lo, hi:
+            ``(n, d)`` arrays of closed query-box bounds.
+
+        Returns
+        -------
+        (starts, stops):
+            ``(n, d)`` int64 arrays; along each dimension ``k``, query ``i``
+            intersects the half-open interval range
+            ``[starts[i, k], stops[i, k])`` — identical to calling
+            :meth:`cell_range_for_interval` per query and dimension.
+        """
+        lo = np.atleast_2d(np.asarray(lo, dtype=np.float64))
+        hi = np.atleast_2d(np.asarray(hi, dtype=np.float64))
+        if lo.shape != hi.shape or lo.shape[1] != self._d:
+            raise ValueError(f"query bounds must have shape (n, {self._d})")
+        starts = np.empty(lo.shape, dtype=np.int64)
+        stops = np.empty(hi.shape, dtype=np.int64)
+        for k in range(self._d):
+            b = self.boundaries[k]
+            starts[:, k] = np.searchsorted(b, lo[:, k], side="right")
+            stops[:, k] = np.searchsorted(b, hi[:, k], side="right") + 1
+        return starts, stops
+
     def copy(self) -> "Scales":
         """Deep copy."""
         return Scales(self.domain_lo, self.domain_hi, [b.copy() for b in self.boundaries])

@@ -12,7 +12,13 @@ mean response time over 1000 random square queries.
 paper's §2.2 simulator.)
 """
 
-from repro.sim.diskmodel import QueryEvaluation, evaluate_queries, response_times
+from repro.sim.diskmodel import (
+    BucketListSet,
+    QueryEvaluation,
+    evaluate_queries,
+    resolve_query_buckets,
+    response_times,
+)
 from repro.sim.metrics import (
     closest_pairs_same_disk,
     degree_of_data_balance,
@@ -28,8 +34,10 @@ from repro.sim.workload import (
 )
 
 __all__ = [
+    "BucketListSet",
     "QueryEvaluation",
     "evaluate_queries",
+    "resolve_query_buckets",
     "response_times",
     "degree_of_data_balance",
     "closest_pairs_same_disk",

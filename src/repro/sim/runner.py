@@ -2,13 +2,21 @@
 
 Every figure in the paper is a sweep of declustering methods over a range of
 disk counts on one dataset and one query ratio.  :func:`sweep_methods` runs
-such a sweep efficiently: per-query bucket lists are computed once (they do
+such a sweep efficiently: per-query bucket lists are CSR-packed once (they do
 not depend on the assignment), one assignment is computed per (method, M)
 cell, and the optimal reference curve comes for free.
+
+With ``jobs > 1`` the independent (method, M) cells fan out over a
+``ProcessPoolExecutor``.  Each cell consumes the same pre-spawned child RNG
+stream it would receive serially and cells are reassembled in serial order,
+so parallel results are **bit-for-bit identical** to ``jobs=1`` (pinned by
+``tests/test_parallel_sweep.py``).
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,7 +25,12 @@ from repro._util import spawn_rng
 from repro.core.base import DeclusteringMethod
 from repro.core.registry import make_method
 from repro.gridfile.gridfile import GridFile
-from repro.sim.diskmodel import QueryEvaluation, evaluate_queries, query_buckets
+from repro.sim.diskmodel import (
+    BucketListSet,
+    QueryEvaluation,
+    evaluate_queries,
+    resolve_query_buckets,
+)
 from repro.sim.metrics import (
     closest_pairs_same_disk,
     degree_of_data_balance,
@@ -71,6 +84,60 @@ class SweepResult:
         return {name: c.closest_pairs for name, c in self.curves.items()}
 
 
+@dataclass(frozen=True)
+class _CellResult:
+    """One (method, M) cell's outputs, in a picklable bundle."""
+
+    evaluation: QueryEvaluation
+    balance: float
+    pairs: "int | None"
+    assignment: "np.ndarray | None"
+
+
+def _evaluate_cell(
+    gf: GridFile,
+    method: DeclusteringMethod,
+    m_count: int,
+    rng: np.random.Generator,
+    bucket_lists: BucketListSet,
+    sizes: np.ndarray,
+    neighbors: "np.ndarray | None",
+    compute_pairs: bool,
+    keep_assignments: bool,
+) -> _CellResult:
+    """Run one sweep cell: assign, evaluate, compute secondary metrics."""
+    assignment = method.assign(gf, m_count, rng=rng)
+    ev = evaluate_queries(gf, assignment, None, m_count, bucket_lists=bucket_lists)
+    return _CellResult(
+        evaluation=ev,
+        balance=degree_of_data_balance(assignment, m_count, sizes),
+        pairs=(
+            closest_pairs_same_disk(gf, assignment, neighbors)
+            if compute_pairs
+            else None
+        ),
+        assignment=assignment if keep_assignments else None,
+    )
+
+
+# Per-worker state installed once by the pool initializer, so the grid file
+# and the CSR-packed workload are pickled per worker instead of per cell.
+_POOL_STATE: dict = {}
+
+
+def _pool_init(gf, bucket_lists, sizes, neighbors) -> None:
+    _POOL_STATE["args"] = (gf, bucket_lists, sizes, neighbors)
+
+
+def _pool_cell(task) -> _CellResult:
+    method, m_count, rng, compute_pairs, keep_assignments = task
+    gf, bucket_lists, sizes, neighbors = _POOL_STATE["args"]
+    return _evaluate_cell(
+        gf, method, m_count, rng, bucket_lists, sizes, neighbors,
+        compute_pairs, keep_assignments,
+    )
+
+
 def sweep_methods(
     gf: GridFile,
     methods,
@@ -79,6 +146,7 @@ def sweep_methods(
     rng=None,
     compute_pairs: bool = False,
     keep_assignments: bool = False,
+    jobs: "int | None" = 1,
 ) -> SweepResult:
     """Evaluate declustering methods across disk counts on one workload.
 
@@ -95,12 +163,17 @@ def sweep_methods(
         The query workload (list of :class:`RangeQuery`).
     rng:
         Base seed; every (method, M) cell gets an independent child stream,
-        so results are reproducible from one integer.
+        so results are reproducible from one integer — and identical for
+        every value of ``jobs``.
     compute_pairs:
         Also compute the closest-pairs statistic (costs one O(N²)
         nearest-neighbour pass for the sweep).
     keep_assignments:
         Retain each cell's assignment array on the curve (memory permitting).
+    jobs:
+        Number of worker processes for the (method, M) cells.  ``1``
+        (default) runs serially in-process; ``None`` or ``0`` uses all CPU
+        cores.  Parallel results are bit-for-bit identical to serial ones.
     """
     methods = [make_method(m) if isinstance(m, str) else m for m in methods]
     for m in methods:
@@ -110,8 +183,12 @@ def sweep_methods(
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate method names in sweep: {names}")
     disks = [int(m) for m in disks]
+    if jobs is None or jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (or None for all cores), got {jobs}")
 
-    bucket_lists = query_buckets(gf, queries)
+    bucket_lists = resolve_query_buckets(gf, queries)
     sizes = gf.bucket_sizes()
 
     neighbors = None
@@ -120,28 +197,47 @@ def sweep_methods(
         ne = gf.nonempty_bucket_ids()
         neighbors = nearest_neighbors(lo[ne], hi[ne], gf.scales.lengths)
 
-    rngs = iter(spawn_rng(rng, len(methods) * len(disks)))
+    # One pre-spawned child stream per cell, consumed in serial (disk-major)
+    # order regardless of how the cells are scheduled.
+    rngs = spawn_rng(rng, len(methods) * len(disks))
+    cells = [
+        (method, m_count, rngs[i * len(methods) + j], compute_pairs, keep_assignments)
+        for i, m_count in enumerate(disks)
+        for j, method in enumerate(methods)
+    ]
+
+    n_workers = min(jobs, max(1, len(cells)))
+    if n_workers > 1:
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_pool_init,
+            initargs=(gf, bucket_lists, sizes, neighbors),
+        ) as pool:
+            results = list(pool.map(_pool_cell, cells, chunksize=1))
+    else:
+        results = [
+            _evaluate_cell(
+                gf, method, m_count, cell_rng, bucket_lists, sizes, neighbors,
+                pairs, keep,
+            )
+            for method, m_count, cell_rng, pairs, keep in cells
+        ]
+
     curves = {m.name: MethodCurve(m.name) for m in methods}
     optimal: list[float] = []
-    for m_count in disks:
-        for j, method in enumerate(methods):
-            assignment = method.assign(gf, m_count, rng=next(rngs))
-            ev = evaluate_queries(
-                gf, assignment, queries, m_count, bucket_lists=bucket_lists
-            )
-            curve = curves[method.name]
-            curve.response.append(ev.mean_response)
-            curve.balance.append(degree_of_data_balance(assignment, m_count, sizes))
-            curve.evaluations.append(ev)
-            if compute_pairs:
-                curve.closest_pairs.append(
-                    closest_pairs_same_disk(gf, assignment, neighbors)
-                )
-            if keep_assignments:
-                curve.assignments.append(assignment)
-            if j == 0:
-                optimal.append(ev.mean_optimal)
-    touched = np.array([len(b) for b in bucket_lists], dtype=np.float64)
+    for (method, _m_count, _rng, _pairs, _keep), res in zip(cells, results):
+        curve = curves[method.name]
+        curve.response.append(res.evaluation.mean_response)
+        curve.balance.append(res.balance)
+        curve.evaluations.append(res.evaluation)
+        if compute_pairs:
+            curve.closest_pairs.append(res.pairs)
+        if keep_assignments:
+            curve.assignments.append(res.assignment)
+        if method is methods[0]:
+            optimal.append(res.evaluation.mean_optimal)
+
+    touched = bucket_lists.counts.astype(np.float64)
     return SweepResult(
         disks=disks,
         curves=curves,

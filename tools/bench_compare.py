@@ -1,0 +1,119 @@
+"""Compare two benchmark-result JSON files and flag regressions.
+
+The benchmark harness archives every report as ``benchmarks/results/<name>.json``
+(see ``benchmarks/conftest.py``).  This tool diffs the numeric payloads of two
+such files — typically the same benchmark from two checkouts — and flags any
+timing that regressed by more than the threshold (default 20%).
+
+Usage::
+
+    python tools/bench_compare.py baseline.json current.json [--threshold 0.2]
+
+Exit status: 0 when no timing regressed past the threshold, 1 otherwise (2 on
+usage errors).  Keys ending in ``_seconds``/``_ms``/``_time`` are treated as
+"lower is better"; ``speedup`` keys as "higher is better"; everything else is
+reported informationally only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _flatten(obj, prefix: str = "") -> dict:
+    """Flatten nested dicts/lists to dotted-path -> scalar."""
+    out: dict = {}
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            out.update(_flatten(v, f"{prefix}{k}."))
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            out.update(_flatten(v, f"{prefix}{i}."))
+    else:
+        out[prefix[:-1]] = obj
+    return out
+
+
+def _is_timing(path: str) -> bool:
+    leaf = path.rsplit(".", 1)[-1]
+    return leaf.endswith(("_seconds", "_ms", "_time")) or leaf in ("seconds", "ms")
+
+
+def _is_speedup(path: str) -> bool:
+    return "speedup" in path.rsplit(".", 1)[-1]
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> "tuple[list[str], list[str]]":
+    """Return (report lines, regression lines) for two result payloads."""
+    base = _flatten(baseline.get("data", {}))
+    curr = _flatten(current.get("data", {}))
+    lines: list[str] = []
+    regressions: list[str] = []
+    for path in sorted(set(base) & set(curr)):
+        b, c = base[path], curr[path]
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            if b != c:
+                lines.append(f"  {path}: {b!r} -> {c!r}")
+            continue
+        if b == 0:
+            continue
+        rel = (c - b) / abs(b)
+        if _is_timing(path):
+            mark = "REGRESSED" if rel > threshold else "ok"
+            lines.append(f"  {path}: {b:.6g} -> {c:.6g} ({rel:+.1%}) [{mark}]")
+            if rel > threshold:
+                regressions.append(f"{path} slowed {rel:+.1%}")
+        elif _is_speedup(path):
+            mark = "REGRESSED" if rel < -threshold else "ok"
+            lines.append(f"  {path}: {b:.6g} -> {c:.6g} ({rel:+.1%}) [{mark}]")
+            if rel < -threshold:
+                regressions.append(f"{path} dropped {rel:+.1%}")
+        elif abs(rel) > threshold:
+            lines.append(f"  {path}: {b:.6g} -> {c:.6g} ({rel:+.1%}) [info]")
+    missing = sorted(set(base) - set(curr))
+    if missing:
+        lines.append(f"  (keys only in baseline: {', '.join(missing[:8])}"
+                     + (" ..." if len(missing) > 8 else "") + ")")
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline results/*.json")
+    ap.add_argument("current", help="current results/*.json")
+    ap.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="relative regression threshold (default 0.2 = 20%%)",
+    )
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    name = current.get("name", args.current)
+    print(f"benchmark : {name}")
+    for payload, label in ((baseline, "baseline"), (current, "current")):
+        meta = payload.get("meta", {})
+        print(f"{label:9} : profile={meta.get('profile', '?')} jobs={meta.get('jobs', '?')} "
+              f"numpy={meta.get('numpy', '?')}")
+    lines, regressions = compare(baseline, current, args.threshold)
+    print("\n".join(lines) if lines else "  (no comparable numeric keys)")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) past {args.threshold:.0%}:")
+        for r in regressions:
+            print(f"  - {r}")
+        return 1
+    print(f"\nno regressions past {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
