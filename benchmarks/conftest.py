@@ -87,6 +87,13 @@ def report_sink():
         payload = {"name": name, "meta": _run_metadata(), "text": text}
         if data is not None:
             payload["data"] = data
+        # Observability rider: phase timings appear only when profiling is
+        # on (REPRO_PROFILE / REPRO_TRACE), so default payloads are
+        # byte-stable modulo the run metadata.
+        from repro.obs import PROFILER
+
+        if PROFILER.enabled:
+            payload["obs"] = {"phases": PROFILER.snapshot()}
         (RESULTS_DIR / f"{name}.json").write_text(
             json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n"
         )

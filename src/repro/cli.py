@@ -13,6 +13,10 @@ Subcommands
 ``fault-sim NAME --scheme S --crash-node N --crash-time T``
     Run the simulated cluster with a mid-run node crash and report the
     degraded-mode statistics (timeouts, retries, failovers, availability).
+``trace record NAME OUT`` / ``trace summarize FILE`` / ``trace diff A B``
+    Record a traced (optionally fault-injected) cluster run to a JSONL
+    file, fold a trace into per-disk utilization / per-phase timings /
+    event counts, or diff two traces (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -192,6 +196,69 @@ def _cmd_fault_sim(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import diff_summaries, read_trace, render_summary, summarize
+
+    if args.trace_command == "summarize":
+        print(render_summary(summarize(read_trace(args.file))))
+        return 0
+    if args.trace_command == "diff":
+        a = summarize(read_trace(args.a))
+        b = summarize(read_trace(args.b))
+        print(diff_summaries(a, b))
+        return 0
+
+    # record
+    from repro.obs import PROFILER, Tracer
+    from repro.parallel import ClusterParams, FaultPlan, ParallelGridFile
+
+    plan = None
+    if args.crash_node is not None:
+        if not 0 <= args.crash_node < args.disks:
+            print(f"--crash-node must be in [0, {args.disks})", file=sys.stderr)
+            return 2
+        plan = FaultPlan().node_crash(args.crash_time, node=args.crash_node)
+        if args.recover_time is not None:
+            if args.recover_time <= args.crash_time:
+                print("--recover-time must be after --crash-time", file=sys.stderr)
+                return 2
+            plan.node_recover(args.recover_time, node=args.crash_node)
+    if args.slow_node is not None:
+        if not 0 <= args.slow_node < args.disks:
+            print(f"--slow-node must be in [0, {args.disks})", file=sys.stderr)
+            return 2
+        plan = plan if plan is not None else FaultPlan()
+        plan.disk_slowdown(args.slow_time, node=args.slow_node, factor=args.slow_factor)
+
+    tracer = Tracer(path=args.out)
+    # Recording implies profiling: capture phase timings for this run only.
+    was_enabled = PROFILER.enabled
+    PROFILER.enabled = True
+    PROFILER.reset()
+    try:
+        ds = load(args.name, rng=args.seed)
+        gf = build_gridfile(ds)
+        method = make_method(args.method)
+        with PROFILER.phase(f"assign.{method.name}"):
+            assignment = method.assign(gf, args.disks, rng=args.seed)
+        queries = square_queries(
+            args.queries, args.ratio, ds.domain_lo, ds.domain_hi, rng=args.seed
+        )
+        params = ClusterParams(replication=args.scheme) if args.scheme else ClusterParams()
+        rep = ParallelGridFile(gf, assignment, args.disks, params).run_queries(
+            queries, faults=plan, tracer=tracer
+        )
+    finally:
+        PROFILER.enabled = was_enabled
+    tracer.phases(PROFILER.snapshot())
+    tracer.close()
+    print(
+        f"wrote {args.out} ({len(tracer.records)} records, "
+        f"elapsed {rep.elapsed_time * 1e3:.2f} ms sim)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     p = argparse.ArgumentParser(
@@ -235,6 +302,32 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--ratio", type=float, default=0.05, help="query volume ratio r")
     f.add_argument("--queries", type=int, default=200)
 
+    t = sub.add_parser("trace", help="record, summarize or diff cluster run traces")
+    tsub = t.add_subparsers(dest="trace_command", required=True)
+    trec = tsub.add_parser(
+        "record", help="run a cluster workload with tracing on, write a JSONL trace"
+    )
+    trec.add_argument("name", choices=sorted(DATASETS))
+    trec.add_argument("out", help="output trace path (JSONL)")
+    trec.add_argument("--method", default="minimax", help="method spec (see `list`)")
+    trec.add_argument("--disks", type=int, default=16)
+    trec.add_argument("--scheme", default=None, choices=["chained", "mirrored"],
+                      help="optional replication scheme (enables failover)")
+    trec.add_argument("--ratio", type=float, default=0.05, help="query volume ratio r")
+    trec.add_argument("--queries", type=int, default=100)
+    trec.add_argument("--crash-node", type=int, default=None, help="optional node to crash")
+    trec.add_argument("--crash-time", type=float, default=0.05, help="crash time (s)")
+    trec.add_argument("--recover-time", type=float, default=None, help="optional recovery time (s)")
+    trec.add_argument("--slow-node", type=int, default=None,
+                      help="optional node whose disk 0 is slowed")
+    trec.add_argument("--slow-factor", type=float, default=4.0, help="slowdown multiplier")
+    trec.add_argument("--slow-time", type=float, default=0.0, help="slowdown start time (s)")
+    tsum = tsub.add_parser("summarize", help="summarize a recorded trace")
+    tsum.add_argument("file", help="trace path (JSONL)")
+    tdiff = tsub.add_parser("diff", help="diff two recorded traces")
+    tdiff.add_argument("a", help="baseline trace path")
+    tdiff.add_argument("b", help="comparison trace path")
+
     r = sub.add_parser("report", help="run every experiment into a markdown report")
     r.add_argument("output", help="output .md path")
     r.add_argument("--full", action="store_true", help="full (paper-scale) profile")
@@ -261,6 +354,8 @@ def main(argv=None) -> int:
         return _cmd_experiment(args)
     if args.command == "fault-sim":
         return _cmd_fault_sim(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "report":
         from repro.experiments.runall import write_full_report
 

@@ -29,6 +29,7 @@ from repro._util import as_rng, check_positive_int
 from repro.core.base import DeclusteringMethod, validate_assignment
 from repro.core.proximity import euclidean_similarity, pairwise_rows, proximity_index
 from repro.gridfile.gridfile import GridFile
+from repro.obs import GLOBAL_METRICS, PROFILER
 
 __all__ = ["Minimax", "minimax_partition"]
 
@@ -180,15 +181,17 @@ def minimax_partition(
     max_w[~unassigned, :] = np.inf  # never re-select assigned buckets
 
     # Phase 2: round-robin expansion.
-    k = 0
-    for _ in range(n - m):
-        y = int(np.argmin(max_w[:, k]))
-        assign[y] = k
-        unassigned[y] = False
-        row = weight_row(y)
-        np.maximum(max_w[:, k], row, out=max_w[:, k])
-        max_w[y, :] = np.inf
-        k = (k + 1) % m
+    GLOBAL_METRICS.counter("minimax.growth_steps").inc(n - m)
+    with PROFILER.phase("minimax.partition"):
+        k = 0
+        for _ in range(n - m):
+            y = int(np.argmin(max_w[:, k]))
+            assign[y] = k
+            unassigned[y] = False
+            row = weight_row(y)
+            np.maximum(max_w[:, k], row, out=max_w[:, k])
+            max_w[y, :] = np.inf
+            k = (k + 1) % m
     return assign
 
 

@@ -1,0 +1,60 @@
+"""Zero-dependency observability for the simulator and declustering pipeline.
+
+Three cooperating layers, all off by default and bit-for-bit neutral (with
+everything disabled, no output of any sweep, benchmark or cluster run
+changes — pinned by ``tests/test_obs_determinism.py``):
+
+* :class:`Tracer` — structured JSONL span/event records with monotonic
+  simulated-time stamps, entity ids (``coord``, ``node3``, ``node1.disk0``,
+  ``query17``) and cause links, wired through
+  :class:`repro.parallel.des.Simulator`, the coordinator/worker request
+  protocol, fault injection and replica failover.  Enable per run
+  (``run_queries(..., tracer=Tracer(path))``) or globally via the
+  ``REPRO_TRACE=/path/to/trace.jsonl`` environment variable.
+* :class:`MetricsRegistry` — counters / gauges / histograms (queue depth,
+  per-disk service time, retry counts, cache hit rate, minimax growth
+  steps), snapshotted into ``PerfReport.metrics`` after every cluster run.
+* :data:`PROFILER` — lightweight wall-clock phase timers around bucket
+  resolution, the response-time kernel and each declustering method;
+  enabled by ``REPRO_PROFILE=1`` (or implied by ``REPRO_TRACE``).
+
+The ``repro trace`` CLI records, summarizes and diffs trace files; the
+schema and metric catalog live in ``docs/observability.md``.
+"""
+
+from repro.obs.metrics import (
+    GLOBAL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import PROFILER, PhaseProfiler
+from repro.obs.summary import diff_summaries, render_summary, summarize
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    default_tracer,
+    read_trace,
+    reset_default_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "default_tracer",
+    "reset_default_tracer",
+    "read_trace",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "GLOBAL_METRICS",
+    "PhaseProfiler",
+    "PROFILER",
+    "summarize",
+    "render_summary",
+    "diff_summaries",
+]

@@ -1,0 +1,86 @@
+"""Wall-clock phase timers for the declustering pipeline.
+
+A :class:`PhaseProfiler` accumulates ``(seconds, calls)`` per named phase.
+The global :data:`PROFILER` instruments the pipeline's hot boundaries —
+bucket resolution, the response-time kernel, each declustering method's
+``assign``, minimax partitioning, cluster planning and the event loop — and
+is **disabled by default**: a disabled ``phase()`` returns a shared
+``nullcontext``, so the overhead on the hot path is one attribute check.
+
+Enable with ``REPRO_PROFILE=1`` (or any non-empty ``REPRO_TRACE``), or
+programmatically (``PROFILER.enabled = True``).  Timings are wall-clock and
+therefore non-deterministic; they are reported via ``repro trace`` /
+benchmark JSON only and never enter simulated results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import nullcontext
+
+__all__ = ["PhaseProfiler", "PROFILER", "PROFILE_ENV"]
+
+#: Environment variable enabling the global profiler.
+PROFILE_ENV = "REPRO_PROFILE"
+
+_NULL_CTX = nullcontext()
+
+
+class _Phase:
+    """Context manager timing one phase occurrence."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._profiler._record(self._name, time.perf_counter() - self._start)
+        return False
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock time and call counts per named phase."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = bool(enabled)
+        self._acc: dict[str, list] = {}
+
+    def phase(self, name: str):
+        """Context manager timing one occurrence of ``name`` (no-op when
+        disabled)."""
+        if not self.enabled:
+            return _NULL_CTX
+        return _Phase(self, name)
+
+    def _record(self, name: str, seconds: float) -> None:
+        slot = self._acc.get(name)
+        if slot is None:
+            slot = self._acc[name] = [0.0, 0]
+        slot[0] += seconds
+        slot[1] += 1
+
+    def snapshot(self) -> dict:
+        """``name -> {"seconds": total, "calls": n}`` for every phase seen."""
+        return {
+            name: {"seconds": total, "calls": calls}
+            for name, (total, calls) in sorted(self._acc.items())
+        }
+
+    def reset(self) -> None:
+        """Drop all accumulated timings (keeps the enabled flag)."""
+        self._acc.clear()
+
+
+def _env_enabled() -> bool:
+    return bool(os.environ.get(PROFILE_ENV) or os.environ.get("REPRO_TRACE"))
+
+
+#: The process-wide profiler consulted by the instrumented pipeline.
+PROFILER = PhaseProfiler(enabled=_env_enabled())

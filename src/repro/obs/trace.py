@@ -1,0 +1,245 @@
+"""Structured event/span tracing with JSONL persistence.
+
+A :class:`Tracer` collects flat dict records.  Three causal kinds carry a
+simulated-time stamp ``t`` (the emitting component's clock at emission, so
+records are globally ordered by ``t``):
+
+``event``
+    A point occurrence (``request.send``, ``disk.read``, ``fault.node_crash``).
+``span_open`` / ``span_close``
+    A durable interval (a query in flight); ``span_close.span`` references
+    the matching open record's ``id``.
+
+Two non-causal kinds carry no simulated time: ``phase`` (wall-clock phase
+timings from :data:`repro.obs.profile.PROFILER`) and ``metrics`` (a
+:class:`repro.obs.metrics.MetricsRegistry` snapshot); the file header is a
+``meta`` record whose ``wall`` field is the only wall-clock stamp on the
+causal portion of a file — determinism comparisons strip it.
+
+Every record has a file-unique increasing ``id``; ``cause`` (when present)
+references an earlier record's ``id``.  These two invariants plus per-entity
+``t`` monotonicity and span balance are pinned by the hypothesis suite in
+``tests/test_obs_properties.py``.
+
+The :class:`NullTracer` singleton (:data:`NULL_TRACER`) is the disabled
+implementation: every method is a no-op and ``enabled`` is ``False``, so
+instrumented call sites guard with one attribute check and the disabled
+path stays bit-for-bit neutral.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "default_tracer",
+    "reset_default_tracer",
+    "read_trace",
+    "TRACE_ENV",
+]
+
+#: Environment variable holding the default trace-output path.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Schema version stamped into the ``meta`` header record.
+SCHEMA_VERSION = 1
+
+
+def _json_safe(value):
+    """Coerce numpy scalars/arrays so records serialize cleanly."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return value
+
+
+class Tracer:
+    """Collects structured trace records; optionally persists them as JSONL.
+
+    Parameters
+    ----------
+    path:
+        Optional output path.  When set, :meth:`save` (or :meth:`close`)
+        writes one JSON object per line, headed by a ``meta`` record.
+        Without a path the records stay in :attr:`records` (tests, ad-hoc
+        inspection).
+    """
+
+    enabled = True
+
+    def __init__(self, path: "str | None" = None):
+        self.path = path
+        self.records: list[dict] = []
+        self._next_id = 0
+        self._open_spans: dict[int, dict] = {}
+        self._saved = False
+
+    # -- emission ------------------------------------------------------------
+
+    def _emit(self, kind: str, name: str, t, entity, cause, span, attrs) -> int:
+        rid = self._next_id
+        self._next_id += 1
+        rec = {"id": rid, "kind": kind, "name": name}
+        if t is not None:
+            rec["t"] = float(t)
+        if entity is not None:
+            rec["entity"] = str(entity)
+        if cause is not None:
+            rec["cause"] = int(cause)
+        if span is not None:
+            rec["span"] = int(span)
+        if attrs:
+            rec["attrs"] = {k: _json_safe(v) for k, v in attrs.items()}
+        self.records.append(rec)
+        return rid
+
+    def event(self, name: str, t: float, entity=None, cause=None, **attrs) -> int:
+        """Record a point event at simulated time ``t``; returns its id."""
+        return self._emit("event", name, t, entity, cause, None, attrs)
+
+    def span_open(self, name: str, t: float, entity=None, cause=None, **attrs) -> int:
+        """Open a span (an interval with identity); returns the span id."""
+        rid = self._emit("span_open", name, t, entity, cause, None, attrs)
+        self._open_spans[rid] = self.records[-1]
+        return rid
+
+    def span_close(self, span_id: int, t: float, **attrs) -> int:
+        """Close the span opened as ``span_id`` at simulated time ``t``."""
+        opened = self._open_spans.pop(int(span_id), None)
+        if opened is None:
+            raise ValueError(f"span {span_id} is not open")
+        return self._emit(
+            "span_close", opened["name"], t, opened.get("entity"), None, span_id, attrs
+        )
+
+    def phases(self, snapshot: dict) -> None:
+        """Append one ``phase`` record per profiled phase (wall-clock)."""
+        for name in sorted(snapshot):
+            data = snapshot[name]
+            self._emit("phase", name, None, None, None, None, dict(data))
+
+    def metrics(self, snapshot: dict) -> None:
+        """Append a ``metrics`` record holding a registry snapshot."""
+        self._emit("metrics", "metrics.snapshot", None, None, None, None, snapshot)
+
+    @property
+    def open_spans(self) -> int:
+        """Number of spans opened but not yet closed."""
+        return len(self._open_spans)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: "str | None" = None) -> "str | None":
+        """Write all records as JSONL to ``path`` (default: ``self.path``)."""
+        path = path or self.path
+        if path is None:
+            return None
+        header = {
+            "kind": "meta",
+            "schema": SCHEMA_VERSION,
+            "wall": time.time(),
+            "n_records": len(self.records),
+        }
+        with open(path, "w") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for rec in self.records:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        self._saved = True
+        return path
+
+    def close(self) -> None:
+        """Persist (when a path is configured) exactly once."""
+        if not self._saved:
+            self.save()
+
+
+class NullTracer:
+    """Disabled tracer: every method is a no-op, ``enabled`` is False."""
+
+    enabled = False
+    records: list = []
+    path = None
+    open_spans = 0
+
+    def event(self, name, t, entity=None, cause=None, **attrs):
+        return None
+
+    def span_open(self, name, t, entity=None, cause=None, **attrs):
+        return None
+
+    def span_close(self, span_id, t, **attrs):
+        return None
+
+    def phases(self, snapshot):
+        return None
+
+    def metrics(self, snapshot):
+        return None
+
+    def save(self, path=None):
+        return None
+
+    def close(self):
+        return None
+
+
+#: Shared disabled tracer; instrumented code defaults to this.
+NULL_TRACER = NullTracer()
+
+_default: "Tracer | NullTracer | None" = None
+
+
+def default_tracer():
+    """The process-wide tracer configured by ``REPRO_TRACE`` (cached).
+
+    Unset/empty means tracing is disabled and :data:`NULL_TRACER` is
+    returned; a path means every cluster run without an explicit tracer
+    appends to one shared :class:`Tracer` persisted at interpreter exit.
+    """
+    global _default
+    if _default is None:
+        path = os.environ.get(TRACE_ENV, "")
+        if path:
+            import atexit
+
+            _default = Tracer(path=path)
+            atexit.register(_default.close)
+        else:
+            _default = NULL_TRACER
+    return _default
+
+
+def reset_default_tracer() -> None:
+    """Drop the cached env tracer (tests that monkeypatch ``REPRO_TRACE``)."""
+    global _default
+    if isinstance(_default, Tracer):
+        _default.close()
+    _default = None
+
+
+def read_trace(path: str) -> list[dict]:
+    """Load a JSONL trace file back into a list of record dicts.
+
+    The ``meta`` header is included as the first element when present.
+    """
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

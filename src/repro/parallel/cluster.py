@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._util import as_rng
+from repro.obs import PROFILER, MetricsRegistry, default_tracer
 from repro.parallel.coordinator import Coordinator, QueryPlan
 from repro.parallel.des import Resource, Simulator
 from repro.parallel.disk import DiskModel
@@ -139,6 +140,9 @@ class PerfReport:
     messages_lost: int = 0
     #: Queries aborted because some bucket had no live replica.
     aborted_queries: int = 0
+    #: :class:`repro.obs.MetricsRegistry` snapshot of the run (counters,
+    #: queue-depth / service-time / latency histograms); deterministic.
+    metrics: "dict | None" = None
 
     @property
     def availability(self) -> float:
@@ -168,31 +172,47 @@ class PerfReport:
 #: Request timeout slack used when faults are injected but none was configured.
 DEFAULT_REQUEST_TIMEOUT = 0.05
 
+#: Queue-depth histogram bucket bounds (outstanding queries at submit).
+_QUEUE_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+
 
 class _RequestState:
     """Coordinator-side bookkeeping for one in-flight block request."""
 
-    __slots__ = ("qid", "req", "timeout_ev", "done")
+    __slots__ = ("qid", "req", "timeout_ev", "done", "trace_id")
 
     def __init__(self, qid: int, req: BlockRequest):
         self.qid = qid
         self.req = req
         self.timeout_ev = None
         self.done = False
+        self.trace_id = None
 
 
 class _Engine:
-    """One simulation run: resources, protocol callbacks, statistics."""
+    """One simulation run: resources, protocol callbacks, statistics.
 
-    def __init__(self, owner: "ParallelGridFile", queries, faults=None):
+    Observability (all bit-for-bit neutral when disabled): ``tracer``
+    (default: the ``REPRO_TRACE`` env tracer, usually the disabled
+    :data:`repro.obs.NULL_TRACER`) receives structured protocol events —
+    query spans, request/reply/timeout/retry/failover events with cause
+    links, fault applications — and ``self.metrics`` accumulates the run's
+    counters and histograms, snapshotted into ``PerfReport.metrics``.
+    """
+
+    def __init__(self, owner: "ParallelGridFile", queries, faults=None, tracer=None):
         self.owner = owner
         self.params = owner.params
         self.net = owner.params.network
-        self.sim = Simulator()
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.trace = self.tracer.enabled
+        self.metrics = MetricsRegistry()
+        self.sim = Simulator(tracer=self.tracer if self.trace else None)
         self.queries = list(queries)
-        self.plans: list[QueryPlan] = [
-            owner.coordinator.plan(i, q) for i, q in enumerate(self.queries)
-        ]
+        with PROFILER.phase("cluster.plan"):
+            self.plans: list[QueryPlan] = [
+                owner.coordinator.plan(i, q) for i, q in enumerate(self.queries)
+            ]
         self.nodes = [
             WorkerNode.create(
                 i,
@@ -234,6 +254,17 @@ class _Engine:
         self.n_retries = 0
         self.n_failovers = 0
         self.n_messages_lost = 0
+        self._qspan: dict[int, int] = {}
+        if self.trace:
+            self.tracer.event(
+                "run.start",
+                self.sim.now,
+                entity="run",
+                n_queries=len(self.queries),
+                n_nodes=owner.n_nodes,
+                n_disks=owner.n_disks,
+                faulted=self.injector is not None,
+            )
 
     # -- protocol steps ------------------------------------------------------
 
@@ -241,6 +272,18 @@ class _Engine:
         """Start query ``qid`` at the current simulated time."""
         self.submit_time[qid] = self.sim.now
         plan = self.plans[qid]
+        self.metrics.counter("queries.submitted").inc()
+        self.metrics.histogram("queue.depth", bounds=_QUEUE_BOUNDS).observe(
+            len(self.remaining)
+        )
+        if self.trace:
+            self._qspan[qid] = self.tracer.span_open(
+                "query",
+                self.sim.now,
+                entity=f"query{qid}",
+                qid=qid,
+                n_requests=len(plan.requests),
+            )
         _, lookup_end = self.coord_cpu.reserve(
             self.sim.now, self.owner.coordinator.plan_cpu_time(plan)
         )
@@ -267,6 +310,29 @@ class _Engine:
         _, send_end = self.coord_nic.reserve(earliest, t)
         self.comm_time += t + self.net.latency
         arrive = send_end + self.net.latency
+        self.metrics.counter("requests.sent").inc()
+        if self.trace:
+            # Effective global disk per requested block (failover reads carry
+            # explicit targets); lets traces reconstruct per-disk access
+            # counts exactly (tests/test_obs_differential.py).
+            disks = (
+                req.target_disks
+                if req.target_disks is not None
+                else self.owner.coordinator.assignment[req.bucket_ids]
+            )
+            state.trace_id = self.tracer.event(
+                "request.send",
+                self.sim.now,
+                entity="coord",
+                cause=self._qspan.get(state.qid),
+                qid=state.qid,
+                node=req.node_id,
+                attempt=req.attempt,
+                n_blocks=req.n_blocks,
+                disks=disks,
+                send_end=send_end,
+                arrive=arrive,
+            )
         self.sim.schedule_at(arrive, self._worker_receive, state)
         if self.timeout is not None:
             self._states_by_qid.setdefault(state.qid, []).append(state)
@@ -279,18 +345,49 @@ class _Engine:
     def _worker_receive(self, state: _RequestState) -> None:
         req = state.req
         node = self.nodes[req.node_id]
+        entity = f"node{req.node_id}"
         if self.injector is not None:
             if not node.alive:
-                return  # dropped on the floor; the timeout recovers it
+                # Dropped on the floor; the timeout recovers it.
+                if self.trace:
+                    self.tracer.event(
+                        "request.drop",
+                        self.sim.now,
+                        entity=entity,
+                        cause=state.trace_id,
+                        reason="node_down",
+                    )
+                return
             if not self.injector.message_delivered(req.node_id):
                 self.n_messages_lost += 1
+                if self.trace:
+                    self.tracer.event(
+                        "message.drop",
+                        self.sim.now,
+                        entity=entity,
+                        cause=state.trace_id,
+                        direction="request",
+                    )
                 return
+        arrive_id = None
+        if self.trace:
+            arrive_id = self.tracer.event(
+                "request.arrive",
+                self.sim.now,
+                entity=entity,
+                cause=state.trace_id,
+                qid=state.qid,
+                n_blocks=req.n_blocks,
+            )
         ready, reply = node.serve(
             self.sim.now,
             req,
             self._disk_lookup(req),
             candidates=req.candidates,
             qualified=req.qualified,
+            tracer=self.tracer if self.trace else None,
+            cause=arrive_id,
+            metrics=self.metrics,
         )
         reply_bytes = (
             self.params.header_bytes + self.params.record_bytes * reply.n_qualified
@@ -298,8 +395,26 @@ class _Engine:
         t = self.net.transfer_time(reply_bytes)
         _, send_end = node.nic.reserve(ready, t)
         self.comm_time += t + self.net.latency
+        reply_id = None
+        if self.trace:
+            reply_id = self.tracer.event(
+                "reply.send",
+                self.sim.now,
+                entity=entity,
+                cause=arrive_id,
+                qid=state.qid,
+                ready=ready,
+                send_end=send_end,
+                n_qualified=reply.n_qualified,
+                n_cache_misses=reply.n_cache_misses,
+                reply_bytes=reply_bytes,
+            )
         self.sim.schedule_at(
-            send_end + self.net.latency, self._coordinator_receive, state, reply_bytes
+            send_end + self.net.latency,
+            self._coordinator_receive,
+            state,
+            reply_bytes,
+            reply_id,
         )
 
     def _service_estimate(self, req: BlockRequest) -> float:
@@ -327,13 +442,28 @@ class _Engine:
         }
         return local.__getitem__
 
-    def _coordinator_receive(self, state: _RequestState, reply_bytes: float) -> None:
+    def _coordinator_receive(
+        self, state: _RequestState, reply_bytes: float, cause=None
+    ) -> None:
         if state.done:
-            return  # duplicate/late reply: the request was already resolved
+            # Duplicate/late reply: the request was already resolved.
+            if self.trace:
+                self.tracer.event(
+                    "reply.stale", self.sim.now, entity="coord", cause=cause
+                )
+            return
         if self.injector is not None and not self.injector.message_delivered(
             state.req.node_id
         ):
             self.n_messages_lost += 1
+            if self.trace:
+                self.tracer.event(
+                    "message.drop",
+                    self.sim.now,
+                    entity="coord",
+                    cause=cause,
+                    direction="reply",
+                )
             return
         state.done = True
         if state.timeout_ev is not None:
@@ -343,6 +473,15 @@ class _Engine:
         _, ingest_end = self.coord_ingest.reserve(
             self.sim.now, self.net.transfer_time(reply_bytes)
         )
+        if self.trace:
+            self.tracer.event(
+                "reply.ingest",
+                self.sim.now,
+                entity="coord",
+                cause=cause,
+                qid=state.qid,
+                ingest_end=ingest_end,
+            )
         self.sim.schedule_at(ingest_end, self._reply_done, state.qid)
 
     def _reply_done(self, qid: int) -> None:
@@ -355,6 +494,14 @@ class _Engine:
 
     def _complete(self, qid: int) -> None:
         self.completion[qid] = self.sim.now
+        self.metrics.counter("queries.completed").inc()
+        self.metrics.histogram("query.latency").observe(
+            self.sim.now - self.submit_time[qid]
+        )
+        if self.trace:
+            span = self._qspan.pop(qid, None)
+            if span is not None:
+                self.tracer.span_close(span, self.sim.now, aborted=qid in self.aborted)
         if self.on_complete is not None:
             self.on_complete(qid)
 
@@ -397,16 +544,46 @@ class _Engine:
         self.n_timeouts += 1
         state.done = True
         req = state.req
+        timeout_id = None
+        if self.trace:
+            timeout_id = self.tracer.event(
+                "request.timeout",
+                self.sim.now,
+                entity="coord",
+                cause=state.trace_id,
+                qid=state.qid,
+                node=req.node_id,
+                attempt=req.attempt,
+            )
         if req.node_id not in self.suspected and req.attempt < self.params.max_retries:
             # Retry the same node with exponential backoff.
             self.n_retries += 1
             delay = self.params.retry_backoff * (2.0**req.attempt)
+            if self.trace:
+                self.tracer.event(
+                    "request.retry",
+                    self.sim.now,
+                    entity="coord",
+                    cause=timeout_id,
+                    qid=state.qid,
+                    node=req.node_id,
+                    attempt=req.attempt + 1,
+                    delay=delay,
+                )
             self._send_request(
                 _RequestState(state.qid, req.retry()), self.sim.now + delay
             )
             return
         # Retries exhausted (or the node is already suspected): declare the
         # node down and fail the request over to its replica disks.
+        if self.trace and req.node_id not in self.suspected:
+            self.tracer.event(
+                "node.suspect",
+                self.sim.now,
+                entity="coord",
+                cause=timeout_id,
+                node=req.node_id,
+            )
         self.suspected.add(req.node_id)
         self._failover(state)
 
@@ -424,6 +601,16 @@ class _Engine:
             self._abort(qid)
             return
         self.n_failovers += 1
+        if self.trace:
+            self.tracer.event(
+                "request.failover",
+                self.sim.now,
+                entity="coord",
+                cause=state.trace_id,
+                qid=qid,
+                node=state.req.node_id,
+                n_requests=len(new_reqs),
+            )
         # Re-planning the replica route costs coordinator CPU.
         _, replan_end = self.coord_cpu.reserve(
             self.sim.now,
@@ -438,6 +625,14 @@ class _Engine:
         if qid in self.aborted:
             return
         self.aborted.add(qid)
+        if self.trace:
+            self.tracer.event(
+                "query.abort",
+                self.sim.now,
+                entity=f"query{qid}",
+                cause=self._qspan.get(qid),
+                qid=qid,
+            )
         for st in self._states_by_qid.get(qid, []):
             st.done = True
             if st.timeout_ev is not None:
@@ -462,6 +657,25 @@ class _Engine:
                 for n, w in zip(self.nodes, windows)
             ]
         )
+        # Aggregate counters (run totals; the live instruments above cover
+        # queue depth, latency and per-disk service time).
+        m = self.metrics
+        m.counter("blocks.requested").inc(sum(n.blocks_requested for n in self.nodes))
+        m.counter("blocks.read").inc(sum(n.blocks_read for n in self.nodes))
+        m.counter("cache.hits").inc(total_hits)
+        m.counter("cache.misses").inc(total_access - total_hits)
+        m.counter("requests.timeout").inc(self.n_timeouts)
+        m.counter("requests.retry").inc(self.n_retries)
+        m.counter("requests.failover").inc(self.n_failovers)
+        m.counter("messages.lost").inc(self.n_messages_lost)
+        m.counter("queries.aborted").inc(len(self.aborted))
+        if self.injector is not None:
+            for kind, count in self.injector.applied.items():
+                m.counter(f"faults.applied.{kind}").inc(count)
+        snapshot = m.snapshot()
+        if self.trace:
+            self.tracer.event("run.end", self.sim.now, entity="run", elapsed=elapsed)
+            self.tracer.metrics(snapshot)
         return PerfReport(
             n_queries=len(self.queries),
             n_nodes=self.owner.n_nodes,
@@ -481,6 +695,7 @@ class _Engine:
             failovers=self.n_failovers,
             messages_lost=self.n_messages_lost,
             aborted_queries=len(self.aborted),
+            metrics=snapshot,
         )
 
 
@@ -536,7 +751,7 @@ class ParallelGridFile:
         self.n_disks = int(n_disks)
         self.n_nodes = self.coordinator.n_nodes
 
-    def run_queries(self, queries, faults=None) -> PerfReport:
+    def run_queries(self, queries, faults=None, tracer=None) -> PerfReport:
         """Closed-system run: at most ``pipeline_depth`` outstanding queries.
 
         Parameters
@@ -548,8 +763,12 @@ class ParallelGridFile:
             :class:`~repro.parallel.faults.FaultInjector`) injecting crashes,
             slowdowns and message loss mid-run; see the module docs for the
             degraded-mode protocol.
+        tracer:
+            Optional :class:`repro.obs.Tracer` recording the run; with the
+            default ``None`` the process-wide tracer applies (enabled only
+            when ``REPRO_TRACE`` is set — see ``docs/observability.md``).
         """
-        engine = _Engine(self, queries, faults=faults)
+        engine = _Engine(self, queries, faults=faults, tracer=tracer)
         n = len(engine.queries)
         state = {"next": 0}
 
@@ -562,10 +781,13 @@ class ParallelGridFile:
         engine.on_complete = submit_next
         for _ in range(max(1, self.params.pipeline_depth)):
             submit_next()
-        engine.sim.run()
+        with PROFILER.phase("cluster.run"):
+            engine.sim.run()
         return engine.report()
 
-    def run_open(self, queries, arrival_rate: float, rng=None, faults=None) -> PerfReport:
+    def run_open(
+        self, queries, arrival_rate: float, rng=None, faults=None, tracer=None
+    ) -> PerfReport:
         """Open-system run: Poisson arrivals at ``arrival_rate`` queries/s.
 
         Queries enter the system at their arrival instants regardless of how
@@ -584,15 +806,18 @@ class ParallelGridFile:
         faults:
             Optional :class:`repro.parallel.faults.FaultPlan` injected
             mid-run (see :meth:`run_queries`).
+        tracer:
+            Optional :class:`repro.obs.Tracer` (see :meth:`run_queries`).
         """
         if arrival_rate <= 0:
             raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
         rng = as_rng(rng)
-        engine = _Engine(self, queries, faults=faults)
+        engine = _Engine(self, queries, faults=faults, tracer=tracer)
         arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=len(engine.queries)))
         for qid, t in enumerate(arrivals):
             engine.sim.schedule_at(float(t), engine.submit, qid)
-        engine.sim.run()
+        with PROFILER.phase("cluster.run"):
+            engine.sim.run()
         return engine.report()
 
     def simulate_load(

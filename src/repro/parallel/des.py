@@ -10,6 +10,19 @@ ordering of live events.  :class:`Resource` models a serially usable unit
 (a disk, a NIC) through reservation: callers ask for the earliest slot at or
 after a given time and the resource returns the granted ``(start, end)``
 window.
+
+Boundary semantics of :meth:`Simulator.run` (regression-tested in
+``tests/test_des.py``): an event scheduled exactly at ``until`` fires in
+that run, exactly once — never again in a later run; the clock is clamped
+monotone (an event admitted by ``schedule_at``'s 1e-12 past-tolerance can
+never move ``now`` backwards); and cancelled events are discarded without
+firing, so they never appear in traces.
+
+Observability: construct with ``Simulator(tracer=...)`` (any
+:class:`repro.obs.Tracer`) and every *fired* callback emits a ``sim.fire``
+event — the causal backbone under the protocol-level records the cluster
+engine adds on top.  With the default ``tracer=None`` the loop is exactly
+the untraced loop.
 """
 
 from __future__ import annotations
@@ -41,12 +54,21 @@ class Event:
 
 
 class Simulator:
-    """Event loop: schedule callbacks at future times, run until drained."""
+    """Event loop: schedule callbacks at future times, run until drained.
 
-    def __init__(self):
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`repro.obs.Tracer`; when enabled, each fired
+        callback emits a ``sim.fire`` trace event (cancelled events emit
+        nothing).  ``None`` (default) traces nothing.
+    """
+
+    def __init__(self, tracer=None):
         self._heap: list[tuple[float, int, Event, object, tuple]] = []
         self._seq = 0
         self.now = 0.0
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
 
     def schedule_at(self, time: float, callback, *args) -> Event:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
@@ -66,19 +88,36 @@ class Simulator:
     def run(self, until: "float | None" = None) -> float:
         """Process events (optionally only up to time ``until``).
 
-        Returns the simulation clock after the run.
+        Events scheduled exactly at ``until`` fire (inclusive upper bound);
+        each fires exactly once even across repeated ``run(until=...)``
+        calls with the same boundary.  Returns the simulation clock after
+        the run.
         """
+        tracer = self._tracer
         while self._heap:
             time, _, ev, callback, args = self._heap[0]
             if ev.cancelled:
-                # Cancelled events are discarded without touching the clock.
+                # Cancelled events are discarded without touching the clock
+                # (and never traced — they did not happen).
                 heapq.heappop(self._heap)
                 continue
             if until is not None and time > until:
                 break
             heapq.heappop(self._heap)
-            self.now = time
+            if time > self.now:
+                # Clamp: an event admitted by schedule_at's 1e-12 tolerance
+                # must not move the clock backwards (trace timestamps and
+                # downstream schedule(delay) calls rely on monotonicity).
+                self.now = time
             ev.fired = True
+            if tracer is not None:
+                tracer.event(
+                    "sim.fire",
+                    self.now,
+                    entity="sim",
+                    callback=getattr(callback, "__qualname__", None)
+                    or type(callback).__name__,
+                )
             callback(*args)
         if until is not None and until > self.now:
             self.now = until

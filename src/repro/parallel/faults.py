@@ -223,6 +223,15 @@ class FaultInjector:
         elif ev.kind == "link_loss":
             self.loss_prob[ev.node] = ev.loss_prob
         self.applied[ev.kind] += 1
+        if engine.trace:
+            engine.tracer.event(
+                f"fault.{ev.kind}",
+                engine.sim.now,
+                entity=f"node{ev.node}",
+                disk=ev.disk,
+                factor=ev.factor,
+                loss_prob=ev.loss_prob,
+            )
 
     def message_delivered(self, node: int) -> bool:
         """Loss draw for one message on ``node``'s link (True = delivered)."""

@@ -114,6 +114,9 @@ class WorkerNode:
         disk_of_bucket,
         candidates: int,
         qualified: int,
+        tracer=None,
+        cause=None,
+        metrics=None,
     ) -> tuple[float, BlockReply]:
         """Process a block request arriving at ``arrival``.
 
@@ -129,6 +132,15 @@ class WorkerNode:
             Number of records in the requested buckets (CPU filter cost).
         qualified:
             Number of records inside the query box (reply payload).
+        tracer:
+            Optional enabled :class:`repro.obs.Tracer`; each disk
+            reservation emits a ``disk.read`` event (entity
+            ``node{i}.disk{d}``, reservation window in attrs).
+        cause:
+            Trace id of the causing record (the request arrival).
+        metrics:
+            Optional :class:`repro.obs.MetricsRegistry`; observes the
+            ``disk.service_time`` histogram per reservation.
 
         Returns
         -------
@@ -151,9 +163,21 @@ class WorkerNode:
         disk_done = arrival
         for d, n_blocks in misses_per_disk.items():
             slow = self.disk_slowdown[d] if d < len(self.disk_slowdown) else 1.0
-            _, end = self.disks[d].reserve(
-                arrival, self.disk_model.service_time(n_blocks, slow)
-            )
+            service = self.disk_model.service_time(n_blocks, slow)
+            start, end = self.disks[d].reserve(arrival, service)
+            if metrics is not None:
+                metrics.histogram("disk.service_time").observe(service)
+            if tracer is not None:
+                tracer.event(
+                    "disk.read",
+                    arrival,
+                    entity=f"node{self.node_id}.disk{d}",
+                    cause=cause,
+                    n_blocks=n_blocks,
+                    start=start,
+                    end=end,
+                    slowdown=slow,
+                )
             disk_done = max(disk_done, end)
 
         # CPU filtering starts when all blocks are in memory.

@@ -25,6 +25,7 @@ from repro._util import check_positive_int
 from repro.core.base import validate_assignment
 from repro.core.optimal import optimal_response_times
 from repro.gridfile.gridfile import GridFile
+from repro.obs import PROFILER
 
 __all__ = [
     "BucketListSet",
@@ -158,7 +159,8 @@ def query_buckets(gf: GridFile, queries) -> list[np.ndarray]:
 
 def resolve_query_buckets(gf: GridFile, queries) -> BucketListSet:
     """Resolve a workload into a CSR :class:`BucketListSet` (batched)."""
-    return BucketListSet.from_queries(gf, queries)
+    with PROFILER.phase("resolve_query_buckets"):
+        return BucketListSet.from_queries(gf, queries)
 
 
 def _response_times_reference(
@@ -189,25 +191,26 @@ def response_times(
     the per-query reference loop exactly.
     """
     check_positive_int(n_disks, "n_disks")
-    assignment = np.asarray(assignment, dtype=np.int64)
-    bls = as_bucket_list_set(bucket_lists)
-    nq = len(bls)
-    out = np.zeros(nq, dtype=np.int64)
-    if nq == 0 or bls.ids.size == 0:
+    with PROFILER.phase("response_times"):
+        assignment = np.asarray(assignment, dtype=np.int64)
+        bls = as_bucket_list_set(bucket_lists)
+        nq = len(bls)
+        out = np.zeros(nq, dtype=np.int64)
+        if nq == 0 or bls.ids.size == 0:
+            return out
+        disks = assignment[bls.ids]
+        seg = np.repeat(np.arange(nq, dtype=np.int64), bls.counts)
+        block = max(1, _KERNEL_CELL_BUDGET // n_disks)
+        offsets = bls.offsets
+        for q0 in range(0, nq, block):
+            q1 = min(nq, q0 + block)
+            s, e = int(offsets[q0]), int(offsets[q1])
+            if s == e:
+                continue
+            key = (seg[s:e] - q0) * n_disks + disks[s:e]
+            mat = np.bincount(key, minlength=(q1 - q0) * n_disks)
+            out[q0:q1] = mat.reshape(q1 - q0, n_disks).max(axis=1)
         return out
-    disks = assignment[bls.ids]
-    seg = np.repeat(np.arange(nq, dtype=np.int64), bls.counts)
-    block = max(1, _KERNEL_CELL_BUDGET // n_disks)
-    offsets = bls.offsets
-    for q0 in range(0, nq, block):
-        q1 = min(nq, q0 + block)
-        s, e = int(offsets[q0]), int(offsets[q1])
-        if s == e:
-            continue
-        key = (seg[s:e] - q0) * n_disks + disks[s:e]
-        mat = np.bincount(key, minlength=(q1 - q0) * n_disks)
-        out[q0:q1] = mat.reshape(q1 - q0, n_disks).max(axis=1)
-    return out
 
 
 def evaluate_queries(

@@ -24,6 +24,7 @@ import numpy as np
 from repro._util import spawn_rng
 from repro.core.base import DeclusteringMethod
 from repro.core.registry import make_method
+from repro.obs import PROFILER
 from repro.gridfile.gridfile import GridFile
 from repro.sim.diskmodel import (
     BucketListSet,
@@ -106,8 +107,10 @@ def _evaluate_cell(
     keep_assignments: bool,
 ) -> _CellResult:
     """Run one sweep cell: assign, evaluate, compute secondary metrics."""
-    assignment = method.assign(gf, m_count, rng=rng)
-    ev = evaluate_queries(gf, assignment, None, m_count, bucket_lists=bucket_lists)
+    with PROFILER.phase(f"assign.{method.name}"):
+        assignment = method.assign(gf, m_count, rng=rng)
+    with PROFILER.phase("evaluate_queries"):
+        ev = evaluate_queries(gf, assignment, None, m_count, bucket_lists=bucket_lists)
     return _CellResult(
         evaluation=ev,
         balance=degree_of_data_balance(assignment, m_count, sizes),

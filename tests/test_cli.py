@@ -96,3 +96,88 @@ class TestCommands:
     def test_fault_sim_crash_node_out_of_range(self, capsys):
         rc = main(["fault-sim", "uniform.2d", "--disks", "4", "--crash-node", "7"])
         assert rc == 2
+
+
+class TestTraceCommand:
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_record_defaults(self):
+        args = build_parser().parse_args(["trace", "record", "uniform.2d", "t.jsonl"])
+        assert args.trace_command == "record"
+        assert args.disks == 16
+        assert args.scheme is None
+        assert args.crash_node is None
+
+    def test_record_and_summarize(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        rc = main(
+            [
+                "--seed", "3",
+                "trace", "record", "uniform.2d", str(path),
+                "--disks", "8",
+                "--scheme", "chained",
+                "--queries", "30",
+                "--crash-node", "2",
+                "--crash-time", "0.01",
+                "--recover-time", "0.06",
+            ]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        assert path.exists()
+
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        # The acceptance bar: per-disk utilization and per-phase timings
+        # for a fault-injected run.
+        assert "disk utilization" in out
+        assert "phase timings" in out
+        assert "cluster.run" in out
+        assert "fault" in out
+
+    def test_record_healthy_and_diff(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        base = ["--seed", "3", "trace", "record", "uniform.2d"]
+        opts = ["--disks", "8", "--scheme", "chained", "--queries", "20"]
+        assert main(base + [str(a)] + opts) == 0
+        assert (
+            main(
+                base + [str(b)] + opts
+                + ["--crash-node", "1", "--crash-time", "0.005", "--recover-time", "0.08"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "fault.node_crash" in out
+
+    def test_diff_identical_traces_is_clean(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        cmd = ["--seed", "3", "trace", "record", "uniform.2d"]
+        opts = ["--disks", "4", "--queries", "10"]
+        assert main(cmd + [str(a)] + opts) == 0
+        assert main(cmd + [str(b)] + opts) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_record_rejects_bad_crash_node(self, capsys, tmp_path):
+        rc = main(
+            ["trace", "record", "uniform.2d", str(tmp_path / "x.jsonl"),
+             "--disks", "4", "--crash-node", "9"]
+        )
+        assert rc == 2
+
+    def test_record_slowdown_only(self, capsys, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        rc = main(
+            ["--seed", "3", "trace", "record", "uniform.2d", str(path),
+             "--disks", "4", "--queries", "10",
+             "--slow-node", "1", "--slow-factor", "3.0"]
+        )
+        assert rc == 0
+        assert main(["trace", "summarize", str(path)]) == 0
+        assert "disk_slowdown=1" in capsys.readouterr().out

@@ -69,6 +69,86 @@ class TestSimulator:
             sim.run()
 
 
+class TestRunUntilBoundary:
+    """Boundary semantics of run(until=...), pinned for the tracing layer."""
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(2.0, log.append, "edge")
+        sim.run(until=2.0)
+        assert log == ["edge"]
+        assert sim.now == 2.0
+
+    def test_event_at_until_fires_exactly_once_across_runs(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(2.0, log.append, "edge")
+        sim.run(until=2.0)
+        sim.run(until=2.0)  # repeat with the same boundary
+        sim.run()
+        assert log == ["edge"]
+
+    def test_repeated_run_until_advances_clock_monotonically(self):
+        sim = Simulator()
+        times = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: times.append(sim.now))
+        assert sim.run(until=1.5) == 1.5
+        assert sim.run(until=1.5) == 1.5  # no-op, clock holds
+        assert sim.run(until=2.5) == 2.5
+        assert sim.run() == 3.0
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_tolerance_admitted_event_cannot_move_clock_backwards(self):
+        """schedule_at's 1e-12 past-tolerance must never rewind `now`."""
+        sim = Simulator()
+        seen = []
+
+        def at_one():
+            # Admitted by the tolerance: nominal time is just *before* now.
+            sim.schedule_at(sim.now - 5e-13, lambda: seen.append(sim.now))
+
+        sim.schedule_at(1.0, at_one)
+        sim.run()
+        assert seen == [1.0]  # fired at the clamped clock, not before it
+        assert sim.now == 1.0
+
+    def test_cancelled_event_at_until_never_fires_or_traces(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        log = []
+        ev = sim.schedule_at(2.0, log.append, "cancelled")
+        sim.schedule_at(2.0, log.append, "live")
+        ev.cancel()
+        sim.run(until=2.0)
+        assert log == ["live"]
+        fired = [r for r in tracer.records if r["name"] == "sim.fire"]
+        assert len(fired) == 1  # the cancelled event left no trace
+
+    def test_traced_run_matches_untraced_schedule(self):
+        from repro.obs import Tracer
+
+        def drive(sim):
+            log = []
+            sim.schedule(1.0, lambda: (log.append(sim.now), sim.schedule(1.0, log.append, "x")))
+            sim.schedule(2.5, log.append, "y")
+            sim.run()
+            return log, sim.now
+
+        tracer = Tracer()
+        assert drive(Simulator()) == drive(Simulator(tracer=tracer))
+        assert [r["t"] for r in tracer.records] == [1.0, 2.0, 2.5]
+
+    def test_disabled_tracer_is_ignored(self):
+        from repro.obs import NULL_TRACER
+
+        sim = Simulator(tracer=NULL_TRACER)
+        assert sim._tracer is None  # the loop stays the untraced loop
+
+
 class TestEventCancellation:
     def test_cancelled_event_does_not_fire(self):
         sim = Simulator()

@@ -1,0 +1,144 @@
+"""Property suite: causal ordering of traces over randomized cluster runs.
+
+For randomized workloads, cluster shapes and fault plans, every trace a
+run produces must satisfy the schema invariants documented in
+``repro/obs/trace.py``:
+
+* record ids strictly increase in emission order;
+* causal records (event / span_open / span_close) carry globally
+  non-decreasing simulated timestamps — and therefore per-entity
+  non-decreasing timestamps;
+* every ``cause`` references an *earlier* record's id;
+* spans balance: every open is closed exactly once, every close
+  references an earlier ``span_open`` of the same name, nothing stays
+  open after the run.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Minimax
+from repro.gridfile import GridFile
+from repro.obs import Tracer
+from repro.parallel import ClusterParams, FaultPlan, ParallelGridFile
+from repro.sim import square_queries
+
+CAUSAL_KINDS = ("event", "span_open", "span_close")
+
+
+def _traced_run(seed, n_queries, disks_per_node, replication, fault_seed, n_faults):
+    """One traced cluster run from integer knobs; returns the tracer."""
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 1000, size=(300, 2))
+    gf = GridFile.from_points(points, [0, 0], [1000, 1000], capacity=16)
+    n_disks = 8
+    assignment = Minimax().assign(gf, n_disks, rng=seed)
+    queries = square_queries(n_queries, 0.08, [0, 0], [1000, 1000], rng=seed)
+    n_nodes = n_disks // disks_per_node
+
+    plan = FaultPlan(seed=fault_seed)
+    frng = np.random.default_rng(fault_seed)
+    for _ in range(n_faults):
+        kind = frng.integers(0, 4)
+        t = float(frng.uniform(0.0, 0.2))
+        node = int(frng.integers(0, n_nodes))
+        if kind == 0:
+            plan.node_crash(t, node)
+        elif kind == 1:
+            plan.node_recover(t, node)
+        elif kind == 2:
+            plan.disk_slowdown(
+                t, node, factor=float(frng.uniform(1.5, 6.0)),
+                disk=int(frng.integers(0, disks_per_node)),
+            )
+        else:
+            plan.link_loss(t, node, loss_prob=float(frng.uniform(0.0, 0.3)))
+
+    params = ClusterParams(
+        disks_per_node=disks_per_node,
+        replication=replication,
+        request_timeout=0.05,
+        max_retries=2,
+    )
+    tracer = Tracer()
+    pgf = ParallelGridFile(gf, assignment, n_disks, params)
+    pgf.run_queries(queries, faults=plan if n_faults else None, tracer=tracer)
+    return tracer
+
+
+def _check_invariants(tracer):
+    records = tracer.records
+    assert records, "a traced run must emit records"
+
+    # Ids strictly increase in emission order.
+    ids = [r["id"] for r in records]
+    assert all(a < b for a, b in zip(ids, ids[1:]))
+
+    by_id = {r["id"]: r for r in records}
+    last_t_global = -np.inf
+    last_t_entity: dict[str, float] = {}
+    open_spans: dict[int, dict] = {}
+
+    for rec in records:
+        kind = rec["kind"]
+        if kind not in CAUSAL_KINDS:
+            assert "t" not in rec  # phase/metrics are wall-clock-only
+            continue
+
+        # Timestamps are globally (hence per-entity) non-decreasing.
+        t = rec["t"]
+        assert t >= last_t_global, f"time went backwards at record {rec['id']}"
+        last_t_global = t
+        entity = rec.get("entity")
+        if entity is not None:
+            assert t >= last_t_entity.get(entity, -np.inf)
+            last_t_entity[entity] = t
+
+        # Causes reference strictly earlier records.
+        cause = rec.get("cause")
+        if cause is not None:
+            assert cause in by_id
+            assert cause < rec["id"]
+
+        if kind == "span_open":
+            open_spans[rec["id"]] = rec
+        elif kind == "span_close":
+            opened = open_spans.pop(rec.get("span"), None)
+            assert opened is not None, f"close without open at record {rec['id']}"
+            assert opened["name"] == rec["name"]
+            assert opened["id"] < rec["id"]
+            assert rec["t"] >= opened["t"]
+
+    assert not open_spans, f"{len(open_spans)} spans left open"
+    assert tracer.open_spans == 0
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_queries=st.integers(1, 12),
+    disks_per_node=st.sampled_from([1, 2]),
+    replication=st.sampled_from([None, "chained", "mirrored"]),
+)
+@settings(max_examples=15, deadline=None)
+def test_healthy_run_traces_are_causally_ordered(
+    seed, n_queries, disks_per_node, replication
+):
+    tracer = _traced_run(seed, n_queries, disks_per_node, replication, 0, 0)
+    _check_invariants(tracer)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_queries=st.integers(1, 10),
+    disks_per_node=st.sampled_from([1, 2]),
+    replication=st.sampled_from([None, "chained", "mirrored"]),
+    fault_seed=st.integers(0, 2**31 - 1),
+    n_faults=st.integers(1, 6),
+)
+@settings(max_examples=20, deadline=None)
+def test_faulted_run_traces_are_causally_ordered(
+    seed, n_queries, disks_per_node, replication, fault_seed, n_faults
+):
+    tracer = _traced_run(seed, n_queries, disks_per_node, replication, fault_seed, n_faults)
+    _check_invariants(tracer)
