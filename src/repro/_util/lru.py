@@ -47,6 +47,18 @@ class LRUCache:
             self._blocks.popitem(last=False)
         return False
 
+    def invalidate(self, block_id: int) -> bool:
+        """Drop a block if cached; returns True when an entry was removed.
+
+        Used by the online engine when a write, split or bucket renumbering
+        makes a cached copy stale.  Does not touch the hit/miss counters —
+        invalidation is a coherence action, not an access.
+        """
+        if block_id in self._blocks:
+            del self._blocks[block_id]
+            return True
+        return False
+
     def __len__(self) -> int:
         return len(self._blocks)
 

@@ -13,6 +13,11 @@ Subcommands
 ``fault-sim NAME --scheme S --crash-node N --crash-time T``
     Run the simulated cluster with a mid-run node crash and report the
     degraded-mode statistics (timeouts, retries, failovers, availability).
+``online-sim NAME --write-ratio W --placement P``
+    Drive a mixed read/write workload against a *live* grid file: writes
+    split/merge buckets online, a placement policy assigns new buckets to
+    disks, and a degradation monitor triggers bounded reorganizations
+    (see ``docs/online.md``).
 ``trace record NAME OUT`` / ``trace summarize FILE`` / ``trace diff A B``
     Record a traced (optionally fault-injected) cluster run to a JSONL
     file, fold a trace into per-disk utilization / per-phase timings /
@@ -196,6 +201,58 @@ def _cmd_fault_sim(args) -> int:
     return 0
 
 
+def _cmd_online_sim(args) -> int:
+    from repro.core import make_placement
+    from repro.parallel import DegradationMonitor, OnlineCluster
+    from repro.sim import mixed_workload
+
+    if not 0.0 <= args.write_ratio <= 1.0:
+        print("--write-ratio must be in [0, 1]", file=sys.stderr)
+        return 2
+    ds = load(args.name, rng=args.seed)
+    gf = build_gridfile(ds)
+    method = make_method(args.method)
+    assignment = method.assign(gf, args.disks, rng=args.seed)
+    ops = mixed_workload(
+        args.ops,
+        args.write_ratio,
+        ds.domain_lo,
+        ds.domain_hi,
+        ratio=args.ratio,
+        rng=args.seed,
+    )
+    monitor = None
+    if not args.no_reorg:
+        monitor = DegradationMonitor(
+            threshold=args.reorg_threshold, budget=args.reorg_budget
+        )
+    policy = make_placement(args.placement)
+    before = gf.n_buckets
+    rep = OnlineCluster(
+        gf, assignment, args.disks, placement=policy, monitor=monitor, seed=args.seed
+    ).run(ops)
+    reorg = "disabled" if monitor is None else (
+        f"threshold={monitor.threshold}, budget={monitor.budget}"
+    )
+    print(f"dataset            : {ds.name} ({gf.stats()})")
+    print(f"method / placement : {method.name} / {policy.name}, disks={args.disks}")
+    print(f"workload           : {args.ops} ops, write ratio {args.write_ratio}, r={args.ratio}")
+    print(f"reorganization     : {reorg}")
+    print(f"writes             : {rep.n_inserts} inserts, {rep.n_deletes} deletes "
+          f"({rep.n_noop_deletes} no-op)")
+    print(f"structure churn    : {rep.n_splits} splits, {rep.n_merges} merges, "
+          f"{rep.n_refines} refines ({before} -> {rep.final_buckets} buckets)")
+    print(f"maintenance        : {rep.policy_moves} policy moves, {rep.reorg_moves} "
+          f"reorg moves in {rep.n_reorgs} reorgs (movement fraction "
+          f"{rep.movement_fraction:.3f})")
+    print(f"cache invalidations: {rep.cache_invalidations}")
+    print(f"mean R(q) ratio    : {rep.mean_rq_ratio:.3f} (1.0 = balanced optimum)")
+    print(f"mean query latency : {rep.perf.mean_latency * 1e3:.3f} ms")
+    print(f"mean write latency : {rep.mean_write_latency * 1e3:.3f} ms")
+    print(f"elapsed time       : {rep.elapsed_time * 1e3:.2f} ms")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs import diff_summaries, read_trace, render_summary, summarize
 
@@ -302,6 +359,27 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--ratio", type=float, default=0.05, help="query volume ratio r")
     f.add_argument("--queries", type=int, default=200)
 
+    o = sub.add_parser(
+        "online-sim",
+        help="drive a mixed read/write workload against a live grid file",
+    )
+    o.add_argument("name", choices=sorted(DATASETS))
+    o.add_argument("--method", default="minimax", help="initial assignment method")
+    o.add_argument("--disks", type=int, default=16)
+    o.add_argument("--ops", type=int, default=500, help="total operations")
+    o.add_argument("--write-ratio", type=float, default=0.3,
+                   help="fraction of ops that are writes (0..1)")
+    o.add_argument("--placement", default="rr-least-loaded",
+                   help="online placement policy (rr-least-loaded | proximity-steal"
+                   " | recompute-threshold)")
+    o.add_argument("--ratio", type=float, default=0.05, help="query volume ratio r")
+    o.add_argument("--no-reorg", action="store_true",
+                   help="disable the degradation monitor")
+    o.add_argument("--reorg-threshold", type=float, default=1.5,
+                   help="windowed R(q) ratio that triggers reorganization")
+    o.add_argument("--reorg-budget", type=float, default=0.2,
+                   help="movement budget per reorganization (fraction of buckets)")
+
     t = sub.add_parser("trace", help="record, summarize or diff cluster run traces")
     tsub = t.add_subparsers(dest="trace_command", required=True)
     trec = tsub.add_parser(
@@ -354,6 +432,8 @@ def main(argv=None) -> int:
         return _cmd_experiment(args)
     if args.command == "fault-sim":
         return _cmd_fault_sim(args)
+    if args.command == "online-sim":
+        return _cmd_online_sim(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "report":

@@ -37,7 +37,20 @@ from repro.core.localsearch import WorkloadTuned
 from repro.core.minimax import Minimax
 from repro.core.mst import MSTDecluster
 from repro.core.random_assign import RandomBalanced, RandomDecluster
-from repro.core.redistribute import minimax_expand, movement_fraction
+from repro.core.placement import (
+    PLACEMENT_POLICIES,
+    PlacementPolicy,
+    ProximitySteal,
+    RecomputeOnThreshold,
+    RoundRobinLeastLoaded,
+    make_placement,
+)
+from repro.core.redistribute import (
+    bounded_reconcile,
+    min_proximity_steal,
+    minimax_expand,
+    movement_fraction,
+)
 from repro.core.optimal import optimal_response_time, optimal_response_times
 from repro.core.proximity import (
     center_distance,
@@ -63,6 +76,14 @@ __all__ = [
     "WorkloadTuned",
     "minimax_expand",
     "movement_fraction",
+    "bounded_reconcile",
+    "min_proximity_steal",
+    "PlacementPolicy",
+    "RoundRobinLeastLoaded",
+    "ProximitySteal",
+    "RecomputeOnThreshold",
+    "PLACEMENT_POLICIES",
+    "make_placement",
     "recommend",
     "Recommendation",
     "exact_optimal_assignment",

@@ -1,0 +1,245 @@
+"""Online bucket placement: where does a freshly split bucket go?
+
+The paper declusters a *frozen* grid file; a live one keeps splitting
+buckets while queries are in flight, and each new bucket must be assigned a
+disk immediately — there is no time for a global recompute per insert.  A
+:class:`PlacementPolicy` makes that call.  Three policies span the
+quality-vs-movement spectrum the online engine measures
+(``benchmarks/bench_ext_online.py``):
+
+* :class:`RoundRobinLeastLoaded` — place on the least-loaded disk, breaking
+  ties round-robin.  Never moves existing buckets (zero movement), but
+  ignores proximity entirely.
+* :class:`ProximitySteal` — place on the disk whose current content has the
+  smallest *maximum proximity* to the new bucket (Algorithm 2's selection
+  rule, via :func:`repro.core.redistribute.min_proximity_steal`); when the
+  placement leaves a disk over quota, steal its least-proximal bucket for
+  the most underloaded disk.  Small bounded movement, proximity-aware.
+* :class:`RecomputeOnThreshold` — place least-loaded, but every so many
+  placements (or when bucket-count imbalance crosses a factor) recompute a
+  from-scratch assignment with a full declustering method and reconcile
+  under a movement budget (:func:`repro.core.redistribute.bounded_reconcile`).
+
+Loads are counted in *non-empty* buckets, matching the repo-wide balance
+quota ``⌈N/M⌉`` (empty buckets occupy no disk page).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+from repro.core.proximity import proximity_index
+from repro.core.redistribute import bounded_reconcile, min_proximity_steal
+from repro.gridfile.gridfile import GridFile
+
+__all__ = [
+    "PlacementPolicy",
+    "RoundRobinLeastLoaded",
+    "ProximitySteal",
+    "RecomputeOnThreshold",
+    "make_placement",
+    "PLACEMENT_POLICIES",
+]
+
+
+def _loads(assignment: np.ndarray, sizes: np.ndarray, n_disks: int) -> np.ndarray:
+    """Non-empty buckets per disk (``sizes`` aligned with ``assignment``)."""
+    mask = sizes[: assignment.shape[0]] > 0
+    return np.bincount(assignment[mask], minlength=n_disks)
+
+
+class PlacementPolicy(ABC):
+    """Chooses the disk of each new bucket; may request maintenance moves."""
+
+    #: Registry / report name.
+    name: str = "placement"
+
+    @abstractmethod
+    def place(
+        self, gf: GridFile, assignment: np.ndarray, new_bucket: int, n_disks: int
+    ) -> int:
+        """Disk for ``new_bucket`` (already appended to ``gf.buckets``).
+
+        ``assignment`` covers the pre-existing buckets (length
+        ``new_bucket``); the returned disk id is appended by the caller.
+        """
+
+    def maintain(
+        self, gf: GridFile, assignment: np.ndarray, n_disks: int
+    ) -> list[tuple[int, int]]:
+        """Optional follow-up moves ``(bucket_id, new_disk)`` after placement.
+
+        ``assignment`` now covers every bucket (placement applied).  The
+        caller applies the moves in order and charges their movement cost.
+        """
+        return []
+
+
+class RoundRobinLeastLoaded(PlacementPolicy):
+    """Least-loaded disk, round-robin among ties.  Zero movement."""
+
+    name = "rr-least-loaded"
+
+    def __init__(self):
+        self._next = 0
+
+    def place(self, gf, assignment, new_bucket, n_disks) -> int:
+        load = _loads(assignment, gf.bucket_sizes(), n_disks)
+        tied = np.nonzero(load == load.min())[0]
+        # First tied disk at or after the round-robin pointer (cyclically).
+        ahead = tied[tied >= self._next]
+        disk = int(ahead[0]) if ahead.size else int(tied[0])
+        self._next = (disk + 1) % n_disks
+        return disk
+
+
+class ProximitySteal(PlacementPolicy):
+    """Min-max-proximity placement with bounded stealing.
+
+    Parameters
+    ----------
+    max_steals:
+        Maximum maintenance moves per placement event (default 1).
+    slack:
+        Extra buckets a disk may hold beyond the ``⌈N/M⌉`` quota before a
+        steal is triggered (default 0).
+    """
+
+    name = "proximity-steal"
+
+    def __init__(self, max_steals: int = 1, slack: int = 0):
+        if max_steals < 0 or slack < 0:
+            raise ValueError("max_steals and slack must be non-negative")
+        self.max_steals = int(max_steals)
+        self.slack = int(slack)
+
+    def place(self, gf, assignment, new_bucket, n_disks) -> int:
+        sizes = gf.bucket_sizes()
+        load = _loads(assignment, sizes, n_disks)
+        n_nonempty = int((sizes > 0).sum())
+        quota = -(-n_nonempty // n_disks)
+        under = np.nonzero(load < quota)[0]
+        candidates = under if under.size else np.arange(n_disks)
+        lo, hi = gf.bucket_regions()
+        lengths = gf.scales.lengths
+        nonempty = sizes > 0
+        nonempty[new_bucket] = False
+        best = None  # (max_proximity, load, disk)
+        for d in candidates:
+            anchors = np.nonzero(nonempty[: assignment.shape[0]] & (assignment == d))[0]
+            if anchors.size:
+                w = float(
+                    proximity_index(
+                        lo[new_bucket], hi[new_bucket], lo[anchors], hi[anchors], lengths
+                    ).max()
+                )
+            else:
+                w = 0.0
+            key = (w, int(load[d]), int(d))
+            if best is None or key < best:
+                best = key
+        return best[2]
+
+    def maintain(self, gf, assignment, n_disks) -> list[tuple[int, int]]:
+        sizes = gf.bucket_sizes()
+        lo, hi = gf.bucket_regions()
+        lengths = gf.scales.lengths
+        assignment = assignment.copy()
+        moves: list[tuple[int, int]] = []
+        for _ in range(self.max_steals):
+            load = _loads(assignment, sizes, n_disks)
+            quota = -(-int((sizes > 0).sum()) // n_disks)
+            if load.max() <= quota + self.slack or load.min() >= quota:
+                break
+            src = int(np.argmax(load))
+            dst = int(np.argmin(load))
+            nonempty = sizes > 0
+            candidates = np.nonzero(nonempty & (assignment == src))[0]
+            anchors = np.nonzero(nonempty & (assignment == dst))[0]
+            if candidates.size == 0:
+                break
+            b = min_proximity_steal(lo, hi, lengths, candidates, anchors)
+            assignment[b] = dst
+            moves.append((b, dst))
+        return moves
+
+
+class RecomputeOnThreshold(PlacementPolicy):
+    """Cheap placement, periodic bounded-movement global recompute.
+
+    Parameters
+    ----------
+    method:
+        Declustering method (or registry spec string) used for the
+        recompute; default ``"minimax"``.
+    every:
+        Recompute after this many placements (default 64).
+    imbalance:
+        Also recompute when ``max_load / quota`` exceeds this factor
+        (default 1.5).
+    budget:
+        Movement budget per recompute, as a fraction of non-empty buckets
+        (default 0.2; see :func:`repro.core.redistribute.bounded_reconcile`).
+    rng:
+        Seed for the recompute method's tie-breaking (each recompute uses a
+        fresh child stream, so runs are deterministic).
+    """
+
+    name = "recompute-threshold"
+
+    def __init__(self, method="minimax", every: int = 64, imbalance: float = 1.5,
+                 budget: float = 0.2, rng=None):
+        check_positive_int(every, "every")
+        if imbalance < 1.0:
+            raise ValueError("imbalance factor must be >= 1")
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        if isinstance(method, str):
+            from repro.core.registry import make_method
+
+            method = make_method(method)
+        self.method = method
+        self.every = int(every)
+        self.imbalance = float(imbalance)
+        self.budget = float(budget)
+        self._rng = as_rng(rng)
+        self._fallback = RoundRobinLeastLoaded()
+        self._since = 0
+
+    def place(self, gf, assignment, new_bucket, n_disks) -> int:
+        self._since += 1
+        return self._fallback.place(gf, assignment, new_bucket, n_disks)
+
+    def maintain(self, gf, assignment, n_disks) -> list[tuple[int, int]]:
+        sizes = gf.bucket_sizes()
+        load = _loads(assignment, sizes, n_disks)
+        quota = -(-int((sizes > 0).sum()) // n_disks)
+        if self._since < self.every and load.max() <= self.imbalance * quota:
+            return []
+        self._since = 0
+        target = self.method.assign(gf, n_disks, rng=self._rng)
+        merged, moved = bounded_reconcile(assignment, target, self.budget, sizes=sizes)
+        return [(int(b), int(merged[b])) for b in moved]
+
+
+#: name -> zero-argument factory of the online placement policies.
+PLACEMENT_POLICIES = {
+    RoundRobinLeastLoaded.name: RoundRobinLeastLoaded,
+    ProximitySteal.name: ProximitySteal,
+    RecomputeOnThreshold.name: RecomputeOnThreshold,
+}
+
+
+def make_placement(spec) -> PlacementPolicy:
+    """Build a placement policy from a name or pass an instance through."""
+    if isinstance(spec, PlacementPolicy):
+        return spec
+    try:
+        return PLACEMENT_POLICIES[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {spec!r}; known: {sorted(PLACEMENT_POLICIES)}"
+        ) from None

@@ -27,7 +27,12 @@ import numpy as np
 from repro._util import as_rng, check_positive_int
 from repro.core.proximity import proximity_index
 
-__all__ = ["movement_fraction", "minimax_expand"]
+__all__ = [
+    "movement_fraction",
+    "minimax_expand",
+    "bounded_reconcile",
+    "min_proximity_steal",
+]
 
 
 def movement_fraction(old: np.ndarray, new: np.ndarray, sizes=None) -> float:
@@ -43,6 +48,123 @@ def movement_fraction(old: np.ndarray, new: np.ndarray, sizes=None) -> float:
     if old.size == 0:
         return 0.0
     return float(np.mean(old != new))
+
+
+def bounded_reconcile(
+    old: np.ndarray,
+    new: np.ndarray,
+    budget: float,
+    sizes=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Move ``old`` toward ``new`` spending at most a movement budget.
+
+    The online degradation monitor recomputes a from-scratch assignment when
+    windowed response time degrades, but a live system cannot afford to
+    rewrite every differing bucket at once.  This helper applies only the
+    most load-relieving subset of the moves: differing buckets are taken
+    greedily from the currently most-loaded disk (loads counted over
+    non-empty buckets) until ``floor(budget * n_nonempty)`` buckets have
+    moved.  Empty buckets (``sizes == 0``) occupy no disk page, so they are
+    reassigned for free and never charged against the budget.
+
+    Parameters
+    ----------
+    old, new:
+        ``(n,)`` current and target assignments (same disk universe).
+    budget:
+        Maximum fraction of non-empty buckets allowed to move (``>= 0``).
+    sizes:
+        Optional ``(n,)`` record counts; ``None`` treats every bucket as
+        non-empty.
+
+    Returns
+    -------
+    (assignment, moved):
+        The reconciled ``(n,)`` assignment and the ids of the non-empty
+        buckets that moved (ascending order of application).
+    """
+    old = np.asarray(old, dtype=np.int64)
+    new = np.asarray(new, dtype=np.int64)
+    if old.shape != new.shape:
+        raise ValueError("assignments must have equal shape")
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    out = old.copy()
+    if out.size == 0:
+        return out, np.empty(0, dtype=np.int64)
+    nonempty = (
+        np.ones(out.shape[0], dtype=bool) if sizes is None else np.asarray(sizes) > 0
+    )
+    # Empty buckets cost nothing to "move": adopt the target outright.
+    out[~nonempty] = new[~nonempty]
+    n_disks = int(max(out.max(), new.max())) + 1
+    load = np.bincount(out[nonempty], minlength=n_disks)
+    pending = set(np.nonzero(nonempty & (out != new))[0].tolist())
+    allowance = int(budget * int(nonempty.sum()))
+    moved: list[int] = []
+    while pending and len(moved) < allowance:
+        # Relieve the most-loaded disk first (ties: lowest disk, then lowest
+        # bucket id — fully deterministic).
+        by_disk: dict[int, int] = {}
+        for b in pending:
+            d = int(out[b])
+            if d not in by_disk or b < by_disk[d]:
+                by_disk[d] = b
+        src = max(by_disk, key=lambda d: (load[d], -d))
+        b = by_disk[src]
+        pending.discard(b)
+        load[src] -= 1
+        out[b] = new[b]
+        load[out[b]] += 1
+        moved.append(b)
+    return out, np.asarray(moved, dtype=np.int64)
+
+
+def min_proximity_steal(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    lengths,
+    candidates: np.ndarray,
+    anchor_ids: np.ndarray,
+) -> int:
+    """Pick the candidate bucket with minimal max-proximity to an anchor set.
+
+    This is Algorithm 2's tree-growing selection rule (the same one
+    :func:`minimax_expand` applies per new disk), exposed for online
+    placement: when a disk must give up a bucket, steal the one least
+    "close" to the receiving disk's current content, so intra-disk
+    proximity — and thus response time — degrades least.
+
+    Parameters
+    ----------
+    lo, hi:
+        ``(n, d)`` bucket regions.
+    lengths:
+        Domain extents.
+    candidates:
+        Ids of buckets eligible to move (non-empty).
+    anchor_ids:
+        Ids of the buckets already on the receiving disk; when empty, the
+        lowest candidate id is returned.
+
+    Returns
+    -------
+    int
+        The chosen bucket id.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.size == 0:
+        raise ValueError("no candidate buckets to steal")
+    anchor_ids = np.asarray(anchor_ids, dtype=np.int64)
+    if anchor_ids.size == 0:
+        return int(candidates.min())
+    # (n_candidates, n_anchors) proximity matrix; minimize the row maximum.
+    w = proximity_index(
+        lo[candidates, None, :], hi[candidates, None, :],
+        lo[anchor_ids, None, :].swapaxes(0, 1), hi[anchor_ids, None, :].swapaxes(0, 1),
+        lengths,
+    )
+    return int(candidates[int(np.argmin(w.max(axis=1)))])
 
 
 def minimax_expand(

@@ -112,6 +112,9 @@ class GridFile:
         self._n = self.points.shape[0]
         self._next_split_dim = 0
         self._deleted: set[int] = set()
+        #: Structural-event listeners (see :meth:`add_listener`).  Kept as a
+        #: plain list; the hot mutation paths only touch it when non-empty.
+        self._listeners: list = []
         #: Cached per-bucket record counts (``None`` when stale).  Every
         #: structural mutation funnels through :meth:`invalidate_caches`;
         #: ``_sizes_rebuilds`` counts actual recomputations so tests can
@@ -206,6 +209,41 @@ class GridFile:
         """Record ids stored in the given bucket."""
         return self.buckets[bucket_id].record_array()
 
+    # ---------------------------------------------------------- event hooks
+
+    def add_listener(self, listener) -> None:
+        """Subscribe to structural maintenance events.
+
+        A listener is any object exposing (all optional):
+
+        * ``on_split(gf, bucket_id, new_bucket_id)`` — after a bucket split;
+          the new bucket was appended at id ``new_bucket_id``.
+        * ``on_merge(gf, survivor_id, absorbed_id)`` — after buddy buckets
+          merged (``absorbed_id`` is about to be removed).
+        * ``on_remove(gf, bucket_id, moved_id)`` — after bucket
+          ``bucket_id`` was deleted; ``moved_id`` is the old id of the
+          bucket renumbered into its slot (``None`` if it was the last).
+        * ``on_refine(gf, dim, interval)`` — after a new scale boundary
+          duplicated directory interval ``interval`` along ``dim``.
+        * ``on_record(gf, bucket_id, kind)`` — after a record landed in
+          (``kind="insert"``) or left (``kind="delete"``) a bucket, before
+          any split/merge it triggers.
+
+        Online maintenance (incremental declustering, cache invalidation)
+        hangs off these events — see :mod:`repro.parallel.online`.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        """Unsubscribe a listener added with :meth:`add_listener`."""
+        self._listeners.remove(listener)
+
+    def _emit(self, event: str, *args) -> None:
+        for listener in self._listeners:
+            handler = getattr(listener, "on_" + event, None)
+            if handler is not None:
+                handler(self, *args)
+
     # -------------------------------------------------------------- inserts
 
     def _append_point(self, coords) -> int:
@@ -232,6 +270,8 @@ class GridFile:
         bucket = self.buckets[self.directory.bucket_at(cell)]
         bucket.record_ids.append(rid)
         self.invalidate_caches()
+        if self._listeners:
+            self._emit("record", bucket.id, "insert")
         self._handle_overflow(bucket)
         return rid
 
@@ -265,6 +305,8 @@ class GridFile:
         self.invalidate_caches()
         if bucket.overflowed and bucket.n_records <= self.capacity:
             bucket.overflowed = False
+        if self._listeners:
+            self._emit("record", bucket.id, "delete")
         self._maybe_merge(bucket)
 
     def delete_records(self, rids) -> None:
@@ -325,6 +367,8 @@ class GridFile:
         a.record_ids.extend(b.record_ids)
         b.record_ids = []
         self.directory.set_box(a.cellbox, a.id)
+        if self._listeners:
+            self._emit("merge", a.id, b.id)
         self._remove_bucket(b.id)
         # ``a`` may have been renumbered by the swap-removal.
         return self.buckets[self.directory.bucket_at(a.cellbox.lo)]
@@ -339,6 +383,8 @@ class GridFile:
             self.buckets[bid] = moved
             self.directory.set_box(moved.cellbox, bid)
         self.buckets.pop()
+        if self._listeners:
+            self._emit("remove", bid, last if bid != last else None)
 
     def _handle_overflow(self, bucket: Bucket) -> None:
         stack = [bucket]
@@ -376,6 +422,8 @@ class GridFile:
         b.record_ids = rec[~upper_mask].tolist()
         b.cellbox = lower
         self.directory.set_box(upper, new.id)
+        if self._listeners:
+            self._emit("split", b.id, new.id)
         return new
 
     def _choose_cut(self, b: Bucket) -> tuple[int, int]:
@@ -426,6 +474,8 @@ class GridFile:
             for bb in self.buckets:
                 bb.cellbox.shift_for_refinement(k, interval)
             self._next_split_dim = (k + 1) % self.dims
+            if self._listeners:
+                self._emit("refine", k, interval)
             return True
         return False
 

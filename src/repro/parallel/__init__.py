@@ -23,6 +23,7 @@ from repro.parallel.des import Event, Resource, Simulator
 from repro.parallel.disk import DiskModel
 from repro.parallel.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.parallel.network import NetworkModel
+from repro.parallel.online import DegradationMonitor, OnlineCluster, OnlineReport
 from repro.parallel.replication import apply_failures, effective_disk, replica_assignment
 from repro.parallel.stores import GridFileStore, PageStore, RTreeStore, as_page_store
 
@@ -46,4 +47,7 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",
+    "OnlineCluster",
+    "OnlineReport",
+    "DegradationMonitor",
 ]

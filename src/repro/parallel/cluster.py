@@ -200,6 +200,10 @@ class _Engine:
     counters and histograms, snapshotted into ``PerfReport.metrics``.
     """
 
+    #: Subclasses (the online engine) set this False to plan each query at
+    #: submit time against the live store instead of eagerly up front.
+    eager_plan = True
+
     def __init__(self, owner: "ParallelGridFile", queries, faults=None, tracer=None):
         self.owner = owner
         self.params = owner.params
@@ -209,10 +213,13 @@ class _Engine:
         self.metrics = MetricsRegistry()
         self.sim = Simulator(tracer=self.tracer if self.trace else None)
         self.queries = list(queries)
-        with PROFILER.phase("cluster.plan"):
-            self.plans: list[QueryPlan] = [
-                owner.coordinator.plan(i, q) for i, q in enumerate(self.queries)
-            ]
+        if self.eager_plan:
+            with PROFILER.phase("cluster.plan"):
+                self.plans: list[QueryPlan] = [
+                    owner.coordinator.plan(i, q) for i, q in enumerate(self.queries)
+                ]
+        else:
+            self.plans = [None] * len(self.queries)
         self.nodes = [
             WorkerNode.create(
                 i,
@@ -268,10 +275,19 @@ class _Engine:
 
     # -- protocol steps ------------------------------------------------------
 
+    def _plan_of(self, qid: int) -> QueryPlan:
+        """The plan of query ``qid``; computed on first use when lazy."""
+        plan = self.plans[qid]
+        if plan is None:
+            plan = self.plans[qid] = self.owner.coordinator.plan(
+                qid, self.queries[qid]
+            )
+        return plan
+
     def submit(self, qid: int) -> None:
         """Start query ``qid`` at the current simulated time."""
         self.submit_time[qid] = self.sim.now
-        plan = self.plans[qid]
+        plan = self._plan_of(qid)
         self.metrics.counter("queries.submitted").inc()
         self.metrics.histogram("queue.depth", bounds=_QUEUE_BOUNDS).observe(
             len(self.remaining)
@@ -680,12 +696,16 @@ class _Engine:
             n_queries=len(self.queries),
             n_nodes=self.owner.n_nodes,
             n_disks=self.owner.n_disks,
-            blocks_fetched=sum(p.response_by_definition for p in self.plans),
+            blocks_fetched=sum(
+                p.response_by_definition for p in self.plans if p is not None
+            ),
             blocks_requested_total=sum(n.blocks_requested for n in self.nodes),
             blocks_read=sum(n.blocks_read for n in self.nodes),
             comm_time=self.comm_time,
             elapsed_time=elapsed,
-            records_returned=sum(p.total_qualified for p in self.plans),
+            records_returned=sum(
+                p.total_qualified for p in self.plans if p is not None
+            ),
             cache_hit_rate=(total_hits / total_access) if total_access else 0.0,
             completion_times=self.completion,
             latencies=self.completion - self.submit_time,

@@ -27,7 +27,9 @@ from repro.sim.metrics import (
 )
 from repro.sim.runner import MethodCurve, SweepResult, sweep_methods
 from repro.sim.workload import (
+    Operation,
     animation_queries,
+    mixed_workload,
     partial_match_workload,
     square_queries,
     trace_queries,
@@ -47,6 +49,8 @@ __all__ = [
     "animation_queries",
     "trace_queries",
     "partial_match_workload",
+    "Operation",
+    "mixed_workload",
     "sweep_methods",
     "SweepResult",
     "MethodCurve",

@@ -9,12 +9,137 @@ over the data domain and whose volume is a fraction ``r`` of the domain
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro._util import as_rng, check_positive_int, check_probability
 from repro.gridfile.query import RangeQuery
 
-__all__ = ["square_queries", "animation_queries", "trace_queries", "partial_match_workload"]
+__all__ = [
+    "square_queries",
+    "animation_queries",
+    "trace_queries",
+    "partial_match_workload",
+    "Operation",
+    "mixed_workload",
+]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One step of a mixed read/write workload.
+
+    ``kind`` is ``"query"`` (range query), ``"insert"`` (new point) or
+    ``"delete"``.  Deletes carry a rank in ``[0, 1)`` instead of a record
+    id: the record actually deleted is chosen at *execution* time as the
+    live record with that fractional rank, because at generation time the
+    engine cannot know which ids will exist.  ``time`` is the arrival
+    instant when the workload was generated with an arrival process
+    (``None`` = closed back-to-back stream).
+    """
+
+    kind: str
+    query: "RangeQuery | None" = None
+    point: "np.ndarray | None" = None
+    delete_rank: float = 0.0
+    time: "float | None" = None
+
+
+def mixed_workload(
+    n: int,
+    write_ratio: float,
+    domain_lo,
+    domain_hi,
+    ratio: float = 0.05,
+    delete_fraction: float = 0.25,
+    arrival_rate: "float | None" = None,
+    rng=None,
+    centers: "np.ndarray | None" = None,
+) -> list[Operation]:
+    """An interleaved stream of range queries, inserts and deletes.
+
+    Each operation is a write with probability ``write_ratio``; a write is
+    a delete with probability ``delete_fraction`` (else an insert of a
+    uniform point, or a point near a ``centers`` row when given — a
+    data-correlated write stream).  Queries are the paper's square queries
+    of volume fraction ``ratio``.  With ``write_ratio == 0`` the stream is
+    exactly ``square_queries(n, ratio, ..., rng=rng)`` in order — the
+    neutrality pin of the online engine relies on this
+    (``tests/test_online.py``).
+
+    Parameters
+    ----------
+    n:
+        Total operations.
+    write_ratio:
+        Fraction of operations that are writes (``0 <= w <= 1``).
+    domain_lo, domain_hi:
+        Data domain.
+    ratio:
+        Query volume fraction ``r``.
+    delete_fraction:
+        Fraction of writes that are deletes.
+    arrival_rate:
+        Optional mean arrivals per simulated second; when given, each
+        operation carries a Poisson-process arrival ``time``.
+    rng:
+        Seed or generator.
+    centers:
+        Optional ``(m, d)`` pool biasing query centers *and* insert
+        locations toward the data (see :func:`square_queries`).
+    """
+    check_positive_int(n, "n")
+    check_probability(write_ratio, "write_ratio")
+    check_probability(delete_fraction, "delete_fraction")
+    domain_lo = np.asarray(domain_lo, dtype=np.float64)
+    domain_hi = np.asarray(domain_hi, dtype=np.float64)
+    rng = as_rng(rng)
+    if arrival_rate is not None and arrival_rate <= 0:
+        raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+
+    # Draw the op-kind stream first so the per-kind streams depend only on
+    # (seed, kinds): with write_ratio == 0 every draw pattern below matches
+    # square_queries exactly (same rng consumption order).
+    if write_ratio > 0.0:
+        is_write = rng.uniform(size=n) < write_ratio
+        is_delete = rng.uniform(size=n) < delete_fraction
+    else:
+        is_write = np.zeros(n, dtype=bool)
+        is_delete = np.zeros(n, dtype=bool)
+    n_queries = int((~is_write).sum())
+    queries = (
+        square_queries(n_queries, ratio, domain_lo, domain_hi, rng=rng, centers=centers)
+        if n_queries
+        else []
+    )
+    times = (
+        np.cumsum(rng.exponential(1.0 / arrival_rate, size=n))
+        if arrival_rate is not None
+        else None
+    )
+
+    ops: list[Operation] = []
+    qi = 0
+    for i in range(n):
+        t = float(times[i]) if times is not None else None
+        if not is_write[i]:
+            ops.append(Operation("query", query=queries[qi], time=t))
+            qi += 1
+        elif is_delete[i]:
+            ops.append(Operation("delete", delete_rank=float(rng.uniform()), time=t))
+        else:
+            if centers is None:
+                point = rng.uniform(domain_lo, domain_hi)
+            else:
+                pool = np.asarray(centers, dtype=np.float64)
+                jitter = rng.normal(0.0, 0.01, size=domain_lo.shape[0])
+                point = pool[rng.integers(0, pool.shape[0])] + jitter * (
+                    domain_hi - domain_lo
+                )
+                point = np.clip(point, domain_lo, domain_hi)
+            ops.append(Operation("insert", point=point, time=t))
+    return ops
 
 
 def square_queries(

@@ -7,11 +7,27 @@ insert points build their own files.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.datasets import build_gridfile, load
 from repro.gridfile import GridFile, bulk_load
+
+# Hypothesis profiles: "dev" (default) explores with random seeds; "ci" is
+# derandomized so the dedicated slow CI job is reproducible run-to-run.
+# Select with HYPOTHESIS_PROFILE=ci (see .github/workflows/ci.yml).
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture
