@@ -10,6 +10,14 @@ Subcommands
     Decluster a dataset and report balance / response-time statistics.
 ``experiment ID``
     Regenerate a paper figure/table (fig2..fig7, table1..table5).
+``cluster-sim NAME --scheduler S --replica-policy P``
+    Run the closed-loop cluster simulator with the request-pipeline
+    engine knobs exposed: disk scheduling discipline, replica-selection
+    policy and admission control (see ``docs/architecture.md``).
+``open-sim NAME --rate R --max-inflight K --deadline D``
+    Open-system run: Poisson arrivals at R queries/s, optional bounded
+    admission and deadline shedding; reports latency percentiles and
+    the shed fraction.
 ``fault-sim NAME --scheme S --crash-node N --crash-time T``
     Run the simulated cluster with a mid-run node crash and report the
     degraded-mode statistics (timeouts, retries, failovers, availability).
@@ -160,6 +168,94 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _engine_params(args, **extra):
+    """Build ClusterParams from the shared engine knobs, validating names.
+
+    Unknown ``--scheduler`` / ``--replica-policy`` names and out-of-range
+    admission settings raise ``ValueError`` at ``ParallelGridFile``
+    construction; callers catch it and turn it into a clean CLI error.
+    """
+    from repro.parallel import ClusterParams
+
+    return ClusterParams(
+        scheduler=args.scheduler,
+        replica_policy=args.replica_policy,
+        max_inflight=args.max_inflight,
+        deadline=args.deadline,
+        **extra,
+    )
+
+
+def _print_perf(rep, *, show_shed: bool = False) -> None:
+    print(f"elapsed time       : {rep.elapsed_time * 1e3:.2f} ms")
+    print(f"mean latency       : {rep.mean_latency * 1e3:.3f} ms")
+    print(f"p95 / p99 latency  : {rep.p95_latency * 1e3:.3f} / {rep.p99_latency * 1e3:.3f} ms")
+    print(f"blocks fetched     : {rep.blocks_fetched} (read {rep.blocks_read}, "
+          f"cache hit rate {rep.cache_hit_rate:.3f})")
+    print(f"records returned   : {rep.records_returned}")
+    print(f"comm time          : {rep.comm_time * 1e3:.2f} ms")
+    if show_shed:
+        print(f"throughput         : {rep.throughput:.1f} queries/s")
+        print(f"shed queries       : {rep.shed_queries} "
+              f"(fraction {rep.shed_fraction:.3f})")
+
+
+def _deploy(args):
+    ds = load(args.name, rng=args.seed)
+    gf = build_gridfile(ds)
+    method = make_method(args.method)
+    assignment = method.assign(gf, args.disks, rng=args.seed)
+    queries = square_queries(args.queries, args.ratio, ds.domain_lo, ds.domain_hi, rng=args.seed)
+    return ds, gf, method, assignment, queries
+
+
+def _cmd_cluster_sim(args) -> int:
+    from repro.parallel import ParallelGridFile
+
+    ds, gf, method, assignment, queries = _deploy(args)
+    try:
+        params = _engine_params(args, replication=args.scheme)
+        pgf = ParallelGridFile(gf, assignment, args.disks, params)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rep = pgf.run_queries(queries)
+    print(f"dataset            : {ds.name} ({gf.stats()})")
+    print(f"method             : {method.name}, disks={args.disks}")
+    print(f"engine             : scheduler={args.scheduler}, "
+          f"replica-policy={args.replica_policy}, scheme={args.scheme}")
+    print(f"queries            : {args.queries} (r={args.ratio}, closed loop)")
+    _print_perf(rep)
+    return 0
+
+
+def _cmd_open_sim(args) -> int:
+    from repro.parallel import ParallelGridFile
+
+    if args.rate <= 0:
+        print("--rate must be positive", file=sys.stderr)
+        return 2
+    ds, gf, method, assignment, queries = _deploy(args)
+    try:
+        params = _engine_params(args, replication=args.scheme)
+        pgf = ParallelGridFile(gf, assignment, args.disks, params)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rep = pgf.run_open(queries, arrival_rate=args.rate, rng=args.seed)
+    admission = "unbounded"
+    if args.max_inflight is not None or args.deadline is not None:
+        admission = f"max-inflight={args.max_inflight}, deadline={args.deadline}"
+    print(f"dataset            : {ds.name} ({gf.stats()})")
+    print(f"method             : {method.name}, disks={args.disks}")
+    print(f"engine             : scheduler={args.scheduler}, "
+          f"replica-policy={args.replica_policy}, admission={admission}")
+    print(f"workload           : {args.queries} queries (r={args.ratio}), "
+          f"Poisson arrivals at {args.rate:g}/s")
+    _print_perf(rep, show_shed=True)
+    return 0
+
+
 def _cmd_fault_sim(args) -> int:
     from repro.parallel import ClusterParams, FaultPlan, ParallelGridFile
 
@@ -228,14 +324,21 @@ def _cmd_online_sim(args) -> int:
         )
     policy = make_placement(args.placement)
     before = gf.n_buckets
-    rep = OnlineCluster(
-        gf, assignment, args.disks, placement=policy, monitor=monitor, seed=args.seed
-    ).run(ops)
+    try:
+        cluster = OnlineCluster(
+            gf, assignment, args.disks, params=_engine_params(args),
+            placement=policy, monitor=monitor, seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rep = cluster.run(ops)
     reorg = "disabled" if monitor is None else (
         f"threshold={monitor.threshold}, budget={monitor.budget}"
     )
     print(f"dataset            : {ds.name} ({gf.stats()})")
-    print(f"method / placement : {method.name} / {policy.name}, disks={args.disks}")
+    print(f"method / placement : {method.name} / {policy.name}, disks={args.disks}, "
+          f"scheduler={args.scheduler}")
     print(f"workload           : {args.ops} ops, write ratio {args.write_ratio}, r={args.ratio}")
     print(f"reorganization     : {reorg}")
     print(f"writes             : {rep.n_inserts} inserts, {rep.n_deletes} deletes "
@@ -316,6 +419,24 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _add_engine_flags(sp) -> None:
+    """Attach the request-pipeline engine knobs to a subparser.
+
+    Name validation happens in the engine registries (they raise
+    ``ValueError`` listing the valid choices), so new disciplines and
+    policies show up here without touching the CLI.
+    """
+    sp.add_argument("--scheduler", default="fifo",
+                    help="disk queue discipline (fifo | sjf | fair)")
+    sp.add_argument("--replica-policy", default="primary-only",
+                    help="replica selection (primary-only | least-loaded-alive"
+                    " | fastest-estimated); balancing policies need replication")
+    sp.add_argument("--max-inflight", type=int, default=None,
+                    help="bound concurrently admitted queries (open runs)")
+    sp.add_argument("--deadline", type=float, default=None,
+                    help="shed queries that wait longer than this (s, open runs)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     p = argparse.ArgumentParser(
@@ -348,6 +469,27 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-for-bit identical to --jobs 1",
     )
 
+    cs = sub.add_parser("cluster-sim", help="closed-loop cluster run with engine knobs")
+    cs.add_argument("name", choices=sorted(DATASETS))
+    cs.add_argument("--method", default="minimax", help="method spec (see `list`)")
+    cs.add_argument("--disks", type=int, default=16)
+    cs.add_argument("--scheme", default=None, choices=["chained", "mirrored"],
+                    help="optional replication scheme (required by balancing policies)")
+    cs.add_argument("--ratio", type=float, default=0.05, help="query volume ratio r")
+    cs.add_argument("--queries", type=int, default=200)
+    _add_engine_flags(cs)
+
+    os_ = sub.add_parser("open-sim", help="open-system run: Poisson arrivals, admission control")
+    os_.add_argument("name", choices=sorted(DATASETS))
+    os_.add_argument("--method", default="minimax", help="method spec (see `list`)")
+    os_.add_argument("--disks", type=int, default=16)
+    os_.add_argument("--scheme", default=None, choices=["chained", "mirrored"],
+                     help="optional replication scheme (required by balancing policies)")
+    os_.add_argument("--rate", type=float, default=400.0, help="arrival rate (queries/s)")
+    os_.add_argument("--ratio", type=float, default=0.05, help="query volume ratio r")
+    os_.add_argument("--queries", type=int, default=200)
+    _add_engine_flags(os_)
+
     f = sub.add_parser("fault-sim", help="simulate a node crash mid-run and report failover")
     f.add_argument("name", choices=sorted(DATASETS))
     f.add_argument("--method", default="minimax", help="method spec (see `list`)")
@@ -379,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="windowed R(q) ratio that triggers reorganization")
     o.add_argument("--reorg-budget", type=float, default=0.2,
                    help="movement budget per reorganization (fraction of buckets)")
+    _add_engine_flags(o)
 
     t = sub.add_parser("trace", help="record, summarize or diff cluster run traces")
     tsub = t.add_subparsers(dest="trace_command", required=True)
@@ -430,6 +573,10 @@ def main(argv=None) -> int:
         return _cmd_decluster(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "cluster-sim":
+        return _cmd_cluster_sim(args)
+    if args.command == "open-sim":
+        return _cmd_open_sim(args)
     if args.command == "fault-sim":
         return _cmd_fault_sim(args)
     if args.command == "online-sim":

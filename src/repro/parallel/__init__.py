@@ -17,9 +17,16 @@ size, as in Table 5).  The declustering-level metric — blocks fetched,
 depend on the cost model at all.
 """
 
-from repro.parallel.cache import LRUCache
-from repro.parallel.cluster import ClusterParams, ParallelGridFile, PerfReport
+from repro._util.lru import LRUCache
+from repro.parallel.cluster import ClusterParams, LoadReport, ParallelGridFile, PerfReport
 from repro.parallel.des import Event, Resource, Simulator
+from repro.parallel.engine import (
+    REPLICA_POLICIES,
+    SCHEDULERS,
+    RequestPipeline,
+    make_replica_policy,
+    make_scheduler,
+)
 from repro.parallel.disk import DiskModel
 from repro.parallel.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.parallel.network import NetworkModel
@@ -44,6 +51,12 @@ __all__ = [
     "ClusterParams",
     "ParallelGridFile",
     "PerfReport",
+    "LoadReport",
+    "RequestPipeline",
+    "SCHEDULERS",
+    "REPLICA_POLICIES",
+    "make_scheduler",
+    "make_replica_policy",
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",

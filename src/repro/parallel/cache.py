@@ -1,16 +1,5 @@
-"""Per-node LRU buffer cache.
+"""Deprecated shim: the per-node LRU cache lives in :mod:`repro._util.lru`."""
 
-The SP-2 experiments show caching effects: the 59 animation snapshots map
-onto only 7 temporal scale partitions, so consecutive time steps re-fetch
-the same disk blocks.  Each worker node gets an LRU cache of whole buckets
-(one bucket = one disk block in the paper's layout); a hit skips the disk
-service time entirely.
-
-The implementation lives in :mod:`repro._util.lru` (it is also used by the
-paged-directory model in :mod:`repro.gridfile.paged`); this module re-exports
-it under its historical home.
-"""
-
-from repro._util.lru import LRUCache
+from repro._util.lru import LRUCache  # noqa: F401  (historical import path)
 
 __all__ = ["LRUCache"]

@@ -5,8 +5,8 @@ Drives the full §3.5 protocol on the discrete-event kernel:
 1. the coordinator plans the query (CPU), then sends one block request per
    involved node over its NIC (serialized sends, latency per message);
 2. each worker reads its cache-missing blocks from its local disks (parallel
-   across disks, FIFO within), filters candidates on its CPU, and streams
-   the qualified records back over its NIC;
+   across disks, scheduled per disk), filters candidates on its CPU, and
+   streams the qualified records back over its NIC;
 3. the coordinator's ingest link receives replies one at a time — the
    shared bottleneck that makes communication time grow with answer size;
 4. a query completes when every reply has been ingested.
@@ -17,8 +17,9 @@ Two driving modes:
   outstanding queries (default 1, the paper's sequential workload); the
   next query starts when one completes.
 * **open** (:meth:`ParallelGridFile.run_open`) — queries arrive by a Poisson
-  process at a given rate and queue naturally at the resources; the latency
-  distribution exposes the cluster's saturation throughput.
+  process at a given rate; the admission controller decides when each enters
+  (unbounded by default; ``ClusterParams.max_inflight`` / ``deadline``
+  switch to bounded admission with deadline shedding).
 
 Reported metrics mirror Tables 4-5: *response time by definition* (blocks,
 ``max_i N_i(q)`` summed over queries — a pure declustering property),
@@ -41,881 +42,36 @@ suspicion.  A query aborts only when some bucket has no live replica.  With
 no faults and no explicit timeout the engine takes the exact legacy path —
 ``PerfReport`` numbers are bit-for-bit identical to the pre-fault-layer
 engine (regression-tested).
+
+Implementation
+--------------
+
+The engine itself lives in :mod:`repro.parallel.engine` as an explicit
+request pipeline (admission → plan/route → cache probe → replica selection
+→ disk service → filter/aggregate → reply) with pluggable scheduling,
+replica-selection and admission seams; this module re-exports the public
+entry points under their historical home.  See ``docs/architecture.md``
+for the stage diagram.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro._util import as_rng
-from repro.obs import PROFILER, MetricsRegistry, default_tracer
-from repro.parallel.coordinator import Coordinator, QueryPlan
-from repro.parallel.des import Resource, Simulator
-from repro.parallel.disk import DiskModel
-from repro.parallel.message import BlockRequest
-from repro.parallel.network import NetworkModel
-from repro.parallel.node import WorkerNode
-from repro.parallel.replication import replica_assignment
-
-__all__ = ["ClusterParams", "PerfReport", "ParallelGridFile", "LoadReport"]
-
-
-@dataclass(frozen=True)
-class ClusterParams:
-    """Cost-model knobs of the simulated cluster (SP-2-era defaults)."""
-
-    disk: DiskModel = field(default_factory=DiskModel)
-    network: NetworkModel = field(default_factory=NetworkModel)
-    #: LRU cache capacity per node, in blocks (0 disables caching).
-    cache_blocks: int = 512
-    #: Disks per node (paper: 1; its future-work configuration: 7).
-    disks_per_node: int = 1
-    #: CPU time to filter one candidate record (seconds).
-    cpu_filter_per_record: float = 2e-6
-    #: Bytes per record on the wire.
-    record_bytes: int = 40
-    #: Fixed bytes per request/reply message.
-    header_bytes: int = 64
-    #: Bytes per bucket id in a request message.
-    bucket_id_bytes: int = 8
-    #: Coordinator directory-lookup CPU time per query.
-    lookup_time: float = 0.2e-3
-    #: Coordinator planning CPU time per touched bucket.
-    plan_time_per_bucket: float = 2e-6
-    #: Outstanding queries in closed mode (1 = the paper's workload).
-    pipeline_depth: int = 1
-    #: Replication scheme for dynamic failover ("chained"/"mirrored";
-    #: None disables failover — timed-out requests abort after retries).
-    replication: "str | None" = None
-    #: Per-request timeout *slack* in seconds, added on top of the healthy
-    #: service-time estimate for the request's size (so large requests get
-    #: proportionally later deadlines).  None = disabled on fault-free runs,
-    #: auto (DEFAULT_REQUEST_TIMEOUT) when faults are injected; set
-    #: explicitly to force timeouts on.
-    request_timeout: "float | None" = None
-    #: Retransmissions to the same node before suspecting it.
-    max_retries: int = 1
-    #: Base backoff before a retry (doubles per attempt).
-    retry_backoff: float = 0.02
-    #: Delay until a recovered node's heartbeat clears coordinator suspicion.
-    heartbeat_delay: float = 0.05
-
-
-@dataclass
-class PerfReport:
-    """Results of a cluster run (the Tables 4-5 columns, plus detail)."""
-
-    n_queries: int
-    n_nodes: int
-    n_disks: int
-    #: Sum over queries of ``max_i N_i(q)`` — "response time by definition".
-    blocks_fetched: int
-    #: Total blocks requested from workers (sum over disks, not max).
-    blocks_requested_total: int
-    #: Blocks actually read from disk (cache misses).
-    blocks_read: int
-    #: Seconds of NIC transfer time (requests + replies) including latency.
-    comm_time: float
-    #: Simulated wall-clock seconds to complete the workload.
-    elapsed_time: float
-    #: Total qualified records returned.
-    records_returned: int
-    #: Aggregate worker cache hit rate.
-    cache_hit_rate: float
-    #: Per-query completion times (simulated clock).
-    completion_times: np.ndarray
-    #: Per-query latencies (completion - submission).
-    latencies: np.ndarray
-    #: Per-node busy fractions of the disk resources (over alive windows).
-    disk_utilization: np.ndarray
-    #: Coordinator request timeouts observed.
-    timeouts: int = 0
-    #: Retransmissions to the same node after a timeout.
-    retries: int = 0
-    #: Requests rerouted to replica disks (suspected/crashed targets).
-    failovers: int = 0
-    #: Messages dropped by fault-injected lossy links.
-    messages_lost: int = 0
-    #: Queries aborted because some bucket had no live replica.
-    aborted_queries: int = 0
-    #: :class:`repro.obs.MetricsRegistry` snapshot of the run (counters,
-    #: queue-depth / service-time / latency histograms); deterministic.
-    metrics: "dict | None" = None
-
-    @property
-    def availability(self) -> float:
-        """Fraction of queries answered (1.0 = nothing aborted)."""
-        return 1.0 - self.aborted_queries / self.n_queries if self.n_queries else 1.0
-
-    @property
-    def mean_latency(self) -> float:
-        """Mean per-query latency (seconds)."""
-        return float(self.latencies.mean()) if self.latencies.size else 0.0
-
-    @property
-    def p95_latency(self) -> float:
-        """95th-percentile per-query latency (seconds)."""
-        return float(np.percentile(self.latencies, 95)) if self.latencies.size else 0.0
-
-    @property
-    def throughput(self) -> float:
-        """Completed queries per simulated second."""
-        return self.n_queries / self.elapsed_time if self.elapsed_time > 0 else 0.0
-
-    def row(self) -> tuple:
-        """The (blocks, comm seconds, elapsed seconds) row of Tables 4-5."""
-        return (self.blocks_fetched, self.comm_time, self.elapsed_time)
-
-
-#: Request timeout slack used when faults are injected but none was configured.
-DEFAULT_REQUEST_TIMEOUT = 0.05
-
-#: Queue-depth histogram bucket bounds (outstanding queries at submit).
-_QUEUE_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64, 128)
-
-
-class _RequestState:
-    """Coordinator-side bookkeeping for one in-flight block request."""
-
-    __slots__ = ("qid", "req", "timeout_ev", "done", "trace_id")
-
-    def __init__(self, qid: int, req: BlockRequest):
-        self.qid = qid
-        self.req = req
-        self.timeout_ev = None
-        self.done = False
-        self.trace_id = None
-
-
-class _Engine:
-    """One simulation run: resources, protocol callbacks, statistics.
-
-    Observability (all bit-for-bit neutral when disabled): ``tracer``
-    (default: the ``REPRO_TRACE`` env tracer, usually the disabled
-    :data:`repro.obs.NULL_TRACER`) receives structured protocol events —
-    query spans, request/reply/timeout/retry/failover events with cause
-    links, fault applications — and ``self.metrics`` accumulates the run's
-    counters and histograms, snapshotted into ``PerfReport.metrics``.
-    """
-
-    #: Subclasses (the online engine) set this False to plan each query at
-    #: submit time against the live store instead of eagerly up front.
-    eager_plan = True
-
-    def __init__(self, owner: "ParallelGridFile", queries, faults=None, tracer=None):
-        self.owner = owner
-        self.params = owner.params
-        self.net = owner.params.network
-        self.tracer = tracer if tracer is not None else default_tracer()
-        self.trace = self.tracer.enabled
-        self.metrics = MetricsRegistry()
-        self.sim = Simulator(tracer=self.tracer if self.trace else None)
-        self.queries = list(queries)
-        if self.eager_plan:
-            with PROFILER.phase("cluster.plan"):
-                self.plans: list[QueryPlan] = [
-                    owner.coordinator.plan(i, q) for i, q in enumerate(self.queries)
-                ]
-        else:
-            self.plans = [None] * len(self.queries)
-        self.nodes = [
-            WorkerNode.create(
-                i,
-                self.params.disk,
-                self.params.cache_blocks,
-                disks_per_node=self.params.disks_per_node,
-                cpu_filter_per_record=self.params.cpu_filter_per_record,
-            )
-            for i in range(owner.n_nodes)
-        ]
-        self.coord_cpu = Resource("coord.cpu")
-        self.coord_nic = Resource("coord.nic")
-        self.coord_ingest = Resource("coord.ingest")
-        self.comm_time = 0.0
-        self.remaining: dict[int, int] = {}
-        self.submit_time = np.zeros(len(self.queries))
-        self.completion = np.zeros(len(self.queries))
-        self.on_complete = None  # optional hook(qid)
-
-        # -- fault-tolerance state ------------------------------------------
-        self.injector = None
-        if faults is not None:
-            from repro.parallel.faults import FaultInjector, FaultPlan
-
-            if isinstance(faults, FaultPlan):
-                faults = FaultInjector(
-                    faults, owner.n_nodes, disks_per_node=self.params.disks_per_node
-                )
-            self.injector = faults
-            self.injector.install(self)
-        self.timeout = self.params.request_timeout
-        if self.timeout is None and self.injector is not None:
-            self.timeout = DEFAULT_REQUEST_TIMEOUT
-        #: Nodes the coordinator currently believes down (timeout-detected).
-        self.suspected: set[int] = set()
-        self.aborted: set[int] = set()
-        self._states_by_qid: dict[int, list[_RequestState]] = {}
-        self.n_timeouts = 0
-        self.n_retries = 0
-        self.n_failovers = 0
-        self.n_messages_lost = 0
-        self._qspan: dict[int, int] = {}
-        if self.trace:
-            self.tracer.event(
-                "run.start",
-                self.sim.now,
-                entity="run",
-                n_queries=len(self.queries),
-                n_nodes=owner.n_nodes,
-                n_disks=owner.n_disks,
-                faulted=self.injector is not None,
-            )
-
-    # -- protocol steps ------------------------------------------------------
-
-    def _plan_of(self, qid: int) -> QueryPlan:
-        """The plan of query ``qid``; computed on first use when lazy."""
-        plan = self.plans[qid]
-        if plan is None:
-            plan = self.plans[qid] = self.owner.coordinator.plan(
-                qid, self.queries[qid]
-            )
-        return plan
-
-    def submit(self, qid: int) -> None:
-        """Start query ``qid`` at the current simulated time."""
-        self.submit_time[qid] = self.sim.now
-        plan = self._plan_of(qid)
-        self.metrics.counter("queries.submitted").inc()
-        self.metrics.histogram("queue.depth", bounds=_QUEUE_BOUNDS).observe(
-            len(self.remaining)
-        )
-        if self.trace:
-            self._qspan[qid] = self.tracer.span_open(
-                "query",
-                self.sim.now,
-                entity=f"query{qid}",
-                qid=qid,
-                n_requests=len(plan.requests),
-            )
-        _, lookup_end = self.coord_cpu.reserve(
-            self.sim.now, self.owner.coordinator.plan_cpu_time(plan)
-        )
-        if not plan.requests:
-            self.sim.schedule_at(lookup_end, self._complete, qid)
-            return
-        requests = plan.requests
-        if self.suspected:
-            requests = self._reroute_suspected(plan, requests)
-            if requests is None:
-                self.sim.schedule_at(lookup_end, self._abort, qid)
-                return
-        self.remaining[qid] = len(requests)
-        for req in requests:
-            self._send_request(_RequestState(qid, req), lookup_end)
-
-    def _send_request(self, state: _RequestState, earliest: float) -> None:
-        """Transmit one block request, arming its timeout if enabled."""
-        req = state.req
-        req_bytes = (
-            self.params.header_bytes + self.params.bucket_id_bytes * req.n_blocks
-        )
-        t = self.net.transfer_time(req_bytes)
-        _, send_end = self.coord_nic.reserve(earliest, t)
-        self.comm_time += t + self.net.latency
-        arrive = send_end + self.net.latency
-        self.metrics.counter("requests.sent").inc()
-        if self.trace:
-            # Effective global disk per requested block (failover reads carry
-            # explicit targets); lets traces reconstruct per-disk access
-            # counts exactly (tests/test_obs_differential.py).
-            disks = (
-                req.target_disks
-                if req.target_disks is not None
-                else self.owner.coordinator.assignment[req.bucket_ids]
-            )
-            state.trace_id = self.tracer.event(
-                "request.send",
-                self.sim.now,
-                entity="coord",
-                cause=self._qspan.get(state.qid),
-                qid=state.qid,
-                node=req.node_id,
-                attempt=req.attempt,
-                n_blocks=req.n_blocks,
-                disks=disks,
-                send_end=send_end,
-                arrive=arrive,
-            )
-        self.sim.schedule_at(arrive, self._worker_receive, state)
-        if self.timeout is not None:
-            self._states_by_qid.setdefault(state.qid, []).append(state)
-            state.timeout_ev = self.sim.schedule_at(
-                arrive + self.timeout + self._service_estimate(req),
-                self._request_timeout,
-                state,
-            )
-
-    def _worker_receive(self, state: _RequestState) -> None:
-        req = state.req
-        node = self.nodes[req.node_id]
-        entity = f"node{req.node_id}"
-        if self.injector is not None:
-            if not node.alive:
-                # Dropped on the floor; the timeout recovers it.
-                if self.trace:
-                    self.tracer.event(
-                        "request.drop",
-                        self.sim.now,
-                        entity=entity,
-                        cause=state.trace_id,
-                        reason="node_down",
-                    )
-                return
-            if not self.injector.message_delivered(req.node_id):
-                self.n_messages_lost += 1
-                if self.trace:
-                    self.tracer.event(
-                        "message.drop",
-                        self.sim.now,
-                        entity=entity,
-                        cause=state.trace_id,
-                        direction="request",
-                    )
-                return
-        arrive_id = None
-        if self.trace:
-            arrive_id = self.tracer.event(
-                "request.arrive",
-                self.sim.now,
-                entity=entity,
-                cause=state.trace_id,
-                qid=state.qid,
-                n_blocks=req.n_blocks,
-            )
-        ready, reply = node.serve(
-            self.sim.now,
-            req,
-            self._disk_lookup(req),
-            candidates=req.candidates,
-            qualified=req.qualified,
-            tracer=self.tracer if self.trace else None,
-            cause=arrive_id,
-            metrics=self.metrics,
-        )
-        reply_bytes = (
-            self.params.header_bytes + self.params.record_bytes * reply.n_qualified
-        )
-        t = self.net.transfer_time(reply_bytes)
-        _, send_end = node.nic.reserve(ready, t)
-        self.comm_time += t + self.net.latency
-        reply_id = None
-        if self.trace:
-            reply_id = self.tracer.event(
-                "reply.send",
-                self.sim.now,
-                entity=entity,
-                cause=arrive_id,
-                qid=state.qid,
-                ready=ready,
-                send_end=send_end,
-                n_qualified=reply.n_qualified,
-                n_cache_misses=reply.n_cache_misses,
-                reply_bytes=reply_bytes,
-            )
-        self.sim.schedule_at(
-            send_end + self.net.latency,
-            self._coordinator_receive,
-            state,
-            reply_bytes,
-            reply_id,
-        )
-
-    def _service_estimate(self, req: BlockRequest) -> float:
-        """Healthy-case service time for a request (deadline scaling).
-
-        A cold read of every block plus the CPU filter pass and the reply
-        transfer: large requests get proportionally later deadlines, so the
-        timeout slack (``request_timeout``) measures *anomaly*, not size.
-        """
-        reply_bytes = self.params.header_bytes + self.params.record_bytes * req.qualified
-        return (
-            self.params.disk.service_time(req.n_blocks)
-            + self.params.cpu_filter_per_record * req.candidates
-            + self.net.transfer_time(reply_bytes)
-            + self.net.latency
-        )
-
-    def _disk_lookup(self, req: BlockRequest):
-        """Bucket -> local disk mapping (replica-aware for failover reads)."""
-        if req.target_disks is None:
-            return self.owner.coordinator.local_disk_of_bucket
-        dpn = self.params.disks_per_node
-        local = {
-            int(b): int(d) % dpn for b, d in zip(req.bucket_ids, req.target_disks)
-        }
-        return local.__getitem__
-
-    def _coordinator_receive(
-        self, state: _RequestState, reply_bytes: float, cause=None
-    ) -> None:
-        if state.done:
-            # Duplicate/late reply: the request was already resolved.
-            if self.trace:
-                self.tracer.event(
-                    "reply.stale", self.sim.now, entity="coord", cause=cause
-                )
-            return
-        if self.injector is not None and not self.injector.message_delivered(
-            state.req.node_id
-        ):
-            self.n_messages_lost += 1
-            if self.trace:
-                self.tracer.event(
-                    "message.drop",
-                    self.sim.now,
-                    entity="coord",
-                    cause=cause,
-                    direction="reply",
-                )
-            return
-        state.done = True
-        if state.timeout_ev is not None:
-            state.timeout_ev.cancel()
-        if state.qid in self.aborted:
-            return
-        _, ingest_end = self.coord_ingest.reserve(
-            self.sim.now, self.net.transfer_time(reply_bytes)
-        )
-        if self.trace:
-            self.tracer.event(
-                "reply.ingest",
-                self.sim.now,
-                entity="coord",
-                cause=cause,
-                qid=state.qid,
-                ingest_end=ingest_end,
-            )
-        self.sim.schedule_at(ingest_end, self._reply_done, state.qid)
-
-    def _reply_done(self, qid: int) -> None:
-        if qid not in self.remaining:
-            return  # aborted while this reply was being ingested
-        self.remaining[qid] -= 1
-        if self.remaining[qid] == 0:
-            del self.remaining[qid]
-            self._complete(qid)
-
-    def _complete(self, qid: int) -> None:
-        self.completion[qid] = self.sim.now
-        self.metrics.counter("queries.completed").inc()
-        self.metrics.histogram("query.latency").observe(
-            self.sim.now - self.submit_time[qid]
-        )
-        if self.trace:
-            span = self._qspan.pop(qid, None)
-            if span is not None:
-                self.tracer.span_close(span, self.sim.now, aborted=qid in self.aborted)
-        if self.on_complete is not None:
-            self.on_complete(qid)
-
-    # -- failure handling ----------------------------------------------------
-
-    def node_recovered(self, node_id: int) -> None:
-        """Called by the injector on recovery: heartbeat clears suspicion."""
-        self.sim.schedule(
-            self.params.heartbeat_delay, self.suspected.discard, node_id
-        )
-
-    def _suspected_disks(self) -> set:
-        disks = set()
-        for n in self.suspected:
-            disks.update(self.owner.coordinator.disks_of_node(n))
-        return disks
-
-    def _reroute_suspected(self, plan: QueryPlan, requests):
-        """Replica-aware planning: reroute requests aimed at suspected nodes."""
-        out = []
-        failed = self._suspected_disks()
-        for req in requests:
-            if req.node_id not in self.suspected:
-                out.append(req)
-                continue
-            if self.params.replication is None:
-                return None
-            rerouted = self.owner.coordinator.failover_requests(
-                plan, req, failed, self.params.replication
-            )
-            if rerouted is None:
-                return None
-            self.n_failovers += 1
-            out.extend(rerouted)
-        return out
-
-    def _request_timeout(self, state: _RequestState) -> None:
-        if state.done:
-            return
-        self.n_timeouts += 1
-        state.done = True
-        req = state.req
-        timeout_id = None
-        if self.trace:
-            timeout_id = self.tracer.event(
-                "request.timeout",
-                self.sim.now,
-                entity="coord",
-                cause=state.trace_id,
-                qid=state.qid,
-                node=req.node_id,
-                attempt=req.attempt,
-            )
-        if req.node_id not in self.suspected and req.attempt < self.params.max_retries:
-            # Retry the same node with exponential backoff.
-            self.n_retries += 1
-            delay = self.params.retry_backoff * (2.0**req.attempt)
-            if self.trace:
-                self.tracer.event(
-                    "request.retry",
-                    self.sim.now,
-                    entity="coord",
-                    cause=timeout_id,
-                    qid=state.qid,
-                    node=req.node_id,
-                    attempt=req.attempt + 1,
-                    delay=delay,
-                )
-            self._send_request(
-                _RequestState(state.qid, req.retry()), self.sim.now + delay
-            )
-            return
-        # Retries exhausted (or the node is already suspected): declare the
-        # node down and fail the request over to its replica disks.
-        if self.trace and req.node_id not in self.suspected:
-            self.tracer.event(
-                "node.suspect",
-                self.sim.now,
-                entity="coord",
-                cause=timeout_id,
-                node=req.node_id,
-            )
-        self.suspected.add(req.node_id)
-        self._failover(state)
-
-    def _failover(self, state: _RequestState) -> None:
-        qid = state.qid
-        if qid in self.aborted:
-            return
-        plan = self.plans[qid]
-        new_reqs = None
-        if self.params.replication is not None:
-            new_reqs = self.owner.coordinator.failover_requests(
-                plan, state.req, self._suspected_disks(), self.params.replication
-            )
-        if new_reqs is None:
-            self._abort(qid)
-            return
-        self.n_failovers += 1
-        if self.trace:
-            self.tracer.event(
-                "request.failover",
-                self.sim.now,
-                entity="coord",
-                cause=state.trace_id,
-                qid=qid,
-                node=state.req.node_id,
-                n_requests=len(new_reqs),
-            )
-        # Re-planning the replica route costs coordinator CPU.
-        _, replan_end = self.coord_cpu.reserve(
-            self.sim.now,
-            self.owner.coordinator.plan_time_per_bucket * state.req.n_blocks,
-        )
-        self.remaining[qid] += len(new_reqs) - 1
-        for nr in new_reqs:
-            self._send_request(_RequestState(qid, nr), replan_end)
-
-    def _abort(self, qid: int) -> None:
-        """Give up on a query whose data is unreachable."""
-        if qid in self.aborted:
-            return
-        self.aborted.add(qid)
-        if self.trace:
-            self.tracer.event(
-                "query.abort",
-                self.sim.now,
-                entity=f"query{qid}",
-                cause=self._qspan.get(qid),
-                qid=qid,
-            )
-        for st in self._states_by_qid.get(qid, []):
-            st.done = True
-            if st.timeout_ev is not None:
-                st.timeout_ev.cancel()
-        self.remaining.pop(qid, None)
-        self._complete(qid)
-
-    # -- reporting -----------------------------------------------------------
-
-    def report(self) -> PerfReport:
-        total_hits = sum(n.cache.hits for n in self.nodes)
-        total_access = sum(n.cache.hits + n.cache.misses for n in self.nodes)
-        elapsed = float(self.completion.max()) if self.queries else 0.0
-        # Utilization over each node's *alive* window, so a crashed node's
-        # dead time doesn't dilute its busy fraction.
-        windows = [n.alive_window(elapsed) for n in self.nodes]
-        disk_util = np.array(
-            [
-                sum(d.busy_time for d in n.disks) / (w * len(n.disks))
-                if w > 0
-                else 0.0
-                for n, w in zip(self.nodes, windows)
-            ]
-        )
-        # Aggregate counters (run totals; the live instruments above cover
-        # queue depth, latency and per-disk service time).
-        m = self.metrics
-        m.counter("blocks.requested").inc(sum(n.blocks_requested for n in self.nodes))
-        m.counter("blocks.read").inc(sum(n.blocks_read for n in self.nodes))
-        m.counter("cache.hits").inc(total_hits)
-        m.counter("cache.misses").inc(total_access - total_hits)
-        m.counter("requests.timeout").inc(self.n_timeouts)
-        m.counter("requests.retry").inc(self.n_retries)
-        m.counter("requests.failover").inc(self.n_failovers)
-        m.counter("messages.lost").inc(self.n_messages_lost)
-        m.counter("queries.aborted").inc(len(self.aborted))
-        if self.injector is not None:
-            for kind, count in self.injector.applied.items():
-                m.counter(f"faults.applied.{kind}").inc(count)
-        snapshot = m.snapshot()
-        if self.trace:
-            self.tracer.event("run.end", self.sim.now, entity="run", elapsed=elapsed)
-            self.tracer.metrics(snapshot)
-        return PerfReport(
-            n_queries=len(self.queries),
-            n_nodes=self.owner.n_nodes,
-            n_disks=self.owner.n_disks,
-            blocks_fetched=sum(
-                p.response_by_definition for p in self.plans if p is not None
-            ),
-            blocks_requested_total=sum(n.blocks_requested for n in self.nodes),
-            blocks_read=sum(n.blocks_read for n in self.nodes),
-            comm_time=self.comm_time,
-            elapsed_time=elapsed,
-            records_returned=sum(
-                p.total_qualified for p in self.plans if p is not None
-            ),
-            cache_hit_rate=(total_hits / total_access) if total_access else 0.0,
-            completion_times=self.completion,
-            latencies=self.completion - self.submit_time,
-            disk_utilization=disk_util,
-            timeouts=self.n_timeouts,
-            retries=self.n_retries,
-            failovers=self.n_failovers,
-            messages_lost=self.n_messages_lost,
-            aborted_queries=len(self.aborted),
-            metrics=snapshot,
-        )
-
-
-class ParallelGridFile:
-    """A declustered page store deployed on the simulated cluster.
-
-    Despite the historical name, any storage structure works: pass a
-    :class:`~repro.gridfile.GridFile`, an :class:`~repro.rtree.RTree`, or
-    any :class:`~repro.parallel.stores.PageStore` — the coordinator plans
-    against the store interface (page = disk block).
-
-    Parameters
-    ----------
-    store:
-        The declustered storage structure.
-    assignment:
-        ``(n_pages,)`` disk ids (from any
-        :class:`repro.core.DeclusteringMethod` or leaf-assignment helper).
-    n_disks:
-        Total disks; must be a multiple of ``params.disks_per_node``.
-    params:
-        Cost-model parameters.
-    """
-
-    def __init__(
-        self,
-        store,
-        assignment: np.ndarray,
-        n_disks: int,
-        params: "ClusterParams | None" = None,
-    ):
-        self.params = params or ClusterParams()
-        if self.params.replication is not None:
-            # Validate eagerly (scheme name, mirrored needs even M).
-            replica_assignment(
-                np.asarray(assignment, dtype=np.int64), int(n_disks), self.params.replication
-            )
-        if self.params.max_retries < 0:
-            raise ValueError(f"max_retries must be >= 0, got {self.params.max_retries}")
-        if self.params.request_timeout is not None and self.params.request_timeout <= 0:
-            raise ValueError(
-                f"request_timeout must be positive, got {self.params.request_timeout}"
-            )
-        self.coordinator = Coordinator(
-            store,
-            assignment,
-            n_disks,
-            disks_per_node=self.params.disks_per_node,
-            lookup_time=self.params.lookup_time,
-            plan_time_per_bucket=self.params.plan_time_per_bucket,
-        )
-        self.store = self.coordinator.store
-        self.n_disks = int(n_disks)
-        self.n_nodes = self.coordinator.n_nodes
-
-    def run_queries(self, queries, faults=None, tracer=None) -> PerfReport:
-        """Closed-system run: at most ``pipeline_depth`` outstanding queries.
-
-        Parameters
-        ----------
-        queries:
-            The workload.
-        faults:
-            Optional :class:`repro.parallel.faults.FaultPlan` (or a bound
-            :class:`~repro.parallel.faults.FaultInjector`) injecting crashes,
-            slowdowns and message loss mid-run; see the module docs for the
-            degraded-mode protocol.
-        tracer:
-            Optional :class:`repro.obs.Tracer` recording the run; with the
-            default ``None`` the process-wide tracer applies (enabled only
-            when ``REPRO_TRACE`` is set — see ``docs/observability.md``).
-        """
-        engine = _Engine(self, queries, faults=faults, tracer=tracer)
-        n = len(engine.queries)
-        state = {"next": 0}
-
-        def submit_next(_qid=None):
-            if state["next"] < n:
-                qid = state["next"]
-                state["next"] += 1
-                engine.submit(qid)
-
-        engine.on_complete = submit_next
-        for _ in range(max(1, self.params.pipeline_depth)):
-            submit_next()
-        with PROFILER.phase("cluster.run"):
-            engine.sim.run()
-        return engine.report()
-
-    def run_open(
-        self, queries, arrival_rate: float, rng=None, faults=None, tracer=None
-    ) -> PerfReport:
-        """Open-system run: Poisson arrivals at ``arrival_rate`` queries/s.
-
-        Queries enter the system at their arrival instants regardless of how
-        many are in flight; queueing happens at the coordinator CPU/NIC and
-        the worker disks.  Latency percentiles reveal the saturation point
-        (``benchmarks/bench_ext_open_system.py``).
-
-        Parameters
-        ----------
-        queries:
-            The workload.
-        arrival_rate:
-            Mean arrivals per simulated second (> 0).
-        rng:
-            Seed/generator for the exponential inter-arrival times.
-        faults:
-            Optional :class:`repro.parallel.faults.FaultPlan` injected
-            mid-run (see :meth:`run_queries`).
-        tracer:
-            Optional :class:`repro.obs.Tracer` (see :meth:`run_queries`).
-        """
-        if arrival_rate <= 0:
-            raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
-        rng = as_rng(rng)
-        engine = _Engine(self, queries, faults=faults, tracer=tracer)
-        arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=len(engine.queries)))
-        for qid, t in enumerate(arrivals):
-            engine.sim.schedule_at(float(t), engine.submit, qid)
-        with PROFILER.phase("cluster.run"):
-            engine.sim.run()
-        return engine.report()
-
-    def simulate_load(
-        self, cpu_build_per_record: float = 5e-6, parallel_input: bool = False
-    ) -> "LoadReport":
-        """Simulate the initial declustered load (paper §3.5's 3M-record step).
-
-        The coordinator builds the structure (CPU per record), then ships
-        every non-empty page to its owning node.  With the default
-        ``parallel_input=False`` all pages flow through the coordinator's
-        NIC before being written by the receiving node's disk; node disks
-        work in parallel, so load time scales with nodes until the
-        serialized coordinator NIC saturates (around ``disk_write /
-        transfer_time`` ≈ 50 nodes with the default constants).
-        ``parallel_input=True`` models pre-partitioned input (each node
-        ingests its own share directly), which removes that ceiling.
-        """
-        if cpu_build_per_record < 0:
-            raise ValueError("cpu_build_per_record must be non-negative")
-        return _simulate_load(self, cpu_build_per_record, parallel_input)
-
-
-@dataclass
-class LoadReport:
-    """Results of simulating the initial declustered load (paper §3.5)."""
-
-    n_pages: int
-    n_nodes: int
-    #: Simulated seconds to build + distribute the file.
-    elapsed_time: float
-    #: Coordinator CPU seconds spent building the structure.
-    build_time: float
-    #: Bytes shipped to each node.
-    bytes_per_node: np.ndarray
-
-    @property
-    def imbalance(self) -> float:
-        """max/mean bytes per node (1.0 = perfectly even load)."""
-        mean = self.bytes_per_node.mean()
-        return float(self.bytes_per_node.max() / mean) if mean > 0 else 1.0
-
-
-def _simulate_load(pgf: "ParallelGridFile", cpu_build_per_record: float, parallel_input: bool) -> LoadReport:
-    params = pgf.params
-    net = params.network
-    store = pgf.store
-    n_records = sum(
-        store.page_records(p).size for p in range(store.n_pages)
-    )
-    build = cpu_build_per_record * n_records
-
-    page_bytes = params.disk.block_bytes
-    node_of = pgf.coordinator.node_of_bucket
-    bytes_per_node = np.zeros(pgf.n_nodes)
-    disk_write = [Resource(f"load.node{i}.disk") for i in range(pgf.n_nodes)]
-    coord_nic = Resource("load.coord.nic")
-    finish = build
-    for page in range(store.n_pages):
-        if store.page_records(page).size == 0:
-            continue  # empty pages occupy no disk block
-        node = node_of(page)
-        bytes_per_node[node] += page_bytes
-        t = net.transfer_time(page_bytes)
-        if parallel_input:
-            # Each node ingests its own partition of the input directly:
-            # transfers overlap across nodes, serialized per node NIC=disk.
-            _, arrive = disk_write[node].reserve(build, t + net.latency)
-        else:
-            # All data flows through the coordinator's NIC first.
-            _, sent = coord_nic.reserve(build, t)
-            _, arrive = disk_write[node].reserve(
-                sent + net.latency, params.disk.service_time(1)
-            )
-        finish = max(finish, arrive)
-    return LoadReport(
-        n_pages=store.n_pages,
-        n_nodes=pgf.n_nodes,
-        elapsed_time=finish,
-        build_time=build,
-        bytes_per_node=bytes_per_node,
-    )
+from repro.parallel.engine.params import (
+    DEFAULT_REQUEST_TIMEOUT,
+    ClusterParams,
+    validate_params,
+)
+from repro.parallel.engine.pipeline import RequestPipeline
+from repro.parallel.engine.runners import LoadReport, ParallelGridFile
+from repro.parallel.engine.stats import PerfReport
+
+#: Historical alias — the engine class behind both run modes.
+_Engine = RequestPipeline
+
+__all__ = [
+    "ClusterParams",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "LoadReport",
+    "ParallelGridFile",
+    "PerfReport",
+    "RequestPipeline",
+    "validate_params",
+]

@@ -1,0 +1,119 @@
+"""Cost-model and pipeline-policy knobs of the simulated cluster.
+
+:class:`ClusterParams` collects everything a run needs: the hardware cost
+models (disk, network, cache, CPU constants), the degraded-mode protocol
+settings (replication, timeouts, retries), and the three pluggable
+pipeline seams introduced by the request-pipeline refactor:
+
+* ``scheduler`` — the per-disk queue discipline
+  (:mod:`repro.parallel.engine.scheduling`);
+* ``replica_policy`` — how the router picks among replica copies
+  (:mod:`repro.parallel.engine.replicas`);
+* ``max_inflight`` / ``deadline`` — the open-system admission controller
+  (:mod:`repro.parallel.engine.admission`).
+
+The defaults (``fifo`` scheduling, ``primary-only`` replica selection,
+unbounded admission) reproduce the pre-refactor engine bit for bit — the
+repo's neutrality-pin pattern (``tests/test_engine_neutrality.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.parallel.disk import DiskModel
+from repro.parallel.network import NetworkModel
+
+__all__ = ["ClusterParams", "DEFAULT_REQUEST_TIMEOUT", "validate_params"]
+
+#: Request timeout slack used when faults are injected but none was configured.
+DEFAULT_REQUEST_TIMEOUT = 0.05
+
+
+@dataclass(frozen=True)
+class ClusterParams:
+    """Cost-model knobs of the simulated cluster (SP-2-era defaults)."""
+
+    disk: DiskModel = field(default_factory=DiskModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    #: LRU cache capacity per node, in blocks (0 disables caching).
+    cache_blocks: int = 512
+    #: Disks per node (paper: 1; its future-work configuration: 7).
+    disks_per_node: int = 1
+    #: CPU time to filter one candidate record (seconds).
+    cpu_filter_per_record: float = 2e-6
+    #: Bytes per record on the wire.
+    record_bytes: int = 40
+    #: Fixed bytes per request/reply message.
+    header_bytes: int = 64
+    #: Bytes per bucket id in a request message.
+    bucket_id_bytes: int = 8
+    #: Coordinator directory-lookup CPU time per query.
+    lookup_time: float = 0.2e-3
+    #: Coordinator planning CPU time per touched bucket.
+    plan_time_per_bucket: float = 2e-6
+    #: Outstanding queries in closed mode (1 = the paper's workload).
+    pipeline_depth: int = 1
+    #: Replication scheme for dynamic failover ("chained"/"mirrored";
+    #: None disables failover — timed-out requests abort after retries).
+    replication: "str | None" = None
+    #: Per-request timeout *slack* in seconds, added on top of the healthy
+    #: service-time estimate for the request's size (so large requests get
+    #: proportionally later deadlines).  None = disabled on fault-free runs,
+    #: auto (DEFAULT_REQUEST_TIMEOUT) when faults are injected; set
+    #: explicitly to force timeouts on.
+    request_timeout: "float | None" = None
+    #: Retransmissions to the same node before suspecting it.
+    max_retries: int = 1
+    #: Base backoff before a retry (doubles per attempt).
+    retry_backoff: float = 0.02
+    #: Delay until a recovered node's heartbeat clears coordinator suspicion.
+    heartbeat_delay: float = 0.05
+    #: Disk queue discipline: "fifo" (default, the legacy behaviour),
+    #: "sjf" (shortest job first on planned block count) or "fair"
+    #: (round-robin across queries).  See `repro.parallel.engine.scheduling`.
+    scheduler: str = "fifo"
+    #: Replica-selection policy for reads: "primary-only" (default; replicas
+    #: serve failover traffic only), "least-loaded-alive" or
+    #: "fastest-estimated" (both balance healthy reads across replica copies
+    #: and require ``replication``).  See `repro.parallel.engine.replicas`.
+    replica_policy: str = "primary-only"
+    #: Open-system admission: maximum queries in flight (None = unbounded,
+    #: the legacy behaviour; arrivals beyond the limit queue for admission).
+    max_inflight: "int | None" = None
+    #: Open-system admission: per-request deadline in seconds.  A query that
+    #: waited longer than this in the admission queue is *shed* instead of
+    #: run (requires/implies a ``max_inflight`` bound).
+    deadline: "float | None" = None
+
+
+def validate_params(params: ClusterParams) -> None:
+    """Raise ``ValueError`` for out-of-range or inconsistent knobs.
+
+    Policy *names* (scheduler, replica policy) are validated by their
+    registries at pipeline construction; this checks the numeric knobs and
+    the cross-field constraints.
+    """
+    if params.max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {params.max_retries}")
+    if params.request_timeout is not None and params.request_timeout <= 0:
+        raise ValueError(
+            f"request_timeout must be positive, got {params.request_timeout}"
+        )
+    if params.max_inflight is not None and params.max_inflight < 1:
+        raise ValueError(f"max_inflight must be >= 1, got {params.max_inflight}")
+    if params.deadline is not None and params.deadline <= 0:
+        raise ValueError(f"deadline must be positive, got {params.deadline}")
+    # Unknown policy names fall through to the registry's own error
+    # (make_replica_policy lists the valid choices).
+    from repro.parallel.engine.replicas import REPLICA_POLICIES
+
+    if (
+        params.replica_policy in REPLICA_POLICIES
+        and params.replica_policy != "primary-only"
+        and params.replication is None
+    ):
+        raise ValueError(
+            f"replica policy {params.replica_policy!r} reads from replica copies "
+            "and requires ClusterParams.replication to be set"
+        )

@@ -1,0 +1,157 @@
+"""Worker-side pipeline stages: cache probe → disk service → filter → reply.
+
+:class:`WorkerStage` executes a delivered block request on its target
+node.  The stages mirror the §3.5 worker loop: probe the LRU cache in
+arrival order, fan the missing blocks out to the owning disks' *queues*
+(the pluggable discipline — :mod:`repro.parallel.engine.scheduling`), and
+once the last disk read lands, run the CPU filter pass and stream the
+reply back through the node NIC toward the coordinator's ingest link.
+
+Under the default FIFO discipline every disk job completes synchronously
+(an analytic reservation), so the whole stage runs inline at the arrival
+instant — exactly the legacy code path, byte for byte.
+"""
+
+from __future__ import annotations
+
+__all__ = ["WorkerStage"]
+
+
+class _Fanout:
+    """Join-counter for one request's parallel per-disk reads."""
+
+    __slots__ = ("left", "done")
+
+    def __init__(self, left: int, done: float):
+        self.left = left
+        self.done = done  # completion time of the latest finished read
+
+
+class WorkerStage:
+    """Serves delivered block requests on behalf of a pipeline run."""
+
+    def __init__(self, pipeline):
+        self.pipe = pipeline
+
+    def receive(self, state) -> None:
+        """A block request arrives at its target node (post network)."""
+        pipe = self.pipe
+        req = state.req
+        node = pipe.nodes[req.node_id]
+        entity = f"node{req.node_id}"
+        if pipe.injector is not None:
+            if not node.alive:
+                # Dropped on the floor; the timeout recovers it.
+                if pipe.trace:
+                    pipe.tracer.event(
+                        "request.drop",
+                        pipe.sim.now,
+                        entity=entity,
+                        cause=state.trace_id,
+                        reason="node_down",
+                    )
+                return
+            if not pipe.injector.message_delivered(req.node_id):
+                pipe.stats.n_messages_lost += 1
+                if pipe.trace:
+                    pipe.tracer.event(
+                        "message.drop",
+                        pipe.sim.now,
+                        entity=entity,
+                        cause=state.trace_id,
+                        direction="request",
+                    )
+                return
+        arrive_id = None
+        if pipe.trace:
+            arrive_id = pipe.tracer.event(
+                "request.arrive",
+                pipe.sim.now,
+                entity=entity,
+                cause=state.trace_id,
+                qid=state.qid,
+                n_blocks=req.n_blocks,
+            )
+        misses_per_disk, n_misses = node.probe_cache(req, pipe._disk_lookup(req))
+        arrival = pipe.sim.now
+        if not misses_per_disk:
+            self._filter_and_reply(state, node, entity, arrival, n_misses, arrive_id)
+            return
+        # Disks work in parallel; each disk serves its blocks as one job
+        # ordered by that disk's queue discipline.  The reply is assembled
+        # when the last read lands.
+        fanout = _Fanout(len(misses_per_disk), arrival)
+        for d, n_blocks in misses_per_disk.items():
+            service, slow = node.disk_service(d, n_blocks)
+            pipe.disk_queues[req.node_id][d].submit(
+                arrival,
+                service,
+                state.qid,
+                n_blocks,
+                self._on_disk_done(
+                    state, node, entity, fanout, d, n_blocks,
+                    service, slow, n_misses, arrive_id,
+                ),
+            )
+
+    def _on_disk_done(
+        self, state, node, entity, fanout, d, n_blocks, service, slow, n_misses, cause
+    ):
+        pipe = self.pipe
+
+        def done(start: float, end: float) -> None:
+            pipe.metrics.histogram("disk.service_time").observe(service)
+            if pipe.trace:
+                pipe.tracer.event(
+                    "disk.read",
+                    pipe.sim.now,
+                    entity=f"{entity}.disk{d}",
+                    cause=cause,
+                    n_blocks=n_blocks,
+                    start=start,
+                    end=end,
+                    slowdown=slow,
+                )
+            fanout.done = max(fanout.done, end)
+            fanout.left -= 1
+            if fanout.left == 0:
+                self._filter_and_reply(state, node, entity, fanout.done, n_misses, cause)
+
+        return done
+
+    def _filter_and_reply(
+        self, state, node, entity, disk_done, n_misses, cause
+    ) -> None:
+        """CPU filter pass, then stream the reply through the node NIC."""
+        pipe = self.pipe
+        req = state.req
+        ready, reply = node.finish_request(
+            disk_done, req, req.candidates, req.qualified, n_misses
+        )
+        reply_bytes = (
+            pipe.params.header_bytes + pipe.params.record_bytes * reply.n_qualified
+        )
+        t = pipe.net.transfer_time(reply_bytes)
+        _, send_end = node.nic.reserve(ready, t)
+        pipe.stats.comm_time += t + pipe.net.latency
+        reply_id = None
+        if pipe.trace:
+            reply_id = pipe.tracer.event(
+                "reply.send",
+                pipe.sim.now,
+                entity=entity,
+                cause=cause,
+                qid=state.qid,
+                ready=ready,
+                send_end=send_end,
+                n_qualified=reply.n_qualified,
+                n_cache_misses=reply.n_cache_misses,
+                reply_bytes=reply_bytes,
+            )
+        pipe.sim.schedule_at(
+            send_end + pipe.net.latency,
+            pipe._coordinator_receive,
+            state,
+            reply_bytes,
+            reply_id,
+        )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.parallel.cache import LRUCache
+from repro._util.lru import LRUCache
 from repro.parallel.des import Resource
 from repro.parallel.disk import DiskModel
 from repro.parallel.message import BlockReply, BlockRequest
@@ -107,6 +107,58 @@ class WorkerNode:
             down += max(0.0, elapsed - self.down_since)
         return max(0.0, elapsed - down)
 
+    def probe_cache(self, request: BlockRequest, disk_of_bucket) -> tuple[dict, int]:
+        """Cache stage of a block request: which blocks must hit which disk.
+
+        Cache lookups happen in arrival order (FIFO node), so mutating the
+        LRU here is consistent with processing order.  Returns the
+        ``{local_disk: n_missing_blocks}`` map and the total miss count.
+        """
+        misses_per_disk: dict[int, int] = {}
+        n_misses = 0
+        for bid in request.bucket_ids:
+            if not self.cache.access(int(bid)):
+                d = disk_of_bucket(int(bid))
+                misses_per_disk[d] = misses_per_disk.get(d, 0) + 1
+                n_misses += 1
+        return misses_per_disk, n_misses
+
+    def disk_service(self, local_disk: int, n_blocks: int) -> tuple[float, float]:
+        """(service seconds, slowdown factor) for reading ``n_blocks``
+        sequentially from ``local_disk``, fault slowdowns applied."""
+        slow = (
+            self.disk_slowdown[local_disk]
+            if local_disk < len(self.disk_slowdown)
+            else 1.0
+        )
+        return self.disk_model.service_time(n_blocks, slow), slow
+
+    def finish_request(
+        self,
+        disk_done: float,
+        request: BlockRequest,
+        candidates: int,
+        qualified: int,
+        n_misses: int,
+    ) -> tuple[float, BlockReply]:
+        """Filter/aggregate stage: CPU pass once all blocks are in memory,
+        run-counter bookkeeping, and the reply message.  Returns the time
+        the reply payload is ready for the NIC and the reply."""
+        _, cpu_done = self.cpu.reserve(disk_done, self.cpu_filter_per_record * candidates)
+        self.blocks_requested += request.n_blocks
+        self.blocks_read += n_misses
+        self.records_filtered += candidates
+        self.records_qualified += qualified
+        reply = BlockReply(
+            query_id=request.query_id,
+            node_id=self.node_id,
+            n_blocks=request.n_blocks,
+            n_cache_misses=n_misses,
+            n_candidates=candidates,
+            n_qualified=qualified,
+        )
+        return cpu_done, reply
+
     def serve(
         self,
         arrival: float,
@@ -148,22 +200,13 @@ class WorkerNode:
             Time at which the reply payload is ready for the NIC (CPU done),
             and the reply message.
         """
-        # Cache lookups happen in arrival order (FIFO node), so mutating the
-        # LRU here is consistent with processing order.
-        misses_per_disk: dict[int, int] = {}
-        n_misses = 0
-        for bid in request.bucket_ids:
-            if not self.cache.access(int(bid)):
-                d = disk_of_bucket(int(bid))
-                misses_per_disk[d] = misses_per_disk.get(d, 0) + 1
-                n_misses += 1
+        misses_per_disk, n_misses = self.probe_cache(request, disk_of_bucket)
 
         # Disks work in parallel; each disk serves its blocks as one request.
         # A degraded disk's fault-injected slowdown multiplies service time.
         disk_done = arrival
         for d, n_blocks in misses_per_disk.items():
-            slow = self.disk_slowdown[d] if d < len(self.disk_slowdown) else 1.0
-            service = self.disk_model.service_time(n_blocks, slow)
+            service, slow = self.disk_service(d, n_blocks)
             start, end = self.disks[d].reserve(arrival, service)
             if metrics is not None:
                 metrics.histogram("disk.service_time").observe(service)
@@ -181,18 +224,4 @@ class WorkerNode:
             disk_done = max(disk_done, end)
 
         # CPU filtering starts when all blocks are in memory.
-        _, cpu_done = self.cpu.reserve(disk_done, self.cpu_filter_per_record * candidates)
-
-        self.blocks_requested += request.n_blocks
-        self.blocks_read += n_misses
-        self.records_filtered += candidates
-        self.records_qualified += qualified
-        reply = BlockReply(
-            query_id=request.query_id,
-            node_id=self.node_id,
-            n_blocks=request.n_blocks,
-            n_cache_misses=n_misses,
-            n_candidates=candidates,
-            n_qualified=qualified,
-        )
-        return cpu_done, reply
+        return self.finish_request(disk_done, request, candidates, qualified, n_misses)

@@ -17,7 +17,7 @@ while the grid file keeps restructuring itself underneath:
   cost (source disk read, network transfer, destination disk write).
 * **Merges and renumbering** (bucket removal swaps the last id down)
   invalidate stale worker-cache entries through
-  :meth:`repro.parallel.lru.LRUCache.invalidate` — a cached block whose id
+  :meth:`repro._util.lru.LRUCache.invalidate` — a cached block whose id
   was reused must never serve a later read.
 * A **degradation monitor** watches the windowed ratio of each query's
   response time ``max_i N_i(q)`` to its lower bound ``⌈touched/M⌉``; when
@@ -27,6 +27,13 @@ while the grid file keeps restructuring itself underneath:
 
 Operations execute strictly sequentially (a closed system with depth 1, the
 paper's workload model), so query plans never race structure mutations.
+
+The driver is a thin composition over the same
+:class:`repro.parallel.engine.pipeline.RequestPipeline` that powers the
+static engine (built with ``lazy_plan=True`` so each query plans against
+the live store at submit time) — it is not a subclass; queries flow through
+the unmodified pipeline stages while the write path reserves the very same
+simulated resources.
 
 **Neutrality pin:** with a write-free workload and no monitor, an
 :class:`OnlineCluster` run is bit-for-bit identical to
@@ -48,7 +55,8 @@ from repro.core.placement import PlacementPolicy, make_placement
 from repro.core.redistribute import bounded_reconcile
 from repro.gridfile.gridfile import GridFile
 from repro.obs import PROFILER
-from repro.parallel.cluster import ClusterParams, ParallelGridFile, PerfReport, _Engine
+from repro.parallel.cluster import ClusterParams, ParallelGridFile, PerfReport
+from repro.parallel.engine.pipeline import RequestPipeline
 from repro.sim.workload import Operation
 
 __all__ = ["DegradationMonitor", "OnlineReport", "OnlineCluster"]
@@ -137,12 +145,14 @@ class OnlineReport:
         return self.write_time / n_writes if n_writes else 0.0
 
 
-class _OnlineEngine(_Engine):
-    """Sequential op driver over the live store; also a GridFile listener."""
+class _OnlineDriver:
+    """Sequential op driver over the live store; also a GridFile listener.
 
-    eager_plan = False  # plans must see the structure as of submit time
+    Owns a lazily-planning :class:`RequestPipeline` for the query side and
+    drives the write path against the same simulated resources.
+    """
 
-    def __init__(self, owner, ops, policy, monitor, tracer=None, seed=0):
+    def __init__(self, owner: ParallelGridFile, ops, policy, monitor, tracer=None, seed=0):
         self.ops = list(ops)
         for op in self.ops:
             if op.kind not in ("query", "insert", "delete"):
@@ -152,7 +162,18 @@ class _OnlineEngine(_Engine):
             if op.kind == "insert" and op.point is None:
                 raise ValueError("insert operation without a point")
         queries = [op.query for op in self.ops if op.kind == "query"]
-        super().__init__(owner, queries, faults=None, tracer=tracer)
+        self.owner = owner
+        self.params = owner.params
+        # Plans must see the structure as of submit time, hence lazy_plan.
+        self.pipe = RequestPipeline(owner, queries, faults=None, tracer=tracer, lazy_plan=True)
+        self.sim = self.pipe.sim
+        self.net = self.pipe.net
+        self.nodes = self.pipe.nodes
+        self.metrics = self.pipe.metrics
+        self.tracer = self.pipe.tracer
+        self.trace = self.pipe.trace
+        self.coord_cpu = self.pipe.coord_cpu
+        self.coord_nic = self.pipe.coord_nic
         self.gf: GridFile = owner.store.gf
         self.policy: PlacementPolicy = policy
         self.monitor = monitor
@@ -182,7 +203,7 @@ class _OnlineEngine(_Engine):
         self.n_invalidations = 0
         self.write_time = 0.0
         self.last_write_end = 0.0
-        self.on_complete = self._query_done
+        self.pipe.on_complete = self._query_done
 
     # -- operation driver ---------------------------------------------------
 
@@ -214,12 +235,12 @@ class _OnlineEngine(_Engine):
         if op.kind == "query":
             qid = self._next_qid
             self._next_qid += 1
-            self.submit(qid)
+            self.pipe.submit(qid)
         else:
             self._submit_write(op)
 
     def _query_done(self, qid: int) -> None:
-        plan = self.plans[qid]
+        plan = self.pipe.plans[qid]
         touched = int(plan.blocks_per_disk.sum())
         if touched:
             optimal = -(-touched // self.owner.n_disks)
@@ -267,7 +288,7 @@ class _OnlineEngine(_Engine):
         node_id = self.owner.coordinator.node_of_bucket(bid)
         t = self.net.transfer_time(payload)
         _, send_end = self.coord_nic.reserve(cpu_end, t)
-        self.comm_time += t + self.net.latency
+        self.pipe.stats.comm_time += t + self.net.latency
         if self.trace:
             self.tracer.event(
                 "write.send",
@@ -313,7 +334,7 @@ class _OnlineEngine(_Engine):
             if dst is not src:
                 t = self.net.transfer_time(self.params.disk.block_bytes)
                 _, send_end = src.nic.reserve(end, t)
-                self.comm_time += t + self.net.latency
+                self.pipe.stats.comm_time += t + self.net.latency
                 arrive = send_end + self.net.latency
             end = self._disk_op(disk, arrive)
         self._pending_new.clear()
@@ -335,7 +356,7 @@ class _OnlineEngine(_Engine):
         # Acknowledge the write back to the coordinator.
         t = self.net.transfer_time(self.params.header_bytes)
         _, ack_end = self.nodes[node_id].nic.reserve(end, t)
-        self.comm_time += t + self.net.latency
+        self.pipe.stats.comm_time += t + self.net.latency
         self.sim.schedule_at(ack_end + self.net.latency, self._write_done, op)
 
     def _write_done(self, op: Operation) -> None:
@@ -358,7 +379,7 @@ class _OnlineEngine(_Engine):
         if src // dpn != dst // dpn:
             t = self.net.transfer_time(self.params.disk.block_bytes)
             _, send_end = self.nodes[src // dpn].nic.reserve(read_end, t)
-            self.comm_time += t + self.net.latency
+            self.pipe.stats.comm_time += t + self.net.latency
             arrive = send_end + self.net.latency
         write_end = self._disk_op(dst, arrive)
         self.assign_list[b] = dst
@@ -490,7 +511,7 @@ class _OnlineEngine(_Engine):
 
     def online_report(self) -> OnlineReport:
         return OnlineReport(
-            perf=self.report(),
+            perf=self.pipe.report(),
             n_ops=len(self.ops),
             n_inserts=self.n_inserts,
             n_deletes=self.n_deletes,
@@ -526,8 +547,10 @@ class OnlineCluster:
     params:
         Cost model (:class:`repro.parallel.cluster.ClusterParams`).
         Replication is not supported online (writes to replicas are not
-        modeled); the online stream is sequential, so ``pipeline_depth`` is
-        effectively 1.
+        modeled) — and with it the replica-balancing read policies; the
+        online stream is sequential, so ``pipeline_depth`` is effectively 1
+        and open-system admission control (``max_inflight``/``deadline``)
+        does not apply.  The ``scheduler`` seam works online.
     placement:
         A :class:`repro.core.placement.PlacementPolicy` or policy name
         (see :data:`repro.core.placement.PLACEMENT_POLICIES`).
@@ -553,6 +576,11 @@ class OnlineCluster:
         self.pgf = ParallelGridFile(gf, assignment, n_disks, params)
         if self.pgf.params.replication is not None:
             raise ValueError("replication is not supported by the online engine")
+        if self.pgf.params.max_inflight is not None or self.pgf.params.deadline is not None:
+            raise ValueError(
+                "admission control (max_inflight/deadline) applies to open-system "
+                "runs only; the online stream is sequential"
+            )
         self.gf = gf
         self.placement = make_placement(placement)
         self.monitor = monitor
@@ -560,7 +588,7 @@ class OnlineCluster:
 
     def run(self, ops, tracer=None) -> OnlineReport:
         """Drive the operation stream to completion; mutates the grid file."""
-        engine = _OnlineEngine(
+        engine = _OnlineDriver(
             self.pgf,
             ops,
             self.placement,

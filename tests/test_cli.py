@@ -98,6 +98,81 @@ class TestCommands:
         assert rc == 2
 
 
+class TestEngineCommands:
+    """cluster-sim / open-sim subcommands and the shared engine knobs."""
+
+    def test_cluster_sim_defaults(self):
+        args = build_parser().parse_args(["cluster-sim", "hot.2d"])
+        assert args.scheduler == "fifo"
+        assert args.replica_policy == "primary-only"
+        assert args.max_inflight is None and args.deadline is None
+
+    def test_online_sim_has_engine_flags(self):
+        args = build_parser().parse_args(
+            ["online-sim", "hot.2d", "--scheduler", "fair"]
+        )
+        assert args.scheduler == "fair"
+
+    def test_cluster_sim_runs(self, capsys):
+        rc = main(
+            ["--seed", "3", "cluster-sim", "uniform.2d",
+             "--disks", "8", "--queries", "30", "--scheduler", "sjf"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scheduler=sjf" in out
+        assert "p95 / p99 latency" in out
+
+    def test_cluster_sim_unknown_scheduler(self, capsys):
+        rc = main(["cluster-sim", "uniform.2d", "--scheduler", "elevator"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown scheduler" in err and "fifo" in err
+
+    def test_cluster_sim_replica_policy_needs_replication(self, capsys):
+        rc = main(
+            ["cluster-sim", "uniform.2d", "--replica-policy", "least-loaded-alive"]
+        )
+        assert rc == 2
+        assert "replication" in capsys.readouterr().err
+
+    def test_cluster_sim_balancing_policy_with_scheme(self, capsys):
+        rc = main(
+            ["--seed", "3", "cluster-sim", "uniform.2d",
+             "--disks", "8", "--queries", "20",
+             "--scheme", "chained", "--replica-policy", "least-loaded-alive"]
+        )
+        assert rc == 0
+        assert "replica-policy=least-loaded-alive" in capsys.readouterr().out
+
+    def test_open_sim_runs_with_admission(self, capsys):
+        rc = main(
+            ["--seed", "3", "open-sim", "uniform.2d",
+             "--disks", "8", "--queries", "60", "--rate", "2000",
+             "--max-inflight", "8", "--deadline", "0.03"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shed queries" in out
+        assert "throughput" in out
+
+    def test_open_sim_unknown_replica_policy(self, capsys):
+        rc = main(["open-sim", "uniform.2d", "--replica-policy", "psychic"])
+        assert rc == 2
+        assert "unknown replica policy" in capsys.readouterr().err
+
+    def test_open_sim_rejects_nonpositive_rate(self, capsys):
+        rc = main(["open-sim", "uniform.2d", "--rate", "0"])
+        assert rc == 2
+
+    def test_online_sim_rejects_admission(self, capsys):
+        rc = main(
+            ["online-sim", "uniform.2d", "--ops", "20", "--max-inflight", "4"]
+        )
+        assert rc == 2
+        assert "open-system" in capsys.readouterr().err
+
+
 class TestTraceCommand:
     def test_trace_requires_subcommand(self):
         with pytest.raises(SystemExit):

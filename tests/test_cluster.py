@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import Minimax
-from repro.parallel import ClusterParams, ParallelGridFile
+from repro.parallel import ClusterParams, LoadReport, ParallelGridFile
 from repro.sim import square_queries
 
 
@@ -170,3 +170,52 @@ class TestSimulateLoad:
         gf, a = deployed
         with pytest.raises(ValueError):
             ParallelGridFile(gf, a, 8).simulate_load(cpu_build_per_record=-1.0)
+
+    def test_parallel_input_beats_serialized_coordinator(self, deployed):
+        """Pre-partitioned input bypasses the coordinator NIC bottleneck,
+        never loads slower, and ships exactly the same bytes."""
+        gf, a = deployed
+        serial = ParallelGridFile(gf, a, 8).simulate_load()
+        parallel = ParallelGridFile(gf, a, 8).simulate_load(parallel_input=True)
+        assert parallel.elapsed_time <= serial.elapsed_time
+        np.testing.assert_array_equal(parallel.bytes_per_node, serial.bytes_per_node)
+        assert parallel.n_pages == serial.n_pages
+        assert parallel.build_time == serial.build_time
+
+
+class TestLoadReportImbalance:
+    def _report(self, bytes_per_node):
+        arr = np.asarray(bytes_per_node, dtype=float)
+        return LoadReport(
+            n_pages=int(arr.sum()),
+            n_nodes=arr.size,
+            elapsed_time=1.0,
+            build_time=0.5,
+            bytes_per_node=arr,
+        )
+
+    def test_even_load_is_one(self):
+        assert self._report([4096, 4096, 4096]).imbalance == 1.0
+
+    def test_zero_byte_nodes_inflate_imbalance(self):
+        # Two idle nodes: max/mean = 4096 / (4096*2/4) = 2.0.
+        rep = self._report([4096, 4096, 0, 0])
+        assert rep.imbalance == pytest.approx(2.0)
+
+    def test_single_node_is_always_balanced(self):
+        assert self._report([12288]).imbalance == 1.0
+
+    def test_all_zero_bytes_defined_as_one(self):
+        # Degenerate store (every page empty): defined, not a ZeroDivisionError.
+        assert self._report([0, 0, 0]).imbalance == 1.0
+
+    def test_single_zero_node(self):
+        assert self._report([0]).imbalance == 1.0
+
+
+def test_cache_shim_reexports_util_lru():
+    """repro.parallel.cache stays importable and is the same class object."""
+    from repro._util.lru import LRUCache as canonical
+    from repro.parallel.cache import LRUCache as shimmed
+
+    assert shimmed is canonical

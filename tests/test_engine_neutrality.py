@@ -1,0 +1,154 @@
+"""Byte-for-byte neutrality pins for the request-pipeline refactor.
+
+The monolithic cluster engine was decomposed into
+:mod:`repro.parallel.engine` (pipeline stages with pluggable scheduling,
+replica selection and admission).  The default configuration — ``fifo``
+scheduling, ``primary-only`` replica selection, unbounded admission — must
+reproduce the pre-refactor engine *exactly*: these golden sha256 hashes
+were captured on the last pre-refactor commit over the full
+:class:`~repro.parallel.PerfReport` payload (per-query arrays and the
+metrics snapshot included).
+
+If one of these pins breaks, the refactored pipeline changed simulated
+behaviour — that is a bug, not an expected drift.  Do not re-pin without
+understanding exactly which reservation or event moved.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import make_method
+from repro.gridfile import GridFile
+from repro.parallel import (
+    ClusterParams,
+    DegradationMonitor,
+    FaultPlan,
+    OnlineCluster,
+    ParallelGridFile,
+)
+from repro.sim import mixed_workload, square_queries
+
+DOMAIN = ([0.0, 0.0], [1000.0, 1000.0])
+
+GOLDEN_CLOSED = "fdea7711931a82a3638f3f2f30450d8537fc6e37b087652cdada40e31de0735a"
+GOLDEN_OPEN = "ea34843b25dda6f7be866f7cce325c80da47d41e8834fe1dee0774335c7a4cca"
+GOLDEN_FAULTY = "fe049e7bfd55663106877a2aa94d9ac091e159d5c7be4098ffafeddaa1ac365a"
+GOLDEN_ONLINE = "4ab89afbbbee59ce2b5091d4ddc134a7c71a89461f402129109810c763af8e0b"
+
+
+def _sha(obj) -> str:
+    canon = json.dumps(obj, sort_keys=True, separators=(",", ":"), default=float)
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def _perf_data(p) -> dict:
+    return {
+        "n_queries": p.n_queries,
+        "n_nodes": p.n_nodes,
+        "n_disks": p.n_disks,
+        "blocks_fetched": p.blocks_fetched,
+        "blocks_requested_total": p.blocks_requested_total,
+        "blocks_read": p.blocks_read,
+        "comm_time": p.comm_time,
+        "elapsed_time": p.elapsed_time,
+        "records_returned": p.records_returned,
+        "cache_hit_rate": p.cache_hit_rate,
+        "completion": p.completion_times.tolist(),
+        "latencies": p.latencies.tolist(),
+        "disk_util": p.disk_utilization.tolist(),
+        "timeouts": p.timeouts,
+        "retries": p.retries,
+        "failovers": p.failovers,
+        "messages_lost": p.messages_lost,
+        "aborted": p.aborted_queries,
+        "metrics": p.metrics,
+    }
+
+
+def _online_data(r) -> dict:
+    return {
+        "perf": _perf_data(r.perf),
+        "n_ops": r.n_ops,
+        "n_inserts": r.n_inserts,
+        "n_deletes": r.n_deletes,
+        "n_noop_deletes": r.n_noop_deletes,
+        "n_splits": r.n_splits,
+        "n_merges": r.n_merges,
+        "n_refines": r.n_refines,
+        "policy_moves": r.policy_moves,
+        "reorg_moves": r.reorg_moves,
+        "n_reorgs": r.n_reorgs,
+        "cache_invalidations": r.cache_invalidations,
+        "mean_rq_ratio": r.mean_rq_ratio,
+        "write_time": r.write_time,
+        "last_write_end": r.last_write_end,
+        "final_buckets": r.final_buckets,
+        "final_records": r.final_records,
+    }
+
+
+def _build(seed=42, n=600, capacity=20) -> GridFile:
+    rng = np.random.default_rng(seed)
+    return GridFile.from_points(
+        rng.uniform(0, 1000, size=(n, 2)), *DOMAIN, capacity=capacity
+    )
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    gf = _build()
+    assignment = make_method("minimax").assign(gf, 8, rng=42)
+    queries = square_queries(40, 0.06, *DOMAIN, rng=42)
+    return gf, assignment, queries
+
+
+def test_closed_run_pinned(deployment):
+    gf, assignment, queries = deployment
+    rep = ParallelGridFile(gf, assignment, 8).run_queries(queries)
+    assert _sha(_perf_data(rep)) == GOLDEN_CLOSED
+
+
+def test_open_run_pinned(deployment):
+    gf, assignment, queries = deployment
+    rep = ParallelGridFile(gf, assignment, 8).run_open(
+        queries, arrival_rate=150.0, rng=9
+    )
+    assert _sha(_perf_data(rep)) == GOLDEN_OPEN
+
+
+def test_faulted_run_pinned(deployment):
+    gf, assignment, queries = deployment
+    plan = (
+        FaultPlan(seed=5)
+        .node_crash(0.02, node=2)
+        .node_recover(0.25, node=2)
+        .disk_slowdown(0.01, node=1, factor=3.0)
+        .link_loss(0.0, node=0, loss_prob=0.1)
+    )
+    params = ClusterParams(replication="chained")
+    rep = ParallelGridFile(gf, assignment, 8, params).run_queries(
+        queries, faults=plan
+    )
+    assert _sha(_perf_data(rep)) == GOLDEN_FAULTY
+
+
+def test_online_run_pinned():
+    gf = _build()
+    assignment = make_method("minimax").assign(gf, 8, rng=42)
+    ops = mixed_workload(150, 0.3, *DOMAIN, rng=13)
+    monitor = DegradationMonitor(window=16, threshold=1.2, cooldown=16, budget=0.3)
+    rep = OnlineCluster(
+        gf, assignment, 8, placement="rr-least-loaded", monitor=monitor, seed=42
+    ).run(ops)
+    assert _sha(_online_data(rep)) == GOLDEN_ONLINE
+
+
+def test_default_params_are_the_neutral_configuration():
+    """The pins above hold because the defaults select the legacy seams."""
+    p = ClusterParams()
+    assert p.scheduler == "fifo"
+    assert p.replica_policy == "primary-only"
+    assert p.max_inflight is None and p.deadline is None
