@@ -30,6 +30,10 @@ Subcommands
     Record a traced (optionally fault-injected) cluster run to a JSONL
     file, fold a trace into per-disk utilization / per-phase timings /
     event counts, or diff two traces (see ``docs/observability.md``).
+``fsck PATH``
+    Walk a durable store's pages, verify every CRC and the allocator
+    free-list, and report (with ``--repair``: repair from the WAL)
+    corrupt pages (see ``docs/storage.md``).
 """
 
 from __future__ import annotations
@@ -182,6 +186,7 @@ def _engine_params(args, **extra):
         replica_policy=args.replica_policy,
         max_inflight=args.max_inflight,
         deadline=args.deadline,
+        retry_jitter=args.retry_jitter,
         **extra,
     )
 
@@ -299,16 +304,27 @@ def _cmd_fault_sim(args) -> int:
 
 def _cmd_online_sim(args) -> int:
     from repro.core import make_placement
-    from repro.parallel import DegradationMonitor, OnlineCluster
+    from repro.parallel import DegradationMonitor, OnlineCluster, make_store
     from repro.sim import mixed_workload
+    from repro.storage import StorageError
 
     if not 0.0 <= args.write_ratio <= 1.0:
         print("--write-ratio must be in [0, 1]", file=sys.stderr)
+        return 2
+    if args.store != "memory" and args.store_path is None:
+        print(f"--store {args.store} requires --store-path", file=sys.stderr)
         return 2
     ds = load(args.name, rng=args.seed)
     gf = build_gridfile(ds)
     method = make_method(args.method)
     assignment = method.assign(gf, args.disks, rng=args.seed)
+    try:
+        store = make_store(
+            gf, backend=args.store, path=args.store_path, durability=args.wal_sync
+        )
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     ops = mixed_workload(
         args.ops,
         args.write_ratio,
@@ -326,19 +342,27 @@ def _cmd_online_sim(args) -> int:
     before = gf.n_buckets
     try:
         cluster = OnlineCluster(
-            gf, assignment, args.disks, params=_engine_params(args),
+            store, assignment, args.disks, params=_engine_params(args),
             placement=policy, monitor=monitor, seed=args.seed,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    rep = cluster.run(ops)
+    try:
+        rep = cluster.run(ops)
+    finally:
+        if args.store != "memory":
+            store.close()
     reorg = "disabled" if monitor is None else (
         f"threshold={monitor.threshold}, budget={monitor.budget}"
+    )
+    storage = "memory (no durability)" if args.store == "memory" else (
+        f"{args.store} at {args.store_path} (wal sync: {args.wal_sync})"
     )
     print(f"dataset            : {ds.name} ({gf.stats()})")
     print(f"method / placement : {method.name} / {policy.name}, disks={args.disks}, "
           f"scheduler={args.scheduler}")
+    print(f"storage            : {storage}")
     print(f"workload           : {args.ops} ops, write ratio {args.write_ratio}, r={args.ratio}")
     print(f"reorganization     : {reorg}")
     print(f"writes             : {rep.n_inserts} inserts, {rep.n_deletes} deletes "
@@ -354,6 +378,39 @@ def _cmd_online_sim(args) -> int:
     print(f"mean write latency : {rep.mean_write_latency * 1e3:.3f} ms")
     print(f"elapsed time       : {rep.elapsed_time * 1e3:.2f} ms")
     return 0
+
+
+def _cmd_fsck(args) -> int:
+    from pathlib import Path
+
+    from repro.storage import DATA_FILE, StorageEngine, StorageError
+
+    path = Path(args.path)
+    if not (path / DATA_FILE).exists():
+        print(f"error: no store at {path} (missing {DATA_FILE})", file=sys.stderr)
+        return 2
+    try:
+        eng = StorageEngine(path, backend=args.backend, page_size=args.page_size)
+    except (StorageError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = eng.fsck(repair=args.repair)
+    finally:
+        eng.close()
+    print(f"store          : {path} (backend={args.backend}, page_size={args.page_size})")
+    print(f"pages checked  : {report.pages_checked}")
+    print(f"pages repaired : {report.pages_repaired}")
+    for problem in report.problems:
+        print(f"  - {problem}")
+    if args.dump and report.dumps:
+        out = Path(args.dump)
+        out.mkdir(parents=True, exist_ok=True)
+        for pid, dump in sorted(report.dumps.items()):
+            (out / f"page-{pid}.hexdump.txt").write_text(dump + "\n")
+        print(f"hexdumps       : {len(report.dumps)} corrupt page(s) -> {out}")
+    print(f"status         : {'clean' if report.ok else 'CORRUPT'}")
+    return 0 if report.ok else 1
 
 
 def _cmd_trace(args) -> int:
@@ -435,6 +492,9 @@ def _add_engine_flags(sp) -> None:
                     help="bound concurrently admitted queries (open runs)")
     sp.add_argument("--deadline", type=float, default=None,
                     help="shed queries that wait longer than this (s, open runs)")
+    sp.add_argument("--retry-jitter", type=float, default=0.0,
+                    help="full-jitter fraction on retry backoff (0 = deterministic"
+                    " legacy delays, 1 = full jitter)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -521,7 +581,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="windowed R(q) ratio that triggers reorganization")
     o.add_argument("--reorg-budget", type=float, default=0.2,
                    help="movement budget per reorganization (fraction of buckets)")
+    o.add_argument("--store", default="memory", choices=["memory", "file", "mmap"],
+                   help="storage backend for the live grid file (file/mmap persist"
+                   " every committed operation through the WAL)")
+    o.add_argument("--store-path", default=None,
+                   help="directory for the durable store (required unless memory)")
+    o.add_argument("--wal-sync", default="commit", choices=["commit", "checkpoint"],
+                   help="fsync the WAL on every commit, or only at checkpoints")
     _add_engine_flags(o)
+
+    fs = sub.add_parser(
+        "fsck", help="verify (and optionally repair) a durable store's pages"
+    )
+    fs.add_argument("path", help="store directory (holds pages.dat / wal.log)")
+    fs.add_argument("--repair", action="store_true",
+                    help="rewrite corrupt pages from their committed WAL images")
+    fs.add_argument("--backend", default="file", choices=["file", "mmap"],
+                    help="block-store backend the store was written with")
+    fs.add_argument("--page-size", type=int, default=4096,
+                    help="page size the store was written with (bytes)")
+    fs.add_argument("--dump", default=None,
+                    help="directory to write hexdumps of corrupt pages into")
 
     t = sub.add_parser("trace", help="record, summarize or diff cluster run traces")
     tsub = t.add_subparsers(dest="trace_command", required=True)
@@ -583,6 +663,8 @@ def main(argv=None) -> int:
         return _cmd_online_sim(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     if args.command == "report":
         from repro.experiments.runall import write_full_report
 

@@ -32,7 +32,14 @@ from repro.parallel.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.parallel.network import NetworkModel
 from repro.parallel.online import DegradationMonitor, OnlineCluster, OnlineReport
 from repro.parallel.replication import apply_failures, effective_disk, replica_assignment
-from repro.parallel.stores import GridFileStore, PageStore, RTreeStore, as_page_store
+from repro.parallel.stores import (
+    DurableGridFileStore,
+    GridFileStore,
+    PageStore,
+    RTreeStore,
+    as_page_store,
+    make_store,
+)
 
 __all__ = [
     "apply_failures",
@@ -40,8 +47,10 @@ __all__ = [
     "replica_assignment",
     "PageStore",
     "GridFileStore",
+    "DurableGridFileStore",
     "RTreeStore",
     "as_page_store",
+    "make_store",
     "Simulator",
     "Resource",
     "Event",

@@ -17,9 +17,13 @@ not an absolute budget — large requests are not spuriously suspected.
 
 from __future__ import annotations
 
+from repro._util import as_rng
 from repro.parallel.message import BlockRequest
 
 __all__ = ["DegradedMode"]
+
+#: Seed of the dedicated retry-jitter RNG (deterministic reproducibility).
+JITTER_SEED = 1996
 
 
 class DegradedMode:
@@ -34,6 +38,11 @@ class DegradedMode:
         #: Queries given up on (data unreachable without replication).
         self.aborted: set[int] = set()
         self._states_by_qid: dict = {}
+        #: Full-jitter fraction on retry backoff (0.0 = legacy determinism;
+        #: the RNG only exists when jitter is on, so jitter-free runs make
+        #: no extra random draws).
+        self._jitter = pipeline.params.retry_jitter
+        self._jitter_rng = as_rng(JITTER_SEED) if self._jitter > 0.0 else None
 
     # -- timeout arming ------------------------------------------------------
 
@@ -104,6 +113,9 @@ class DegradedMode:
             # Retry the same node with exponential backoff.
             pipe.stats.n_retries += 1
             delay = pipe.params.retry_backoff * (2.0**req.attempt)
+            if self._jitter_rng is not None:
+                # Full jitter: uniform over ((1 - jitter) * full, full].
+                delay *= 1.0 - self._jitter * float(self._jitter_rng.random())
             if pipe.trace:
                 pipe.tracer.event(
                     "request.retry",

@@ -67,6 +67,14 @@ class ClusterParams:
     max_retries: int = 1
     #: Base backoff before a retry (doubles per attempt).
     retry_backoff: float = 0.02
+    #: Full-jitter fraction on retry backoff: each retry delay is drawn
+    #: uniformly from ``((1 - retry_jitter) * full, full]`` where ``full``
+    #: is the exponential backoff ``retry_backoff * 2**attempt``.  0.0
+    #: (default) keeps the deterministic legacy delays (and the golden
+    #: neutrality pins byte-identical); 1.0 is classic AWS-style full
+    #: jitter.  Draws come from a dedicated deterministically-seeded RNG,
+    #: so jittered runs are still reproducible.
+    retry_jitter: float = 0.0
     #: Delay until a recovered node's heartbeat clears coordinator suspicion.
     heartbeat_delay: float = 0.05
     #: Disk queue discipline: "fifo" (default, the legacy behaviour),
@@ -96,6 +104,10 @@ def validate_params(params: ClusterParams) -> None:
     """
     if params.max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {params.max_retries}")
+    if not 0.0 <= params.retry_jitter <= 1.0:
+        raise ValueError(
+            f"retry_jitter must be in [0, 1], got {params.retry_jitter}"
+        )
     if params.request_timeout is not None and params.request_timeout <= 0:
         raise ValueError(
             f"request_timeout must be positive, got {params.request_timeout}"

@@ -57,6 +57,7 @@ from repro.gridfile.gridfile import GridFile
 from repro.obs import PROFILER
 from repro.parallel.cluster import ClusterParams, ParallelGridFile, PerfReport
 from repro.parallel.engine.pipeline import RequestPipeline
+from repro.parallel.stores import DurableGridFileStore, GridFileStore
 from repro.sim.workload import Operation
 
 __all__ = ["DegradationMonitor", "OnlineReport", "OnlineCluster"]
@@ -175,6 +176,14 @@ class _OnlineDriver:
         self.coord_cpu = self.pipe.coord_cpu
         self.coord_nic = self.pipe.coord_nic
         self.gf: GridFile = owner.store.gf
+        #: Crash-safe backing store, when the cluster was built over one.
+        #: Each applied operation is committed as one WAL transaction; the
+        #: storage engine's counters land in this run's metrics registry.
+        self.durable: "DurableGridFileStore | None" = (
+            owner.store if isinstance(owner.store, DurableGridFileStore) else None
+        )
+        if self.durable is not None:
+            self.durable.engine.metrics = self.metrics
         self.policy: PlacementPolicy = policy
         self.monitor = monitor
         self.assign_list = [int(d) for d in owner.coordinator.assignment]
@@ -325,6 +334,11 @@ class _OnlineDriver:
         else:
             self.gf.delete_record(rid)
             self.n_deletes += 1
+        if self.durable is not None:
+            # Durably commit the operation (and any split/merge it caused)
+            # as one WAL transaction.  Real I/O adds no simulated time: the
+            # analytic disk model above remains the cost authority.
+            self.durable.commit_op()
         end = self.sim.now
         # Freshly split buckets are written out to their assigned disks.
         for new_id, disk in self._pending_new:
@@ -539,7 +553,11 @@ class OnlineCluster:
     Parameters
     ----------
     gf:
-        The grid file (mutated in place by the run's inserts/deletes).
+        The grid file (mutated in place by the run's inserts/deletes), or a
+        :class:`repro.parallel.stores.GridFileStore` wrapping one — pass a
+        :class:`repro.parallel.stores.DurableGridFileStore` to have every
+        applied operation committed to the crash-safe storage engine (one
+        WAL transaction per operation, checkpoint when the run drains).
     assignment:
         ``(n_buckets,)`` initial disk ids.
     n_disks:
@@ -571,9 +589,13 @@ class OnlineCluster:
         monitor: "DegradationMonitor | None" = None,
         seed=1996,
     ):
-        if not isinstance(gf, GridFile):
+        if isinstance(gf, GridFileStore):
+            store, gf = gf, gf.gf
+        elif isinstance(gf, GridFile):
+            store = None
+        else:
             raise TypeError("OnlineCluster requires a live GridFile store")
-        self.pgf = ParallelGridFile(gf, assignment, n_disks, params)
+        self.pgf = ParallelGridFile(store if store is not None else gf, assignment, n_disks, params)
         if self.pgf.params.replication is not None:
             raise ValueError("replication is not supported by the online engine")
         if self.pgf.params.max_inflight is not None or self.pgf.params.deadline is not None:
@@ -597,4 +619,7 @@ class OnlineCluster:
             seed=self.seed,
         )
         engine.drive()
+        if engine.durable is not None:
+            # Durability point: fsync the device, truncate the WAL.
+            engine.durable.checkpoint()
         return engine.online_report()

@@ -6,6 +6,15 @@ coordinates.  :class:`PageStore` captures that contract;
 :class:`GridFileStore` and :class:`RTreeStore` adapt the two structures, so
 the *parallel R-tree* runs on the same simulated SP-2 as the parallel grid
 file (``benchmarks/bench_ext_rtree_cluster.py``).
+
+:class:`DurableGridFileStore` backs the grid file with the crash-safe
+storage engine of :mod:`repro.storage`: queries still run against the live
+in-memory structure (identical plans, identical simulated costs), but
+every mutation can be committed to an actual block device through
+:meth:`~DurableGridFileStore.commit_op` — which is what the online
+engine's write path does when it is handed one.  :func:`make_store` builds
+either flavour from a backend name (``memory`` keeps the legacy pure
+in-memory store, so all golden neutrality pins are untouched).
 """
 
 from __future__ import annotations
@@ -16,8 +25,16 @@ import numpy as np
 
 from repro.gridfile.gridfile import GridFile
 from repro.rtree.rtree import RTree
+from repro.storage import DEFAULT_PAGE_SIZE, DurableGridFile, StorageError
 
-__all__ = ["PageStore", "GridFileStore", "RTreeStore", "as_page_store"]
+__all__ = [
+    "PageStore",
+    "GridFileStore",
+    "DurableGridFileStore",
+    "RTreeStore",
+    "as_page_store",
+    "make_store",
+]
 
 
 class PageStore(ABC):
@@ -59,6 +76,63 @@ class GridFileStore(PageStore):
 
     def record_coords(self, record_ids: np.ndarray) -> np.ndarray:
         return self.gf.points[np.asarray(record_ids, dtype=np.int64)]
+
+
+class DurableGridFileStore(GridFileStore):
+    """A grid file served from the crash-safe storage engine.
+
+    Wraps a :class:`repro.storage.DurableGridFile`: reads use the live
+    in-memory grid file exactly like :class:`GridFileStore` (so the
+    simulator's plans and costs are unchanged), while
+    :meth:`commit_op` flushes the mutations of one logical operation to
+    the block device as a WAL-protected transaction.  Real I/O time is
+    *not* added to the simulated clock — the analytic disk model remains
+    the cost authority; this store adds durability, not timing.
+    """
+
+    def __init__(self, durable: DurableGridFile):
+        super().__init__(durable.gf)
+        self.durable = durable
+
+    @property
+    def engine(self):
+        """The underlying :class:`repro.storage.StorageEngine`."""
+        return self.durable.engine
+
+    def commit_op(self) -> "int | None":
+        """Commit everything dirtied since the last call (one transaction)."""
+        return self.durable.commit_op()
+
+    def checkpoint(self) -> None:
+        """fsync the device and truncate the WAL."""
+        self.durable.checkpoint()
+
+    def close(self) -> None:
+        """Detach from the grid file and close the engine."""
+        self.durable.close()
+
+
+def make_store(
+    gf: GridFile,
+    backend: str = "memory",
+    path=None,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    durability: str = "commit",
+) -> GridFileStore:
+    """Build a grid-file page store for the given storage backend.
+
+    ``memory`` returns the legacy pure in-memory :class:`GridFileStore`
+    (byte-identical simulator behaviour); ``file`` / ``mmap`` persist the
+    grid file under ``path`` via a fresh :class:`DurableGridFileStore`.
+    """
+    if backend == "memory":
+        return GridFileStore(gf)
+    if path is None:
+        raise StorageError(f"store backend {backend!r} requires a path")
+    durable = DurableGridFile.create(
+        gf, path, backend=backend, page_size=page_size, durability=durability
+    )
+    return DurableGridFileStore(durable)
 
 
 class RTreeStore(PageStore):

@@ -1,0 +1,87 @@
+"""Page allocator with a persistent free-list.
+
+The allocator hands out page ids monotonically (``next_page_id``) and
+recycles released pages LIFO through a free-list.  Its entire state
+serialises to a few bytes that the engine embeds in the meta page, so the
+free-list is exactly as durable as the rest of a commit — a crash can
+never leak or double-allocate a page that recovery keeps.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.storage.page import StorageError
+
+__all__ = ["PageAllocator"]
+
+_HEADER = "<QI"  # next_page_id, free count
+_HEADER_SIZE = struct.calcsize(_HEADER)
+
+
+class PageAllocator:
+    """Monotonic page-id dispenser with a LIFO free-list.
+
+    Page 0 is reserved for the engine's meta page, so ``next_page_id``
+    starts at 1.
+    """
+
+    def __init__(self, next_page_id: int = 1, free: tuple = ()):
+        if next_page_id < 1:
+            raise ValueError(f"next_page_id must be >= 1, got {next_page_id}")
+        self.next_page_id = int(next_page_id)
+        self._free: list[int] = [int(p) for p in free]
+
+    @property
+    def free_pages(self) -> tuple:
+        """The current free-list, most recently released first."""
+        return tuple(reversed(self._free))
+
+    def alloc(self) -> int:
+        """Hand out a page id (recycled if available, else a fresh one)."""
+        if self._free:
+            return self._free.pop()
+        pid = self.next_page_id
+        self.next_page_id += 1
+        return pid
+
+    def release(self, page_id: int) -> None:
+        """Return ``page_id`` to the free-list for reuse."""
+        pid = int(page_id)
+        if not 1 <= pid < self.next_page_id:
+            raise StorageError(f"release of unallocated page {pid}")
+        if pid in self._free:
+            raise StorageError(f"double release of page {pid}")
+        self._free.append(pid)
+
+    def to_bytes(self) -> bytes:
+        """Serialise for embedding in the meta page."""
+        return struct.pack(_HEADER, self.next_page_id, len(self._free)) + struct.pack(
+            f"<{len(self._free)}I", *self._free
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "PageAllocator":
+        """Inverse of :meth:`to_bytes`."""
+        if len(blob) < _HEADER_SIZE:
+            raise StorageError(f"allocator blob too short ({len(blob)} bytes)")
+        next_pid, n_free = struct.unpack_from(_HEADER, blob)
+        want = _HEADER_SIZE + 4 * n_free
+        if len(blob) < want:
+            raise StorageError(f"allocator blob truncated ({len(blob)} < {want} bytes)")
+        free = struct.unpack_from(f"<{n_free}I", blob, _HEADER_SIZE)
+        alloc = cls(next_pid)
+        alloc._free = list(free)
+        return alloc
+
+    def validate(self) -> list[str]:
+        """Consistency problems as human-readable strings (empty = OK)."""
+        problems = []
+        seen = set()
+        for pid in self._free:
+            if not 1 <= pid < self.next_page_id:
+                problems.append(f"free-list entry {pid} outside [1, {self.next_page_id})")
+            if pid in seen:
+                problems.append(f"free-list entry {pid} duplicated")
+            seen.add(pid)
+        return problems

@@ -1,0 +1,206 @@
+"""Fault injection for files: killed writes, dropped fsyncs, bit flips.
+
+:class:`FaultyFile` is a drop-in file object (pass a factory as the
+``file_factory`` of :class:`~repro.storage.blockstore.FileBlockStore` /
+:class:`~repro.storage.wal.WriteAheadLog`) that routes every mutating
+operation through a shared :class:`CrashClock`.  The clock counts
+operations **across all files it is attached to**, so "crash at
+operation N of the workload" has one global meaning even though the WAL
+and the page device are separate files.
+
+Two crash models:
+
+* **process kill** (default): the crash stops the process between or in
+  the middle of operations; bytes already handed to the OS survive (the
+  files are opened unbuffered, so a half-finished write really is on
+  "disk" as a torn page).
+* **power loss** (``lose_unsynced=True``): at the crash instant the file
+  reverts to its state as of the last successful ``sync`` — every
+  unsynced write and truncate is lost.
+
+Orthogonal corruptions:
+
+* ``drop_sync=True`` — a lying drive: ``sync`` returns success without
+  making anything durable (combined with ``lose_unsynced`` the snapshot
+  is simply never advanced);
+* ``flip_bits`` — silent media corruption: ``{op_index: (offset, mask)}``
+  XORs a byte of that write's data on its way to the file (no crash; the
+  page CRC must catch it later).
+
+After the clock has fired, **every** further operation on any attached
+file raises :class:`InjectedCrash` — the process is dead.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["CrashClock", "FaultyFile", "InjectedCrash"]
+
+
+class InjectedCrash(RuntimeError):
+    """The fault injector killed the simulated process."""
+
+
+class CrashClock:
+    """Global operation counter deciding when the simulated process dies.
+
+    Parameters
+    ----------
+    crash_op:
+        Operation index at which to crash (``None``: never — used for the
+        counting run that enumerates a workload's write boundaries).
+    phase:
+        ``"before"`` — die at the start of operation ``crash_op`` (nothing
+        of it reaches the file); ``"mid"`` — for a write of at least two
+        bytes, put half of the data in the file, then die (a torn write).
+
+    Attributes
+    ----------
+    ops:
+        ``(kind, size)`` of every operation observed, in order — the
+        counting run reads this to enumerate crash boundaries.
+    """
+
+    def __init__(self, crash_op=None, phase: str = "before"):
+        if phase not in ("before", "mid"):
+            raise ValueError(f"unknown crash phase {phase!r}")
+        self.crash_op = crash_op
+        self.phase = phase
+        self.op_count = 0
+        self.crashed = False
+        self.ops: list[tuple[str, int]] = []
+        #: Every FaultyFile attached to this clock (so a harness can close
+        #: the real file handles of a "dead" process).
+        self.files: list = []
+        self._on_crash: list = []
+
+    def add_crash_callback(self, callback) -> None:
+        """Run ``callback`` at the crash instant (power-loss rollback)."""
+        self._on_crash.append(callback)
+
+    def crash(self, message: str) -> None:
+        """Kill the process now (fires callbacks, raises InjectedCrash)."""
+        self.crashed = True
+        for callback in self._on_crash:
+            callback()
+        raise InjectedCrash(message)
+
+    def tick(self, kind: str, size: int = 0) -> tuple[int, int]:
+        """Account one operation; returns ``(op_index, bytes_allowed)``.
+
+        ``bytes_allowed < size`` means: write that prefix, then call
+        :meth:`crash` (the mid-write torn page).
+        """
+        if self.crashed:
+            raise InjectedCrash("operation on a dead process")
+        op = self.op_count
+        self.op_count += 1
+        self.ops.append((kind, size))
+        if self.crash_op is not None and op == self.crash_op:
+            if self.phase == "mid" and kind == "write" and size >= 2:
+                return op, size // 2
+            self.crash(f"injected crash before op {op} ({kind})")
+        return op, size
+
+
+class FaultyFile:
+    """An unbuffered binary file with crash/corruption injection.
+
+    Matches the ``file_factory(path, mode)`` protocol of the storage
+    layer and exposes the subset of the file API it uses (``seek`` /
+    ``read`` / ``write`` / ``truncate`` / ``tell`` / ``flush`` /
+    ``close``) plus ``sync`` — which the storage layer calls *instead of*
+    ``os.fsync`` whenever the attribute exists.
+    """
+
+    def __init__(
+        self,
+        path,
+        mode: str = "r+b",
+        clock: "CrashClock | None" = None,
+        lose_unsynced: bool = False,
+        drop_sync: bool = False,
+        flip_bits: "dict | None" = None,
+    ):
+        self._f = open(path, mode, buffering=0)
+        self.clock = clock
+        self.lose_unsynced = lose_unsynced
+        self.drop_sync = drop_sync
+        self.flip_bits = dict(flip_bits) if flip_bits else {}
+        if clock is not None:
+            clock.files.append(self)
+        if lose_unsynced:
+            self._snapshot = self._content()
+            if clock is not None:
+                clock.add_crash_callback(self._rollback)
+
+    # --------------------------------------------------------- power loss
+
+    def _content(self) -> bytes:
+        pos = self._f.tell()
+        self._f.seek(0)
+        data = self._f.read()
+        self._f.seek(pos)
+        return data
+
+    def _rollback(self) -> None:
+        self._f.seek(0)
+        self._f.write(self._snapshot)
+        self._f.truncate(len(self._snapshot))
+
+    # ----------------------------------------------------------- file API
+
+    def _check_dead(self) -> None:
+        if self.clock is not None and self.clock.crashed:
+            raise InjectedCrash("operation on a dead process")
+
+    def write(self, data) -> int:
+        data = bytes(data)
+        if self.clock is None:
+            return self._f.write(data)
+        op, allowed = self.clock.tick("write", len(data))
+        if op in self.flip_bits:
+            offset, mask = self.flip_bits[op]
+            corrupted = bytearray(data)
+            corrupted[offset % max(len(data), 1)] ^= mask
+            data = bytes(corrupted)
+        if allowed < len(data):
+            self._f.write(data[:allowed])
+            self.clock.crash(f"injected crash mid-write at op {op}")
+        return self._f.write(data)
+
+    def truncate(self, size=None) -> int:
+        if self.clock is not None:
+            self.clock.tick("truncate")
+        return self._f.truncate(self._f.tell() if size is None else size)
+
+    def sync(self) -> None:
+        """Durability point (the storage layer calls this instead of fsync)."""
+        if self.clock is not None:
+            self.clock.tick("sync")
+        if self.drop_sync:
+            return
+        os.fsync(self._f.fileno())
+        if self.lose_unsynced:
+            self._snapshot = self._content()
+
+    def read(self, size: int = -1) -> bytes:
+        self._check_dead()
+        return self._f.read(size)
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        self._check_dead()
+        return self._f.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._f.tell()
+
+    def flush(self) -> None:
+        self._check_dead()
+
+    def fileno(self) -> int:
+        return self._f.fileno()
+
+    def close(self) -> None:
+        self._f.close()

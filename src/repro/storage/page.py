@@ -1,0 +1,127 @@
+"""Checksummed on-disk page format: the unit of durable storage.
+
+Every page in a :class:`~repro.storage.blockstore.BlockStore` carries a
+fixed little-endian header followed by the payload and zero padding::
+
+    offset  size  field
+    0       4     magic        b"GFP1"
+    4       4     page_id      u32 — must match the page's position
+    8       8     lsn          u64 — commit sequence number of the writer
+    16      4     payload_len  u32
+    20      4     crc32        u32 over header[0:20] + payload
+
+The CRC covers the header prefix *and* the payload, so a torn write (only
+part of the page made it to disk), a bit flip anywhere in header or
+payload, and a page written to the wrong slot (``page_id`` mismatch) are
+all detected by :func:`unpack_page`.  A never-written page reads as zeros
+and fails the magic check, which recovery treats the same as torn.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "HEADER_SIZE",
+    "PAGE_MAGIC",
+    "PageCorruptionError",
+    "PageHeader",
+    "StorageError",
+    "hexdump",
+    "pack_page",
+    "unpack_page",
+]
+
+PAGE_MAGIC = b"GFP1"
+_PREFIX = "<4sIQI"  # magic, page_id, lsn, payload_len (crc32 appended)
+_PREFIX_SIZE = struct.calcsize(_PREFIX)
+HEADER_SIZE = _PREFIX_SIZE + 4
+DEFAULT_PAGE_SIZE = 4096
+
+
+class StorageError(Exception):
+    """Base error of the durable storage layer."""
+
+
+class PageCorruptionError(StorageError):
+    """A page failed verification (torn write, bit flip, wrong slot).
+
+    Attributes
+    ----------
+    page_id:
+        The expected page id (position in the store), or the id claimed by
+        the header when no expectation was given.
+    reason:
+        Human-readable failure cause (``"bad magic"``, ``"crc mismatch"``,
+        ``"empty"``, ...).
+    """
+
+    def __init__(self, page_id: int, reason: str):
+        super().__init__(f"page {page_id}: {reason}")
+        self.page_id = page_id
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class PageHeader:
+    """Decoded page header (see the module docstring for the layout)."""
+
+    page_id: int
+    lsn: int
+    payload_len: int
+    crc: int
+
+
+def pack_page(page_id: int, lsn: int, payload: bytes, page_size: int = DEFAULT_PAGE_SIZE) -> bytes:
+    """Frame ``payload`` into a checksummed page of exactly ``page_size`` bytes."""
+    if len(payload) > page_size - HEADER_SIZE:
+        raise ValueError(
+            f"payload of {len(payload)} bytes exceeds page capacity "
+            f"{page_size - HEADER_SIZE}"
+        )
+    prefix = struct.pack(_PREFIX, PAGE_MAGIC, page_id, lsn, len(payload))
+    crc = zlib.crc32(prefix + payload)
+    page = prefix + struct.pack("<I", crc) + payload
+    return page + b"\x00" * (page_size - len(page))
+
+
+def unpack_page(buf: bytes, expected_id: "int | None" = None) -> tuple[PageHeader, bytes]:
+    """Verify and decode a page buffer; raises :class:`PageCorruptionError`.
+
+    ``expected_id`` (the page's position in the store) additionally guards
+    against a valid page written to the wrong slot.
+    """
+    pid = expected_id if expected_id is not None else -1
+    if len(buf) < HEADER_SIZE:
+        raise PageCorruptionError(pid, f"short page ({len(buf)} bytes)")
+    if not any(buf):
+        raise PageCorruptionError(pid, "empty (all zeros)")
+    magic, page_id, lsn, payload_len = struct.unpack_from(_PREFIX, buf)
+    (crc,) = struct.unpack_from("<I", buf, _PREFIX_SIZE)
+    if magic != PAGE_MAGIC:
+        raise PageCorruptionError(pid, f"bad magic {magic!r}")
+    if payload_len > len(buf) - HEADER_SIZE:
+        raise PageCorruptionError(page_id, f"payload length {payload_len} exceeds page")
+    payload = bytes(buf[HEADER_SIZE : HEADER_SIZE + payload_len])
+    want = zlib.crc32(bytes(buf[:_PREFIX_SIZE]) + payload)
+    if crc != want:
+        raise PageCorruptionError(page_id, f"crc mismatch ({crc:#010x} != {want:#010x})")
+    if expected_id is not None and page_id != expected_id:
+        raise PageCorruptionError(expected_id, f"page id {page_id} in slot {expected_id}")
+    return PageHeader(page_id, lsn, payload_len, crc), payload
+
+
+def hexdump(buf: bytes, width: int = 16, max_bytes: int = 512) -> str:
+    """Classic offset/hex/ASCII dump of a buffer (for corruption reports)."""
+    lines = []
+    for off in range(0, min(len(buf), max_bytes), width):
+        chunk = buf[off : off + width]
+        hexed = " ".join(f"{b:02x}" for b in chunk)
+        text = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        lines.append(f"{off:08x}  {hexed:<{width * 3}} |{text}|")
+    if len(buf) > max_bytes:
+        lines.append(f"... ({len(buf) - max_bytes} more bytes)")
+    return "\n".join(lines)

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.sim",
     "repro.analysis",
     "repro.parallel",
+    "repro.storage",
     "repro.rtree",
     "repro.datasets",
     "repro.experiments",

@@ -1,0 +1,60 @@
+"""``tools/bench_compare.py``: timing thresholds and the --exact gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare", Path(__file__).parent.parent / "tools" / "bench_compare.py"
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+sys.modules["bench_compare"] = bench_compare
+_SPEC.loader.exec_module(bench_compare)
+
+
+def _payload(**data):
+    return {"name": "t", "meta": {}, "data": data}
+
+
+def test_timing_regression_flagged_past_threshold():
+    base = _payload(run_seconds=1.0)
+    slow = _payload(run_seconds=1.5)
+    _, regressions = bench_compare.compare(base, slow, threshold=0.2)
+    assert regressions and "run_seconds" in regressions[0]
+    _, regressions = bench_compare.compare(base, _payload(run_seconds=1.1), threshold=0.2)
+    assert not regressions
+
+
+def test_counters_are_informational_by_default():
+    base = _payload(series=[{"storage.commits": 10}])
+    curr = _payload(series=[{"storage.commits": 99}])
+    _, regressions = bench_compare.compare(base, curr, threshold=0.05)
+    assert not regressions
+
+
+def test_exact_glob_turns_counter_drift_into_regression():
+    base = _payload(series=[{"storage.commits": 10, "ops_per_sec": 100.0}])
+    curr = _payload(series=[{"storage.commits": 11, "ops_per_sec": 55.0}])
+    _, regressions = bench_compare.compare(
+        base, curr, threshold=0.05, exact=["series.*.storage.*"]
+    )
+    assert regressions == ["series.0.storage.commits changed: 10 -> 11"]
+    # ops_per_sec stays informational (no timing suffix, no exact match).
+    _, regressions = bench_compare.compare(base, curr, threshold=0.05)
+    assert not regressions
+
+
+def test_exact_glob_match_is_clean(tmp_path):
+    import json
+
+    a = tmp_path / "a.json"
+    a.write_text(json.dumps(_payload(series=[{"storage.commits": 10}])))
+    rc = bench_compare.main([str(a), str(a), "--exact", "series.*.storage.*"])
+    assert rc == 0
+
+
+def test_main_usage_error_on_missing_file(tmp_path):
+    rc = bench_compare.main([str(tmp_path / "nope.json"), str(tmp_path / "nope2.json")])
+    assert rc == 2

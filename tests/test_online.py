@@ -285,3 +285,51 @@ class TestOnlineDeterminism:
                 )
             )
         assert digests[0] == digests[1]
+
+
+class TestDurableStoreNeutrality:
+    def test_file_store_run_matches_memory_run(self, tmp_path):
+        """The durable store adds I/O, never simulated time or behaviour."""
+        from repro.parallel import make_store
+        from repro.storage import DurableGridFile
+
+        ops = mixed_workload(
+            200, 0.4, *DOMAIN, rng=5, centers=np.array([[0.2, 0.3], [0.7, 0.6]])
+        )
+        reports = []
+        for backend in ("memory", "file"):
+            gf = _build(seed=1, n=800, capacity=16)
+            a = make_method("minimax").assign(gf, 8, rng=1)
+            store = make_store(gf, backend=backend, path=tmp_path / "store")
+            rep = OnlineCluster(store, a, 8, placement="rr-least-loaded").run(ops)
+            reports.append(rep)
+            if backend == "file":
+                store.close()
+        mem, dur = reports
+        # every simulated quantity is identical...
+        assert mem.perf.elapsed_time == dur.perf.elapsed_time
+        assert mem.perf.records_returned == dur.perf.records_returned
+        assert mem.perf.blocks_fetched == dur.perf.blocks_fetched
+        np.testing.assert_array_equal(mem.perf.latencies, dur.perf.latencies)
+        np.testing.assert_array_equal(
+            mem.perf.completion_times, dur.perf.completion_times
+        )
+        assert (mem.n_splits, mem.n_merges, mem.final_records) == (
+            dur.n_splits, dur.n_merges, dur.final_records
+        )
+        # ...and the metrics differ only by the new storage.* counters
+        mem_counters = mem.perf.metrics["counters"]
+        dur_counters = dur.perf.metrics["counters"]
+        extra = set(dur_counters) - set(mem_counters)
+        assert extra and all(k.startswith("storage.") for k in extra)
+        assert dur_counters["storage.commits"] > 0
+        same = {k: v for k, v in dur_counters.items() if k in mem_counters}
+        assert same == mem_counters
+        assert dur.perf.metrics["histograms"] == mem.perf.metrics["histograms"]
+        final = (dur.n_splits, dur.n_merges, dur.final_records)
+
+        # the run's end state survived: reopen and compare record counts
+        back = DurableGridFile.open(tmp_path / "store")
+        assert back.gf.n_records == final[2]
+        back.gf.check_invariants()
+        back.close()

@@ -1,0 +1,110 @@
+"""Retry backoff jitter: envelope, determinism and off-by-default neutrality.
+
+``ClusterParams.retry_jitter`` applies *full jitter* to the exponential
+retry backoff: with jitter ``j`` and full delay ``d = retry_backoff *
+2**attempt``, the scheduled delay is uniform over ``((1 - j) * d, d]``.
+The knob defaults to 0.0 so every golden sha256 pin stays byte-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_method
+from repro.gridfile import GridFile
+from repro.obs import Tracer
+from repro.parallel import ClusterParams, FaultPlan, ParallelGridFile
+from repro.parallel.engine.params import validate_params
+from repro.sim import square_queries
+
+
+def _setup(seed=7):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 1000, size=(500, 2))
+    gf = GridFile.from_points(points, [0, 0], [1000, 1000], capacity=20)
+    assignment = make_method("minimax").assign(gf, 8, rng=seed)
+    queries = square_queries(30, 0.08, [0, 0], [1000, 1000], rng=seed)
+    return gf, assignment, queries
+
+
+def _plan():
+    # A crash with no recovery: requests to the dead node time out and are
+    # retried until the node is suspected, producing request.retry events.
+    return FaultPlan(seed=5).node_crash(0.02, node=2)
+
+
+def _retry_events(jitter, max_retries=3):
+    gf, assignment, queries = _setup()
+    params = ClusterParams(
+        replication="chained",
+        request_timeout=0.05,
+        max_retries=max_retries,
+        retry_jitter=jitter,
+    )
+    tracer = Tracer()
+    ParallelGridFile(gf, assignment, 8, params).run_queries(
+        queries, faults=_plan(), tracer=tracer
+    )
+    return [
+        r["attrs"]
+        for r in tracer.records
+        if r.get("name") == "request.retry"
+    ], params
+
+
+def test_zero_jitter_delays_are_exact():
+    events, params = _retry_events(jitter=0.0)
+    assert events, "scenario produced no retries"
+    for ev in events:
+        full = params.retry_backoff * 2.0 ** (ev["attempt"] - 1)
+        assert ev["delay"] == pytest.approx(full, rel=0, abs=0.0)
+
+
+@pytest.mark.parametrize("jitter", [0.25, 1.0])
+def test_jittered_delays_stay_within_envelope(jitter):
+    events, params = _retry_events(jitter=jitter)
+    assert events, "scenario produced no retries"
+    jittered = 0
+    for ev in events:
+        full = params.retry_backoff * 2.0 ** (ev["attempt"] - 1)
+        assert 0.0 < ev["delay"] <= full
+        assert ev["delay"] > (1.0 - jitter) * full - 1e-12
+        if ev["delay"] != full:
+            jittered += 1
+    assert jittered > 0  # the jitter draw is actually applied
+
+
+def test_jittered_run_is_deterministic():
+    a, _ = _retry_events(jitter=0.5)
+    b, _ = _retry_events(jitter=0.5)
+    assert a == b
+
+
+def test_jitter_off_is_bit_identical_to_legacy():
+    """retry_jitter=0.0 must not perturb anything (no extra RNG draws)."""
+    gf, assignment, queries = _setup()
+    plan = _plan()
+    reports = []
+    traces = []
+    for params in (
+        ClusterParams(replication="chained", request_timeout=0.05),
+        ClusterParams(replication="chained", request_timeout=0.05, retry_jitter=0.0),
+    ):
+        tracer = Tracer()
+        rep = ParallelGridFile(gf, assignment, 8, params).run_queries(
+            queries, faults=plan, tracer=tracer
+        )
+        reports.append(rep)
+        traces.append(tracer.records)
+    assert traces[0] == traces[1]
+    assert reports[0].records_returned == reports[1].records_returned
+    np.testing.assert_array_equal(reports[0].latencies, reports[1].latencies)
+
+
+def test_validate_rejects_out_of_range_jitter():
+    with pytest.raises(ValueError):
+        validate_params(ClusterParams(retry_jitter=-0.1))
+    with pytest.raises(ValueError):
+        validate_params(ClusterParams(retry_jitter=1.5))
+    validate_params(ClusterParams(retry_jitter=1.0))

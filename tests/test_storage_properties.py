@@ -1,0 +1,221 @@
+"""Property tests for the storage layer (Hypothesis).
+
+Three angles:
+
+* **WAL prefix consistency** — truncate a log at *any* byte: replay must
+  land exactly on the longest committed prefix, never a mixed state.
+* **Recovery idempotency** — after a crash at any write boundary,
+  recovering twice leaves the same bytes as recovering once (and the
+  second pass finds nothing to redo).
+* **Stateful crash/recover machine** — extends the PR-4 grid-file state
+  machine with a ``crash_and_recover`` action: the reopened durable grid
+  file must always agree with the shadow model, because every operation
+  commits at its boundary.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.gridfile import GridFile
+from repro.storage import (
+    DATA_FILE,
+    REC_HEADER_SIZE,
+    CrashClock,
+    DurableGridFile,
+    FaultyFile,
+    InjectedCrash,
+    StorageEngine,
+    StorageError,
+    WriteAheadLog,
+    default_workload,
+    enumerate_boundaries,
+    pack_page,
+    run_workload,
+)
+
+PAGE = 512
+WAL_PAGE = 128  # page size used by the WAL-level property
+
+OPS = default_workload(n_ops=10)
+
+
+# ---------------------------------------------------------------------------
+# WAL prefix consistency
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(min_value=1, max_value=12), data=st.data())
+def test_wal_truncation_lands_on_committed_prefix(n, data):
+    """Cutting the log at any byte yields exactly the last committed prefix."""
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / "wal.log"
+        images = {}
+        per_txid = []
+        wal = WriteAheadLog(path)
+        for t in range(1, n + 1):
+            pid = (t % 5) + 1
+            image = pack_page(pid, t, b"v%d" % t, page_size=WAL_PAGE)
+            wal.log_page(t, pid, image)
+            wal.commit(t)
+            images[pid] = image
+            per_txid.append(dict(images))
+        wal.close()
+
+        blob = path.read_bytes()
+        rec = 2 * REC_HEADER_SIZE + WAL_PAGE  # PAGE record + COMMIT record
+        assert len(blob) == n * rec
+
+        k = data.draw(st.integers(min_value=0, max_value=len(blob)), label="cut")
+        path.write_bytes(blob[:k])
+        wal = WriteAheadLog(path)
+        replay = wal.replay()
+        wal.close()
+
+        t = k // rec  # txids whose COMMIT record fully survived the cut
+        assert replay.last_txid == t
+        assert replay.images == (per_txid[t - 1] if t else {})
+        assert replay.valid_bytes <= k
+
+
+# ---------------------------------------------------------------------------
+# recovery idempotency after arbitrary crashes
+
+
+@functools.lru_cache(maxsize=1)
+def _crash_boundaries():
+    with tempfile.TemporaryDirectory() as td:
+        return tuple(enumerate_boundaries(OPS, Path(td), page_size=PAGE))
+
+
+@settings(max_examples=25, deadline=None)
+@given(pick=st.integers(min_value=0, max_value=10_000))
+def test_recover_twice_equals_recover_once(pick):
+    boundaries = _crash_boundaries()
+    op_index, phase = boundaries[pick % len(boundaries)]
+    with tempfile.TemporaryDirectory() as td:
+        trial = Path(td) / "trial"
+        clock = CrashClock(crash_op=op_index, phase=phase)
+        try:
+            durable = run_workload(
+                OPS,
+                trial,
+                page_size=PAGE,
+                file_factory=lambda p, m: FaultyFile(p, m, clock=clock),
+            )
+            durable.close()
+        except InjectedCrash:
+            for f in clock.files:
+                f.close()
+
+        try:
+            eng = StorageEngine.open(trial, page_size=PAGE)  # recovery #1
+        except StorageError:
+            return  # crash predates the first commit: nothing to recover
+        eng.close()
+        once = (trial / DATA_FILE).read_bytes()
+
+        eng = StorageEngine.open(trial, page_size=PAGE)  # recovery #2
+        report = eng.recover()  # and an explicit #3 for good measure
+        eng.close()
+        assert (trial / DATA_FILE).read_bytes() == once
+        assert report.pages_restored == 0
+        assert not report.torn_tail
+
+
+# ---------------------------------------------------------------------------
+# stateful machine with a crash/recover action
+
+CAPACITY = 6
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+point = st.tuples(coord, coord)
+
+
+class DurableGridFileMachine(RuleBasedStateMachine):
+    """Random insert/delete/crash/checkpoint sequences against a shadow model."""
+
+    def __init__(self):
+        super().__init__()
+        self.dir = Path(tempfile.mkdtemp(prefix="dgf-machine-"))
+        gf = GridFile.empty([0.0, 0.0], [1.0, 1.0], capacity=CAPACITY, reserve=4)
+        self.durable = DurableGridFile.create(gf, self.dir / "store", page_size=PAGE)
+        self.live: dict[int, tuple[float, float]] = {}
+        self.deleted: set[int] = set()
+
+    def teardown(self):
+        self.durable.close()
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+    # -- operations ---------------------------------------------------------
+
+    @rule(p=point)
+    def insert(self, p):
+        rid = self.durable.insert(np.array(p, dtype=np.float64))
+        assert rid not in self.live and rid not in self.deleted
+        self.live[rid] = p
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def delete(self, data):
+        rid = data.draw(st.sampled_from(sorted(self.live)), label="victim")
+        self.durable.delete(rid)
+        del self.live[rid]
+        self.deleted.add(rid)
+
+    @rule()
+    def checkpoint(self):
+        self.durable.checkpoint()
+
+    @rule()
+    def crash_and_recover(self):
+        """Abandon the store without a checkpoint; recovery must rebuild it."""
+        self.durable.gf.remove_listener(self.durable)
+        self.durable.engine.close()  # simulated kill: no checkpoint, no flush
+        self.durable = DurableGridFile.open(self.dir / "store", page_size=PAGE)
+
+    # -- invariants ---------------------------------------------------------
+
+    @invariant()
+    def structure_is_consistent(self):
+        self.durable.gf.check_invariants()
+
+    @invariant()
+    def matches_shadow_model(self):
+        gf = self.durable.gf
+        assert gf.n_records == len(self.live)
+        assert sorted(gf.live_record_ids().tolist()) == sorted(self.live)
+        assert gf._deleted == self.deleted
+        for rid, p in self.live.items():
+            np.testing.assert_allclose(gf.points[rid], np.array(p))
+
+    @invariant()
+    def store_is_fsck_clean(self):
+        assert self.durable.engine.fsck().ok
+
+
+class TestDurableGridFileStateful(DurableGridFileMachine.TestCase):
+    """Fast tier-1 run."""
+
+    settings = settings(max_examples=10, stateful_step_count=20, deadline=None)
+
+
+@pytest.mark.slow
+class TestDurableGridFileStatefulDeep(DurableGridFileMachine.TestCase):
+    """Deep run for the dedicated CI job (derandomized ``ci`` profile)."""
+
+    settings = settings(
+        max_examples=int(os.environ.get("REPRO_STATEFUL_EXAMPLES", "100")),
+        stateful_step_count=40,
+        deadline=None,
+    )

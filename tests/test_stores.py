@@ -105,3 +105,65 @@ class TestRTreeOnCluster:
         # Same records come back from both structures.
         assert rep_g.records_returned == rep_r.records_returned
         assert rep_g.elapsed_time > 0 and rep_r.elapsed_time > 0
+
+
+class TestDurableStore:
+    def _empty_gf(self):
+        from repro.gridfile import GridFile
+
+        return GridFile.empty([0.0, 0.0], [1.0, 1.0], capacity=8, reserve=16)
+
+    def test_make_store_memory_is_plain(self):
+        from repro.parallel import DurableGridFileStore, make_store
+
+        store = make_store(self._empty_gf())
+        assert isinstance(store, GridFileStore)
+        assert not isinstance(store, DurableGridFileStore)
+
+    def test_make_store_file_requires_path(self):
+        from repro.parallel import make_store
+        from repro.storage import StorageError
+
+        with pytest.raises(StorageError):
+            make_store(self._empty_gf(), backend="file")
+
+    def test_make_store_builds_durable(self, tmp_path):
+        from repro.parallel import DurableGridFileStore, make_store
+
+        gf = self._empty_gf()
+        store = make_store(gf, backend="file", path=tmp_path / "s", page_size=512)
+        assert isinstance(store, DurableGridFileStore)
+        assert store.gf is gf
+        assert store.n_pages == gf.n_buckets
+        store.close()
+
+    def test_durable_store_serves_queries_and_commits(self, tmp_path):
+        from repro.parallel import make_store
+        from repro.storage import DurableGridFile
+
+        gf = self._empty_gf()
+        store = make_store(gf, backend="file", path=tmp_path / "s", page_size=512)
+        rng = np.random.default_rng(2)
+        rids = []
+        for _ in range(25):
+            rids.append(gf.insert_point(rng.random(2)))
+            store.commit_op()
+        lo, hi = np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        assert len(store.query_pages(lo, hi)) == gf.n_buckets
+        assert store.engine.commit_seq > 2
+        store.checkpoint()
+        store.close()
+
+        back = DurableGridFile.open(tmp_path / "s", page_size=512)
+        assert back.gf.n_records == 25
+        back.gf.check_invariants()
+        back.close()
+
+    def test_durable_store_is_a_page_store(self, tmp_path):
+        from repro.parallel import make_store
+
+        store = make_store(
+            self._empty_gf(), backend="file", path=tmp_path / "s", page_size=512
+        )
+        assert as_page_store(store) is store
+        store.close()

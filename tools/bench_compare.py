@@ -8,16 +8,20 @@ timing that regressed by more than the threshold (default 20%).
 Usage::
 
     python tools/bench_compare.py baseline.json current.json [--threshold 0.2]
+        [--exact GLOB ...]
 
 Exit status: 0 when no timing regressed past the threshold, 1 otherwise (2 on
 usage errors).  Keys ending in ``_seconds``/``_ms``/``_time`` are treated as
 "lower is better"; ``speedup`` keys as "higher is better"; everything else is
-reported informationally only.
+reported informationally only — unless its dotted path matches an ``--exact``
+glob, in which case any difference at all is a regression (use this for
+deterministic counters, e.g. ``--exact 'series.*.storage.*'``).
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -45,7 +49,9 @@ def _is_speedup(path: str) -> bool:
     return "speedup" in path.rsplit(".", 1)[-1]
 
 
-def compare(baseline: dict, current: dict, threshold: float) -> "tuple[list[str], list[str]]":
+def compare(
+    baseline: dict, current: dict, threshold: float, exact=()
+) -> "tuple[list[str], list[str]]":
     """Return (report lines, regression lines) for two result payloads."""
     base = _flatten(baseline.get("data", {}))
     curr = _flatten(current.get("data", {}))
@@ -53,6 +59,12 @@ def compare(baseline: dict, current: dict, threshold: float) -> "tuple[list[str]
     regressions: list[str] = []
     for path in sorted(set(base) & set(curr)):
         b, c = base[path], curr[path]
+        if any(fnmatch.fnmatch(path, pat) for pat in exact):
+            mark = "ok" if b == c else "REGRESSED"
+            lines.append(f"  {path}: {b!r} -> {c!r} [exact: {mark}]")
+            if b != c:
+                regressions.append(f"{path} changed: {b!r} -> {c!r}")
+            continue
         if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
             if b != c:
                 lines.append(f"  {path}: {b!r} -> {c!r}")
@@ -87,6 +99,11 @@ def main(argv=None) -> int:
         "--threshold", type=float, default=0.2,
         help="relative regression threshold (default 0.2 = 20%%)",
     )
+    ap.add_argument(
+        "--exact", action="append", default=[], metavar="GLOB",
+        help="dotted-path glob whose keys must match the baseline exactly "
+             "(repeatable; for deterministic counters)",
+    )
     args = ap.parse_args(argv)
 
     try:
@@ -104,7 +121,7 @@ def main(argv=None) -> int:
         meta = payload.get("meta", {})
         print(f"{label:9} : profile={meta.get('profile', '?')} jobs={meta.get('jobs', '?')} "
               f"numpy={meta.get('numpy', '?')}")
-    lines, regressions = compare(baseline, current, args.threshold)
+    lines, regressions = compare(baseline, current, args.threshold, exact=args.exact)
     print("\n".join(lines) if lines else "  (no comparable numeric keys)")
     if regressions:
         print(f"\n{len(regressions)} regression(s) past {args.threshold:.0%}:")
