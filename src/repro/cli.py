@@ -187,6 +187,7 @@ def _engine_params(args, **extra):
         max_inflight=args.max_inflight,
         deadline=args.deadline,
         retry_jitter=args.retry_jitter,
+        des_queue=args.des_queue,
         **extra,
     )
 
@@ -495,6 +496,10 @@ def _add_engine_flags(sp) -> None:
     sp.add_argument("--retry-jitter", type=float, default=0.0,
                     help="full-jitter fraction on retry backoff (0 = deterministic"
                     " legacy delays, 1 = full jitter)")
+    sp.add_argument("--des-queue", default=None,
+                    help="DES pending-event queue (heap | calendar); results are"
+                    " identical, the calendar queue drops the heap's log factor"
+                    " on million-event runs")
 
 
 def build_parser() -> argparse.ArgumentParser:

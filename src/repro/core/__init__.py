@@ -58,6 +58,14 @@ from repro.core.proximity import (
     proximity_matrix,
 )
 from repro.core.registry import available_methods, make_method
+from repro.core.scalable import (
+    ProximityGraph,
+    ScalableMinimax,
+    bulk_assign,
+    knn_graph,
+    scalable_minimax_partition,
+    sfc_order,
+)
 from repro.core.ssp import ShortSpanningPath
 
 __all__ = [
@@ -69,6 +77,12 @@ __all__ = [
     "HCAM",
     "KLRefine",
     "Minimax",
+    "ScalableMinimax",
+    "ProximityGraph",
+    "knn_graph",
+    "sfc_order",
+    "scalable_minimax_partition",
+    "bulk_assign",
     "ShortSpanningPath",
     "MSTDecluster",
     "RandomDecluster",

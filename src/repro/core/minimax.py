@@ -23,6 +23,8 @@ paper's 19 956-bucket 4-d file stays in seconds.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro._util import as_rng, check_positive_int
@@ -31,7 +33,7 @@ from repro.core.proximity import euclidean_similarity, pairwise_rows, proximity_
 from repro.gridfile.gridfile import GridFile
 from repro.obs import GLOBAL_METRICS, PROFILER
 
-__all__ = ["Minimax", "minimax_partition"]
+__all__ = ["Minimax", "minimax_partition", "resolve_cache_bytes", "CACHE_BYTES_ENV"]
 
 _WEIGHTS = {"proximity": proximity_index, "euclidean": euclidean_similarity}
 
@@ -39,6 +41,36 @@ _WEIGHTS = {"proximity": proximity_index, "euclidean": euclidean_similarity}
 #: 256 MiB holds the full matrix for ~5,800 buckets — comfortably above the
 #: paper's 2-d/3-d files, well below its 19,956-bucket 4-d file.
 DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Environment variable overriding the default weight-matrix cache cap.
+CACHE_BYTES_ENV = "REPRO_MINIMAX_CACHE_BYTES"
+
+
+def resolve_cache_bytes(cache_bytes: "int | None") -> int:
+    """Resolve the weight-matrix cache cap: explicit arg > env > default.
+
+    ``None`` consults the ``REPRO_MINIMAX_CACHE_BYTES`` environment knob
+    (an integer byte count; ``0`` disables the cache entirely) and falls
+    back to :data:`DEFAULT_CACHE_BYTES`.  Raises ``ValueError`` on a
+    malformed or negative knob value.
+    """
+    if cache_bytes is not None:
+        cache_bytes = int(cache_bytes)
+        if cache_bytes < 0:
+            raise ValueError(f"cache_bytes must be >= 0, got {cache_bytes}")
+        return cache_bytes
+    raw = os.environ.get(CACHE_BYTES_ENV)
+    if raw is None or raw.strip() == "":
+        return DEFAULT_CACHE_BYTES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{CACHE_BYTES_ENV} must be an integer byte count, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{CACHE_BYTES_ENV} must be >= 0, got {value}")
+    return value
 
 #: Target size of the (block, n, d) broadcast temporaries while filling the
 #: cache — small enough to stay in L2/L3 (large blocks thrash memory and are
@@ -86,7 +118,7 @@ def minimax_partition(
     seeding: str = "random",
     seeds: "np.ndarray | None" = None,
     precompute: "bool | str" = "auto",
-    cache_bytes: int = DEFAULT_CACHE_BYTES,
+    cache_bytes: "int | None" = None,
     rows: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Partition ``n`` boxes over ``n_disks`` with Algorithm 2.
@@ -117,7 +149,9 @@ def minimax_partition(
         ``True`` forces precomputation, ``False`` always streams rows.  The
         result is bit-for-bit identical either way.
     cache_bytes:
-        Memory cap (bytes) for the precomputed matrix under ``"auto"``.
+        Memory cap (bytes) for the precomputed matrix under ``"auto"``;
+        ``None`` (default) consults the ``REPRO_MINIMAX_CACHE_BYTES``
+        environment knob and falls back to :data:`DEFAULT_CACHE_BYTES`.
     rows:
         Optional externally precomputed ``(n, n)`` pairwise weight matrix
         (e.g. shared across the disk counts of a sweep); takes precedence
@@ -150,12 +184,23 @@ def minimax_partition(
             raise ValueError(f"rows must have shape ({n}, {n}), got {cache.shape}")
     elif precompute is True:
         block = max(1, _CACHE_BLOCK_BYTES // max(1, n * lo.shape[1] * 8))
-        cache = pairwise_rows(weight_fn, lo, hi, lengths, block)
+        with PROFILER.phase("minimax.weights"):
+            cache = pairwise_rows(weight_fn, lo, hi, lengths, block)
     elif precompute == "auto":
-        cache = _weight_cache(weight_fn, lo, hi, lengths, int(cache_bytes))
+        with PROFILER.phase("minimax.weights"):
+            cache = _weight_cache(weight_fn, lo, hi, lengths, resolve_cache_bytes(cache_bytes))
+
+    cache_hits = GLOBAL_METRICS.counter("minimax.cache.hits")
+    cache_misses = GLOBAL_METRICS.counter("minimax.cache.misses")
+    weight_rows = GLOBAL_METRICS.counter("minimax.weight_rows")
 
     def weight_row(y: int) -> np.ndarray:
-        return cache[y] if cache is not None else weight_fn(lo[y], hi[y], lo, hi, lengths)
+        if cache is not None:
+            cache_hits.inc()
+            return cache[y]
+        cache_misses.inc()
+        weight_rows.inc()
+        return weight_fn(lo[y], hi[y], lo, hi, lengths)
 
     # Phase 1: seeding.
     if seeds is not None:
@@ -210,7 +255,8 @@ class Minimax(DeclusteringMethod):
         (default) precomputes the pairwise weight matrix blockwise when it
         fits under ``cache_bytes``; assignments are identical either way.
     cache_bytes:
-        Memory cap for the row cache (bytes).
+        Memory cap for the row cache (bytes); ``None`` (default) consults
+        the ``REPRO_MINIMAX_CACHE_BYTES`` environment knob.
 
     Notes
     -----
@@ -226,14 +272,14 @@ class Minimax(DeclusteringMethod):
         weight: str = "proximity",
         seeding: str = "random",
         precompute: "bool | str" = "auto",
-        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        cache_bytes: "int | None" = None,
     ):
         if weight not in _WEIGHTS:
             raise ValueError(f"unknown weight {weight!r}")
         self.weight = weight
         self.seeding = seeding
         self.precompute = precompute
-        self.cache_bytes = int(cache_bytes)
+        self.cache_bytes = resolve_cache_bytes(cache_bytes)
         if weight != "proximity" or seeding != "random":
             self.name = f"MiniMax[{weight},{seeding}]"
         # Memoized (lo, hi, rows) of the last grid file declustered, so a

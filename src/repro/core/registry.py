@@ -8,6 +8,8 @@ Spec grammar (case-insensitive)::
     hcam:zorder/D           HCAM over an alternative curve
     ssp | mst | minimax     proximity/similarity-based
     minimax:euclidean       minimax with the Euclidean ablation weight
+    sminimax                scalable hierarchical minimax (large-N path)
+    sminimax:euclidean      ... with the Euclidean ablation weight
     kl | kl:minimax         Kernighan-Lin refinement of a base method
     random | randomrr       unstructured baselines
 
@@ -88,6 +90,12 @@ def make_method(spec: str) -> DeclusteringMethod:
         if option:
             return Minimax(weight=option)
         return Minimax()
+    if name == "sminimax":
+        from repro.core.scalable import ScalableMinimax  # local import breaks the cycle
+
+        if option:
+            return ScalableMinimax(weight=option)
+        return ScalableMinimax()
     if name == "kl":
         from repro.core.kl import KLRefine  # local import breaks the cycle
 

@@ -1,0 +1,206 @@
+"""Pluggable pending-event queues for the discrete-event simulator.
+
+The DES kernel pops events in strict ``(time, seq)`` order — ``seq`` is the
+insertion counter, so equal-time events fire first-scheduled-first.  Both
+queues here implement exactly that total order, so **event ordering (and
+therefore every simulated result) is identical whichever queue runs**; the
+golden neutrality pins of ``tests/test_engine_neutrality.py`` hold under
+either, and ``tests/test_eventq.py`` checks order-equivalence directly on
+adversarial schedules.
+
+* :class:`HeapEventQueue` — the classic binary heap (``heapq``), O(log n)
+  per operation.  The default.
+* :class:`CalendarEventQueue` — a calendar queue (R. Brown, CACM 1988):
+  events hash by time into an array of day-buckets of width ``w``; pushes
+  bisect into a short sorted bucket and pops scan forward from the current
+  day, giving amortized O(1) per operation when event times are roughly
+  uniform over a bounded horizon — the open-system cluster's arrival
+  pattern.  The bucket count and width resize automatically as the queue
+  grows and shrinks (deterministically: width is estimated from the gaps
+  of the earliest pending events, never from wall-clock or randomness).
+
+Select per simulator (``Simulator(queue="calendar")``), per cluster run
+(``ClusterParams(des_queue="calendar")``), or process-wide with the
+``REPRO_DES_QUEUE`` environment variable.
+
+Queue items are the simulator's ``(time, seq, Event, callback, args)``
+tuples.  Because ``(time, seq)`` is unique, tuple comparison never reaches
+the non-comparable payload — the same property ``heapq`` already relies
+on.  Cancelled events are *not* removed eagerly; the simulator discards
+them at pop time, exactly as with the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from bisect import insort
+
+__all__ = [
+    "HeapEventQueue",
+    "CalendarEventQueue",
+    "EVENT_QUEUES",
+    "make_event_queue",
+    "DES_QUEUE_ENV",
+]
+
+#: Environment variable selecting the process-wide default queue.
+DES_QUEUE_ENV = "REPRO_DES_QUEUE"
+
+
+class HeapEventQueue:
+    """Binary-heap pending-event queue (the legacy default)."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self):
+        self._heap: list = []
+
+    def push(self, item) -> None:
+        heapq.heappush(self._heap, item)
+
+    def peek(self):
+        """The minimum item, or ``None`` when empty (not removed)."""
+        return self._heap[0] if self._heap else None
+
+    def pop(self):
+        """Remove and return the minimum item."""
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self):
+        return iter(self._heap)
+
+
+class CalendarEventQueue:
+    """Calendar-queue pending-event queue (amortized O(1) push/pop).
+
+    Parameters
+    ----------
+    n_buckets:
+        Initial day-bucket count (power of two; grows/shrinks with load).
+    width:
+        Initial day width in simulated seconds (re-estimated on resize).
+    """
+
+    __slots__ = ("_buckets", "_nb", "_width", "_size", "_floor")
+
+    #: Resize thresholds: grow when size > 2·buckets, shrink below ½·buckets.
+    _GROW_FACTOR = 2.0
+    _SHRINK_FACTOR = 0.5
+    #: Events sampled (from the earliest pending) for the width estimate.
+    _SAMPLE = 32
+
+    def __init__(self, n_buckets: int = 4, width: float = 1.0):
+        self._nb = max(2, int(n_buckets))
+        self._width = float(width)
+        self._buckets: list[list] = [[] for _ in range(self._nb)]
+        self._size = 0
+        #: Lower bound on the minimum pending time (the last popped time);
+        #: the pop scan starts from its day.
+        self._floor = 0.0
+
+    # ------------------------------------------------------------- helpers
+
+    def _bucket_of(self, time: float) -> int:
+        return int(time / self._width) % self._nb
+
+    def _resize(self, n_buckets: int) -> None:
+        items = [item for b in self._buckets for item in b]
+        items.sort()
+        # Estimate the new day width as twice the mean gap between the
+        # earliest pending events (Brown's rule of thumb): a day then holds
+        # a handful of events, keeping both the push bisect and the pop
+        # scan O(1).  Fully deterministic — derived from queue state only.
+        head = items[: self._SAMPLE]
+        if len(head) >= 2:
+            span = head[-1][0] - head[0][0]
+            gap = span / (len(head) - 1)
+            width = 2.0 * gap if gap > 0.0 else self._width
+        else:
+            width = self._width
+        self._nb = max(2, int(n_buckets))
+        self._width = max(width, 1e-9)
+        self._buckets = [[] for _ in range(self._nb)]
+        for item in items:
+            # Items arrive pre-sorted, so plain append keeps buckets sorted.
+            self._buckets[self._bucket_of(item[0])].append(item)
+
+    # ----------------------------------------------------------- interface
+
+    def push(self, item) -> None:
+        insort(self._buckets[self._bucket_of(item[0])], item)
+        self._size += 1
+        if item[0] < self._floor:
+            # The simulator admits events a hair (1e-12) in the past; keep
+            # the floor a true lower bound so the pop scan cannot start one
+            # day late and return an out-of-order item.
+            self._floor = item[0]
+        if self._size > self._GROW_FACTOR * self._nb:
+            self._resize(self._nb * 2)
+
+    def _min_bucket(self) -> int:
+        """Index of the bucket holding the minimum item (queue non-empty)."""
+        nb, w = self._nb, self._width
+        day = int(self._floor / w)
+        # Walk at most one full year from the floor's day: the minimum item
+        # lives in the first non-empty bucket whose head falls inside the
+        # day currently mapped to it.
+        for step in range(nb):
+            b = self._buckets[(day + step) % nb]
+            if b and b[0][0] < (day + step + 1) * w:
+                return (day + step) % nb
+        # Sparse regime (next event more than a year ahead): direct search.
+        best = -1
+        for i, b in enumerate(self._buckets):
+            if b and (best < 0 or b[0] < self._buckets[best][0]):
+                best = i
+        return best
+
+    def peek(self):
+        """The minimum item, or ``None`` when empty (not removed)."""
+        if self._size == 0:
+            return None
+        return self._buckets[self._min_bucket()][0]
+
+    def pop(self):
+        """Remove and return the minimum item."""
+        if self._size == 0:
+            raise IndexError("pop from an empty CalendarEventQueue")
+        item = self._buckets[self._min_bucket()].pop(0)
+        self._size -= 1
+        self._floor = item[0]
+        if self._nb > 4 and self._size < self._SHRINK_FACTOR * self._nb:
+            self._resize(self._nb // 2)
+        return item
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self):
+        for b in self._buckets:
+            yield from b
+
+
+EVENT_QUEUES = {
+    "heap": HeapEventQueue,
+    "calendar": CalendarEventQueue,
+}
+
+
+def make_event_queue(name: "str | None"):
+    """Build a pending-event queue by name.
+
+    ``None`` consults the ``REPRO_DES_QUEUE`` environment variable and
+    falls back to ``"heap"`` (the legacy behaviour).
+    """
+    if name is None:
+        name = os.environ.get(DES_QUEUE_ENV) or "heap"
+    try:
+        return EVENT_QUEUES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown event queue {name!r}; choose from {sorted(EVENT_QUEUES)}"
+        ) from None

@@ -1,0 +1,278 @@
+"""Calendar-queue vs heapq order equivalence (`repro.parallel.eventq`).
+
+The DES kernel's contract is a strict ``(time, seq)`` total order.  The
+calendar queue must pop the *identical* sequence the binary heap does —
+on adversarial hand-built schedules, on hypothesis-generated random
+schedules with interleaved pops, through resizes in both directions, and
+on whole cluster runs (bit-identical reports).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.des import Simulator
+from repro.parallel.eventq import (
+    DES_QUEUE_ENV,
+    EVENT_QUEUES,
+    CalendarEventQueue,
+    HeapEventQueue,
+    make_event_queue,
+)
+
+
+def drain_order(queue, times):
+    """Push ``(t, seq)`` items in the given order and pop the full queue."""
+    for seq, t in enumerate(times):
+        queue.push((float(t), seq))
+    return [queue.pop() for _ in range(len(queue))]
+
+
+def both_orders(times):
+    return (
+        drain_order(HeapEventQueue(), times),
+        drain_order(CalendarEventQueue(), times),
+    )
+
+
+class TestOrderEquivalence:
+    def test_simple(self):
+        heap, cal = both_orders([3.0, 1.0, 2.0, 0.5, 2.5])
+        assert heap == cal == sorted(heap)
+
+    def test_equal_times_fifo(self):
+        # Ties on time break by insertion order (seq) in both queues.
+        heap, cal = both_orders([1.0] * 50 + [0.5] * 50 + [1.0] * 50)
+        assert heap == cal
+
+    def test_clustered_and_sparse_mix(self):
+        # Dense burst + far-future stragglers exercises both the day-scan
+        # and the sparse direct-search fallback.
+        times = [0.001 * i for i in range(100)] + [1e6, 2e6, 5e-4]
+        heap, cal = both_orders(times)
+        assert heap == cal
+
+    def test_identical_times_many(self):
+        heap, cal = both_orders([7.25] * 300)
+        assert heap == cal
+
+    def test_interleaved_push_pop(self):
+        rng = np.random.default_rng(7)
+        hq, cq = HeapEventQueue(), CalendarEventQueue()
+        seq = 0
+        floor = 0.0
+        for _ in range(2000):
+            if len(hq) == 0 or rng.random() < 0.6:
+                t = floor + float(rng.exponential(0.01))
+                hq.push((t, seq))
+                cq.push((t, seq))
+                seq += 1
+            else:
+                a, b = hq.pop(), cq.pop()
+                assert a == b
+                floor = a[0]
+        while len(hq):
+            assert hq.pop() == cq.pop()
+        assert len(cq) == 0
+
+    def test_past_tolerance_event(self):
+        # The simulator admits events up to 1e-12 before `now`; after a pop
+        # at time t, a push slightly before t must still come out first.
+        hq, cq = HeapEventQueue(), CalendarEventQueue()
+        for q in (hq, cq):
+            q.push((10.0, 0))
+            q.push((10.5, 1))
+        assert hq.pop() == cq.pop() == (10.0, 0)
+        hq.push((10.0 - 1e-12, 2))
+        cq.push((10.0 - 1e-12, 2))
+        assert hq.pop() == cq.pop() == (10.0 - 1e-12, 2)
+        assert hq.pop() == cq.pop() == (10.5, 1)
+
+    def test_growth_and_shrink_resizes(self):
+        cq = CalendarEventQueue(n_buckets=2, width=1.0)
+        times = [float(i % 97) * 0.013 for i in range(1000)]
+        for seq, t in enumerate(times):
+            cq.push((t, seq))
+        assert cq._nb > 2  # grew
+        out = [cq.pop() for _ in range(len(cq))]
+        assert out == sorted(out)
+        assert cq._nb < 512  # shrank back down while draining
+
+    def test_peek_matches_pop(self):
+        cq = CalendarEventQueue()
+        assert cq.peek() is None
+        for seq, t in enumerate([5.0, 1.0, 3.0]):
+            cq.push((t, seq))
+        while len(cq):
+            assert cq.peek() == cq.pop()
+        with pytest.raises(IndexError):
+            cq.pop()
+
+    def test_iter_yields_all(self):
+        cq = CalendarEventQueue()
+        items = [(float(t), s) for s, t in enumerate([4.0, 2.0, 9.0, 2.0])]
+        for it in items:
+            cq.push(it)
+        assert sorted(cq) == sorted(items)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e7,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=0,
+            max_size=200,
+        )
+    )
+    def test_random_schedules_match_heap(self, times):
+        heap, cal = both_orders(times)
+        assert heap == cal
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+                st.none(),  # None = pop
+            ),
+            max_size=300,
+        )
+    )
+    def test_random_interleavings_match_heap(self, ops):
+        hq, cq = HeapEventQueue(), CalendarEventQueue()
+        seq = 0
+        for op in ops:
+            if op is None:
+                if len(hq) == 0:
+                    continue
+                assert hq.pop() == cq.pop()
+            else:
+                hq.push((op, seq))
+                cq.push((op, seq))
+                seq += 1
+        while len(hq):
+            assert hq.pop() == cq.pop()
+
+
+# ----------------------------------------------------------- simulator glue
+
+
+def _chatty_run(queue):
+    """A run with cancellations, ties and run(until=...) boundaries."""
+    sim = Simulator(queue=queue)
+    fired = []
+
+    def note(tag):
+        fired.append((tag, sim.now))
+
+    def reschedule(tag, delay):
+        fired.append((tag, sim.now))
+        if delay > 1e-4:
+            sim.schedule(delay / 2, reschedule, tag + "'", delay / 2)
+
+    for i in range(20):
+        sim.schedule_at(0.1 * i, note, f"a{i}")
+        sim.schedule_at(0.1 * i, note, f"tie{i}")  # equal-time ties
+    evs = [sim.schedule_at(0.05 + 0.1 * i, note, f"c{i}") for i in range(20)]
+    for ev in evs[::2]:
+        ev.cancel()
+    sim.schedule_at(0.33, reschedule, "r", 0.4)
+    sim.run(until=1.0)
+    sim.schedule_at(1.0, note, "boundary")  # exactly at a past boundary? no: at now
+    sim.run()
+    return fired, sim.now
+
+
+class TestSimulatorEquivalence:
+    def test_fire_sequence_identical(self):
+        heap_fired, heap_now = _chatty_run("heap")
+        cal_fired, cal_now = _chatty_run("calendar")
+        assert heap_fired == cal_fired
+        assert heap_now == cal_now
+
+    def test_pending_counts_cancelled(self):
+        sim = Simulator(queue="calendar")
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        ev.cancel()
+        assert sim.pending == 1
+
+    def test_cluster_run_bit_identical(self, small_gridfile):
+        from repro.core import Minimax
+        from repro.parallel import ClusterParams, ParallelGridFile
+        from repro.sim import square_queries
+
+        gf = small_gridfile
+        disks = 8
+        assignment = Minimax().assign(gf, disks, rng=0)
+        queries = square_queries(60, 0.02, [0, 0], [2000, 2000], rng=3)
+        reports = {
+            q: ParallelGridFile(
+                gf, assignment, disks, ClusterParams(des_queue=q)
+            ).run_queries(queries)
+            for q in ("heap", "calendar")
+        }
+        h, c = reports["heap"], reports["calendar"]
+        assert h.elapsed_time == c.elapsed_time
+        assert h.mean_latency == c.mean_latency
+        assert np.array_equal(h.latencies, c.latencies)
+        assert np.array_equal(h.completion_times, c.completion_times)
+
+    def test_open_run_bit_identical(self, small_gridfile):
+        from repro.core import Minimax
+        from repro.parallel import ClusterParams, ParallelGridFile
+        from repro.sim import square_queries
+
+        gf = small_gridfile
+        disks = 8
+        assignment = Minimax().assign(gf, disks, rng=0)
+        queries = square_queries(80, 0.02, [0, 0], [2000, 2000], rng=4)
+        reports = {
+            q: ParallelGridFile(
+                gf, assignment, disks, ClusterParams(des_queue=q)
+            ).run_open(queries, arrival_rate=800.0, rng=9)
+            for q in ("heap", "calendar")
+        }
+        h, c = reports["heap"], reports["calendar"]
+        assert h.elapsed_time == c.elapsed_time
+        assert np.array_equal(h.latencies, c.latencies)
+
+
+# ---------------------------------------------------------------- factory
+
+
+class TestMakeEventQueue:
+    def test_explicit_names(self):
+        assert isinstance(make_event_queue("heap"), HeapEventQueue)
+        assert isinstance(make_event_queue("calendar"), CalendarEventQueue)
+
+    def test_default_is_heap(self, monkeypatch):
+        monkeypatch.delenv(DES_QUEUE_ENV, raising=False)
+        assert isinstance(make_event_queue(None), HeapEventQueue)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(DES_QUEUE_ENV, "calendar")
+        assert isinstance(make_event_queue(None), CalendarEventQueue)
+        monkeypatch.setenv(DES_QUEUE_ENV, "")  # empty = unset
+        assert isinstance(make_event_queue(None), HeapEventQueue)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown event queue"):
+            make_event_queue("splay")
+
+    def test_registry_complete(self):
+        assert set(EVENT_QUEUES) == {"heap", "calendar"}
+
+    def test_params_validation(self):
+        from repro.parallel import ClusterParams
+        from repro.parallel.engine.params import validate_params
+
+        with pytest.raises(ValueError, match="unknown des_queue"):
+            validate_params(ClusterParams(des_queue="bogus"))
+        validate_params(ClusterParams(des_queue="calendar"))
