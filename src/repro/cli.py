@@ -477,6 +477,74 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_sql(args) -> int:
+    from repro.sql import SqlEngine, SqlError
+
+    if args.store != "memory" and args.store_path is None:
+        print(f"--store {args.store} requires --store-path", file=sys.stderr)
+        return 2
+    try:
+        engine = SqlEngine(
+            n_disks=args.disks,
+            params=_engine_params(args),
+            placement=args.placement,
+            store_backend=args.store,
+            store_path=args.store_path,
+            wal_sync=args.wal_sync,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def run(text: str) -> int:
+        try:
+            results = engine.execute_script(text)
+        except SqlError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for res in results:
+            if res.kind == "select":
+                for row in res.rows:
+                    print("\t".join(repr(v) for v in row))
+                print(f"-- {res.rowcount} row(s)")
+                if args.verbose and res.plan is not None:
+                    print(res.plan.explain(), file=sys.stderr)
+            else:
+                print(f"-- {res.text}" if res.text else f"-- {res.kind} ok")
+        return 0
+
+    if args.execute is not None:
+        return run(args.execute)
+    if args.file is not None:
+        try:
+            text = open(args.file, encoding="utf-8").read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return run(text)
+
+    # REPL: accumulate lines until a statement-terminating semicolon.
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print("repro sql — end statements with ';', Ctrl-D to exit")
+    buffer = ""
+    while True:
+        if interactive:
+            sys.stderr.write("sql> " if not buffer else "...> ")
+            sys.stderr.flush()
+        line = sys.stdin.readline()
+        if not line:
+            break
+        buffer += line
+        if ";" in line:
+            run(buffer)  # errors are reported and the session continues
+            buffer = ""
+    if buffer.strip():
+        run(buffer)
+    return 0
+
+
 def _add_engine_flags(sp) -> None:
     """Attach the request-pipeline engine knobs to a subparser.
 
@@ -634,6 +702,29 @@ def build_parser() -> argparse.ArgumentParser:
     tdiff.add_argument("a", help="baseline trace path")
     tdiff.add_argument("b", help="comparison trace path")
 
+    q = sub.add_parser(
+        "sql",
+        help="SQL front end: REPL, one-shot (-e) or script (-f) over live "
+        "declustered tables",
+    )
+    q.add_argument("-e", "--execute", default=None, metavar="SQL",
+                   help="execute one SQL string and exit")
+    q.add_argument("-f", "--file", default=None, metavar="PATH",
+                   help="execute a ;-separated SQL script file and exit")
+    q.add_argument("--disks", type=int, default=4, help="cluster size (disks)")
+    q.add_argument("--placement", default="rr-least-loaded",
+                   help="online placement policy for buckets born from splits")
+    q.add_argument("--store", default="memory", choices=["memory", "file", "mmap"],
+                   help="per-table storage backend")
+    q.add_argument("--store-path", default=None,
+                   help="directory for file/mmap table stores")
+    q.add_argument("--wal-sync", default="commit",
+                   choices=["commit", "checkpoint", "off"],
+                   help="WAL durability mode for file/mmap stores")
+    q.add_argument("-v", "--verbose", action="store_true",
+                   help="print each SELECT's plan (EXPLAIN) to stderr")
+    _add_engine_flags(q)
+
     r = sub.add_parser("report", help="run every experiment into a markdown report")
     r.add_argument("output", help="output .md path")
     r.add_argument("--full", action="store_true", help="full (paper-scale) profile")
@@ -670,6 +761,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "fsck":
         return _cmd_fsck(args)
+    if args.command == "sql":
+        return _cmd_sql(args)
     if args.command == "report":
         from repro.experiments.runall import write_full_report
 

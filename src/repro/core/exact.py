@@ -79,7 +79,12 @@ def exact_optimal_assignment(
     n_q = len(bucket_lists)
     counts = np.zeros((n_q, m), dtype=np.int64)
     remaining = np.array([bl.size for bl in bucket_lists], dtype=np.int64)
-    cap = -(-len(active) // m) if balanced else len(active)
+    # The balance cap is ⌈N/M⌉ over ALL buckets, not ⌈active/M⌉: buckets
+    # touched by no query still occupy disk slots, so they can absorb the
+    # slack and let the active buckets skew further than ⌈active/M⌉ while
+    # the file as a whole stays balanced.  (The least-loaded fill below
+    # keeps every disk at ≤ ⌈N/M⌉ afterwards.)
+    cap = -(-n_buckets // m) if balanced else n_buckets
     load = np.zeros(m, dtype=np.int64)
 
     best_value = np.inf

@@ -188,6 +188,10 @@ class GridFile:
         """Number of records deleted since construction."""
         return len(self._deleted)
 
+    def is_live(self, rid: int) -> bool:
+        """Whether record ``rid`` exists and has not been deleted."""
+        return 0 <= rid < self._n and rid not in self._deleted
+
     def live_record_ids(self) -> np.ndarray:
         """Ids of all live (non-deleted) records, ascending."""
         if not self._deleted:

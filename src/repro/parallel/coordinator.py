@@ -151,8 +151,18 @@ class Coordinator:
         return out
 
     def plan(self, query_id: int, query: RangeQuery) -> QueryPlan:
-        """Translate a query into per-node block requests."""
-        bids = self.store.query_pages(query.lo, query.hi)
+        """Translate a query into per-node block requests.
+
+        Queries that already carry a resolved page set (the SQL planner's
+        :class:`repro.sql.plan.RoutedQuery` — e.g. the R-tree access path
+        fetches only match-holding buckets) are honoured as-is; plain
+        queries resolve against the store, the legacy behaviour.
+        """
+        page_ids = getattr(query, "page_ids", None)
+        if page_ids is not None:
+            bids = np.asarray(page_ids, dtype=np.int64)
+        else:
+            bids = self.store.query_pages(query.lo, query.hi)
         disks = self.assignment[bids]
         blocks_per_disk = np.bincount(disks, minlength=self.n_disks)
 

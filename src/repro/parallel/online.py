@@ -285,12 +285,21 @@ class _OnlineDriver:
             rid = -1
             payload = self.params.header_bytes + self.params.record_bytes
         else:
-            live = self.gf.live_record_ids()
-            if live.size == 0:
-                self.n_noop_deletes += 1
-                self.sim.schedule_at(cpu_end, self._write_done, op)
-                return
-            rid = int(live[min(int(op.delete_rank * live.size), live.size - 1)])
+            if op.record_id is not None:
+                # Targeted delete (the SQL engine resolved the victim
+                # against the live structure at plan time).
+                rid = int(op.record_id)
+                if not self.gf.is_live(rid):
+                    self.n_noop_deletes += 1
+                    self.sim.schedule_at(cpu_end, self._write_done, op)
+                    return
+            else:
+                live = self.gf.live_record_ids()
+                if live.size == 0:
+                    self.n_noop_deletes += 1
+                    self.sim.schedule_at(cpu_end, self._write_done, op)
+                    return
+                rid = int(live[min(int(op.delete_rank * live.size), live.size - 1)])
             cell = self.gf.scales.locate(self.gf.points[rid])
             payload = self.params.header_bytes + self.params.bucket_id_bytes
         bid = self.gf.directory.bucket_at(cell)

@@ -34,9 +34,12 @@ class Operation:
     ``"delete"``.  Deletes carry a rank in ``[0, 1)`` instead of a record
     id: the record actually deleted is chosen at *execution* time as the
     live record with that fractional rank, because at generation time the
-    engine cannot know which ids will exist.  ``time`` is the arrival
-    instant when the workload was generated with an arrival process
-    (``None`` = closed back-to-back stream).
+    engine cannot know which ids will exist.  Callers that *do* know the
+    target (the SQL engine's ``DELETE``, which resolves its predicate
+    against the live structure first) may set ``record_id`` instead; a
+    record id that is no longer live at execution time is a no-op delete.
+    ``time`` is the arrival instant when the workload was generated with
+    an arrival process (``None`` = closed back-to-back stream).
     """
 
     kind: str
@@ -44,6 +47,7 @@ class Operation:
     point: "np.ndarray | None" = None
     delete_rank: float = 0.0
     time: "float | None" = None
+    record_id: "int | None" = None
 
 
 def mixed_workload(

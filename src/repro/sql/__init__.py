@@ -1,0 +1,35 @@
+"""SQL front end: tokenizer, parser, cost-based planner, executors.
+
+The public surface:
+
+* :func:`repro.sql.parse_script` / :func:`repro.sql.parse_statement` —
+  text to typed statements (:mod:`repro.sql.ast`), every failure a
+  :class:`repro.sql.SqlError` with line/column.
+* :class:`repro.sql.SqlEngine` — executes statements against live
+  declustered grid files through the cluster simulator (reads via the
+  request pipeline, writes via the online engine).
+* :class:`repro.sql.NaiveDatabase` — the brute-force differential
+  oracle the test suite holds the engine against.
+
+See ``docs/sql.md`` for the grammar and the cost model.
+"""
+
+from repro.sql.ast import unparse
+from repro.sql.engine import SqlEngine, StatementResult
+from repro.sql.errors import SqlError
+from repro.sql.naive import NaiveDatabase, NaiveResult
+from repro.sql.parser import parse_script, parse_statement
+from repro.sql.plan import RoutedQuery, SelectPlan
+
+__all__ = [
+    "SqlError",
+    "SqlEngine",
+    "StatementResult",
+    "NaiveDatabase",
+    "NaiveResult",
+    "RoutedQuery",
+    "SelectPlan",
+    "parse_script",
+    "parse_statement",
+    "unparse",
+]

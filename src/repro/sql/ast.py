@@ -1,0 +1,181 @@
+"""Typed logical statements — the parser's output, the planner's input.
+
+Every node is a frozen dataclass carrying the source position of its first
+token (for post-parse binding errors) and can be rendered back to SQL with
+:func:`unparse`.  The fuzzer's round-trip property is
+``parse(unparse(parse(text))) == parse(text)`` — unparsing is canonical
+(upper-case keywords, ``repr`` floats), so a re-parse reproduces the exact
+same tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ColumnDef",
+    "Comparison",
+    "Between",
+    "Nearest",
+    "CreateTable",
+    "Insert",
+    "Delete",
+    "Select",
+    "Explain",
+    "Statement",
+    "unparse",
+]
+
+#: Comparison operators in their SQL spelling.
+COMPARISON_OPS = ("<=", ">=", "=", "<", ">", "!=")
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """``name REAL(lo, hi)`` — a real-valued column over a closed domain."""
+
+    name: str
+    lo: float
+    hi: float
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column op value`` with ``op`` one of ``< <= > >= = !=``."""
+
+    column: str
+    op: str
+    value: float
+    line: int = field(default=1, compare=False)
+    column_no: int = field(default=1, compare=False)
+
+
+@dataclass(frozen=True)
+class Between:
+    """``column BETWEEN lo AND hi`` (closed on both ends, as in SQL)."""
+
+    column: str
+    lo: float
+    hi: float
+    line: int = field(default=1, compare=False)
+    column_no: int = field(default=1, compare=False)
+
+
+#: A predicate is a Comparison or a Between; WHERE is their conjunction.
+Predicate = "Comparison | Between"
+
+
+@dataclass(frozen=True)
+class Nearest:
+    """``NEAREST k TO (x, y, ...)`` — a k-nearest-neighbour clause."""
+
+    k: int
+    point: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """``CREATE TABLE name (cols...) USING idx[, idx] [CAPACITY n]``."""
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+    indexes: tuple[str, ...]  # subset of ("gridfile", "rtree"), ordered
+    capacity: "int | None" = None
+    line: int = field(default=1, compare=False)
+    column_no: int = field(default=1, compare=False)
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``INSERT INTO name VALUES (..), (..)``."""
+
+    table: str
+    rows: tuple[tuple[float, ...], ...]
+    line: int = field(default=1, compare=False)
+    column_no: int = field(default=1, compare=False)
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``DELETE FROM name [WHERE ...]``."""
+
+    table: str
+    where: tuple = ()
+    line: int = field(default=1, compare=False)
+    column_no: int = field(default=1, compare=False)
+
+
+@dataclass(frozen=True)
+class Select:
+    """``SELECT cols FROM name [WHERE ...] [NEAREST k TO (...)]``.
+
+    ``columns = ()`` means ``*``.  ``where`` and ``nearest`` are mutually
+    exclusive (enforced by the parser).
+    """
+
+    table: str
+    columns: tuple[str, ...] = ()
+    where: tuple = ()
+    nearest: "Nearest | None" = None
+    line: int = field(default=1, compare=False)
+    column_no: int = field(default=1, compare=False)
+
+
+@dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN select`` — plan the query, skip execution."""
+
+    select: Select
+    line: int = field(default=1, compare=False)
+    column_no: int = field(default=1, compare=False)
+
+
+Statement = (CreateTable, Insert, Delete, Select, Explain)
+
+
+def _num(v: float) -> str:
+    """Canonical numeric literal: ``repr`` round-trips the float exactly."""
+    return repr(float(v))
+
+
+def _predicate(p) -> str:
+    if isinstance(p, Between):
+        return f"{p.column} BETWEEN {_num(p.lo)} AND {_num(p.hi)}"
+    return f"{p.column} {p.op} {_num(p.value)}"
+
+
+def _where(preds) -> str:
+    return " WHERE " + " AND ".join(_predicate(p) for p in preds) if preds else ""
+
+
+def _row(values) -> str:
+    return "(" + ", ".join(_num(v) for v in values) + ")"
+
+
+def unparse(stmt) -> str:
+    """Render a statement back to canonical SQL (no trailing semicolon)."""
+    if isinstance(stmt, CreateTable):
+        cols = ", ".join(
+            f"{c.name} REAL({_num(c.lo)}, {_num(c.hi)})" for c in stmt.columns
+        )
+        using = ", ".join(idx.upper() for idx in stmt.indexes)
+        cap = f" CAPACITY {stmt.capacity}" if stmt.capacity is not None else ""
+        return f"CREATE TABLE {stmt.name} ({cols}) USING {using}{cap}"
+    if isinstance(stmt, Insert):
+        rows = ", ".join(_row(r) for r in stmt.rows)
+        return f"INSERT INTO {stmt.table} VALUES {rows}"
+    if isinstance(stmt, Delete):
+        return f"DELETE FROM {stmt.table}{_where(stmt.where)}"
+    if isinstance(stmt, Select):
+        cols = ", ".join(stmt.columns) if stmt.columns else "*"
+        near = (
+            f" NEAREST {stmt.nearest.k} TO {_row(stmt.nearest.point)}"
+            if stmt.nearest is not None
+            else ""
+        )
+        return f"SELECT {cols} FROM {stmt.table}{_where(stmt.where)}{near}"
+    if isinstance(stmt, Explain):
+        return f"EXPLAIN {unparse(stmt.select)}"
+    raise TypeError(f"cannot unparse {type(stmt).__name__}")
+
+

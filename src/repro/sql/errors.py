@@ -1,0 +1,33 @@
+"""The SQL front end's single error type.
+
+Every failure the front end can produce — a stray character in the lexer, a
+grammar violation in the parser, an unknown table or column in the binder,
+an unexecutable statement in the engine — is raised as :class:`SqlError`
+carrying a 1-based ``line`` / ``column`` position.  The malformed-input
+fuzzer (``tests/test_sql_fuzz.py``) asserts this contract: no input, however
+mangled, may escape as a raw ``ValueError``/``IndexError`` traceback.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SqlError"]
+
+
+class SqlError(ValueError):
+    """A typed SQL front-end error with a source position.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description (without the position prefix).
+    line, column:
+        1-based source position the error points at.  Errors raised after
+        parsing (binding/execution) reuse the position of the statement's
+        offending token.
+    """
+
+    def __init__(self, message: str, line: int = 1, column: int = 1):
+        self.message = str(message)
+        self.line = int(line)
+        self.column = int(column)
+        super().__init__(f"line {self.line}:{self.column}: {self.message}")

@@ -1,0 +1,117 @@
+"""Hand-written tokenizer for the SQL subset.
+
+Produces a flat list of :class:`Token` objects with 1-based line/column
+positions (so parser errors can point at their source), terminated by a
+single ``EOF`` token.  Keywords are case-insensitive and normalized to
+upper case; identifiers keep their spelling; numeric literals are parsed
+with ``float`` (``repr`` round-trips exactly, which the parse → unparse →
+parse property relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.errors import SqlError
+
+__all__ = ["Token", "KEYWORDS", "tokenize"]
+
+#: Reserved words of the grammar (upper-cased token values of kind KEYWORD).
+KEYWORDS = frozenset(
+    {
+        "CREATE", "TABLE", "USING", "GRIDFILE", "RTREE", "CAPACITY", "REAL",
+        "INSERT", "INTO", "VALUES", "DELETE", "FROM", "SELECT", "WHERE",
+        "AND", "BETWEEN", "NEAREST", "TO", "EXPLAIN",
+    }
+)
+
+#: Two-character operators must be matched before their one-char prefixes.
+_TWO_CHAR = ("<=", ">=", "!=")
+_ONE_CHAR = set("()*,;<>=")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` is ``KEYWORD``, ``IDENT``, ``NUMBER``,
+    ``OP`` or ``EOF``; ``value`` is the normalized text (a ``float`` for
+    numbers)."""
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        """Human-readable rendering for error messages."""
+        if self.kind == "EOF":
+            return "end of input"
+        return f"{self.value!r}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SqlError` on an illegal character."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if text.startswith("--", i):  # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_col = col
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_."):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, line, start_col))
+            else:
+                tokens.append(Token("IDENT", word, line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch.isdigit() or ch == "." or (
+            ch in "+-" and i + 1 < n and (text[i + 1].isdigit() or text[i + 1] == ".")
+        ):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] in ".eE"):
+                # Exponent sign: only directly after e/E.
+                if text[j] in "eE" and j + 1 < n and text[j + 1] in "+-":
+                    j += 2
+                else:
+                    j += 1
+            word = text[i:j]
+            try:
+                value = float(word)
+            except ValueError:
+                raise SqlError(f"bad numeric literal {word!r}", line, start_col) from None
+            tokens.append(Token("NUMBER", value, line, start_col))
+            col += j - i
+            i = j
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token("OP", two, line, start_col))
+            i += 2
+            col += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token("OP", ch, line, start_col))
+            i += 1
+            col += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r}", line, start_col)
+    tokens.append(Token("EOF", None, line, col))
+    return tokens

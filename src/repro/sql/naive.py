@@ -1,0 +1,208 @@
+"""Brute-force differential oracle for the SQL engine.
+
+A :class:`NaiveDatabase` executes the same parsed statements as
+:class:`repro.sql.engine.SqlEngine` against plain Python dictionaries —
+no grid file, no R-tree, no planner, no cluster.  Record ids are assigned
+exactly like the grid file does (sequential on insert, never reused), so
+the differential tests can compare *record-id sets*, not just row values.
+
+The oracle intentionally re-implements the SQL semantics from scratch
+(closed ``BETWEEN``, strict ``<``/``>``, ``!=``, Euclidean ``NEAREST k``
+with ties broken by ascending record id) so a bug in the engine's shared
+helpers cannot hide in both executors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.sql.ast import (
+    Between,
+    CreateTable,
+    Delete,
+    Explain,
+    Insert,
+    Select,
+)
+from repro.sql.errors import SqlError
+from repro.sql.parser import parse_script
+
+__all__ = ["NaiveResult", "NaiveDatabase"]
+
+
+@dataclass
+class NaiveResult:
+    """Result of one statement: matching record ids + projected rows."""
+
+    kind: str
+    table: "str | None" = None
+    record_ids: list = field(default_factory=list)
+    rows: list = field(default_factory=list)  # tuples of floats, projected
+    rowcount: int = 0
+
+
+@dataclass
+class _Table:
+    columns: tuple
+    rows: dict = field(default_factory=dict)  # rid -> tuple of floats
+    next_rid: int = 0
+
+
+class NaiveDatabase:
+    """Reference executor: correct by inspection, slow by design."""
+
+    def __init__(self):
+        self.tables: dict[str, _Table] = {}
+
+    # ------------------------------------------------------------ helpers
+    def _table(self, name: str, line: int, col: int) -> _Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SqlError(f"unknown table {name!r}", line, col) from None
+
+    @staticmethod
+    def _dim(table: _Table, pred) -> int:
+        names = [c.name for c in table.columns]
+        if pred.column not in names:
+            raise SqlError(
+                f"unknown column {pred.column!r}", pred.line, pred.column_no
+            )
+        return names.index(pred.column)
+
+    def _matches(self, table: _Table, where, row: tuple) -> bool:
+        for pred in where:
+            v = row[self._dim(table, pred)]
+            if isinstance(pred, Between):
+                ok = pred.lo <= v <= pred.hi
+            elif pred.op == "<":
+                ok = v < pred.value
+            elif pred.op == "<=":
+                ok = v <= pred.value
+            elif pred.op == ">":
+                ok = v > pred.value
+            elif pred.op == ">=":
+                ok = v >= pred.value
+            elif pred.op == "=":
+                ok = v == pred.value
+            else:  # "!="
+                ok = v != pred.value
+            if not ok:
+                return False
+        return True
+
+    @staticmethod
+    def _project(table: _Table, columns: tuple, row: tuple) -> tuple:
+        if not columns:
+            return row
+        names = [c.name for c in table.columns]
+        out = []
+        for col in columns:
+            if col not in names:
+                raise SqlError(f"unknown column {col!r} in SELECT list")
+            out.append(row[names.index(col)])
+        return tuple(out)
+
+    # ------------------------------------------------------------ execute
+    def execute(self, stmt) -> NaiveResult:
+        if isinstance(stmt, CreateTable):
+            if stmt.name in self.tables:
+                raise SqlError(
+                    f"table {stmt.name!r} already exists", stmt.line, stmt.column_no
+                )
+            self.tables[stmt.name] = _Table(columns=stmt.columns)
+            return NaiveResult(kind="create", table=stmt.name)
+
+        if isinstance(stmt, Insert):
+            table = self._table(stmt.table, stmt.line, stmt.column_no)
+            d = len(table.columns)
+            rids = []
+            for row in stmt.rows:
+                if len(row) != d:
+                    raise SqlError(
+                        f"INSERT row has {len(row)} values, table "
+                        f"{stmt.table!r} has {d} columns",
+                        stmt.line,
+                        stmt.column_no,
+                    )
+                for col, v in zip(table.columns, row):
+                    if not col.lo <= v <= col.hi:
+                        raise SqlError(
+                            f"value {v!r} outside column {col.name!r} domain "
+                            f"[{col.lo!r}, {col.hi!r}]",
+                            stmt.line,
+                            stmt.column_no,
+                        )
+                table.rows[table.next_rid] = tuple(float(v) for v in row)
+                rids.append(table.next_rid)
+                table.next_rid += 1
+            return NaiveResult(
+                kind="insert", table=stmt.table, record_ids=rids, rowcount=len(rids)
+            )
+
+        if isinstance(stmt, Delete):
+            table = self._table(stmt.table, stmt.line, stmt.column_no)
+            victims = [
+                rid
+                for rid, row in table.rows.items()
+                if self._matches(table, stmt.where, row)
+            ]
+            for rid in victims:
+                del table.rows[rid]
+            victims.sort()
+            return NaiveResult(
+                kind="delete",
+                table=stmt.table,
+                record_ids=victims,
+                rowcount=len(victims),
+            )
+
+        if isinstance(stmt, Select):
+            table = self._table(stmt.table, stmt.line, stmt.column_no)
+            if stmt.nearest is not None:
+                point = stmt.nearest.point
+                if len(point) != len(table.columns):
+                    raise SqlError(
+                        f"NEAREST point has {len(point)} coordinates, table "
+                        f"has {len(table.columns)} columns",
+                        stmt.line,
+                        stmt.column_no,
+                    )
+                ranked = sorted(
+                    table.rows.items(),
+                    key=lambda kv: (
+                        math.dist(kv[1], point),
+                        kv[0],
+                    ),
+                )[: stmt.nearest.k]
+                rids = [rid for rid, _ in ranked]
+                rows = [self._project(table, stmt.columns, row) for _, row in ranked]
+            else:
+                matched = sorted(
+                    rid
+                    for rid, row in table.rows.items()
+                    if self._matches(table, stmt.where, row)
+                )
+                rids = matched
+                rows = [
+                    self._project(table, stmt.columns, table.rows[rid])
+                    for rid in matched
+                ]
+            return NaiveResult(
+                kind="select",
+                table=stmt.table,
+                record_ids=rids,
+                rows=rows,
+                rowcount=len(rids),
+            )
+
+        if isinstance(stmt, Explain):
+            # The oracle has no planner; EXPLAIN degrades to a no-op.
+            return NaiveResult(kind="explain", table=stmt.select.table)
+
+        raise SqlError(f"cannot execute {type(stmt).__name__}")
+
+    def execute_script(self, text: str) -> list[NaiveResult]:
+        """Parse and execute a script, returning one result per statement."""
+        return [self.execute(stmt) for stmt in parse_script(text)]

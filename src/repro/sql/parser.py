@@ -1,0 +1,301 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (EBNF, also in ``docs/sql.md``)::
+
+    script     = statement { ";" statement } [ ";" ] EOF ;
+    statement  = create | insert | delete | select | explain ;
+    create     = "CREATE" "TABLE" ident "(" coldef { "," coldef } ")"
+                 "USING" index { "," index } [ "CAPACITY" integer ] ;
+    coldef     = ident "REAL" "(" number "," number ")" ;
+    index      = "GRIDFILE" | "RTREE" ;
+    insert     = "INSERT" "INTO" ident "VALUES" row { "," row } ;
+    row        = "(" number { "," number } ")" ;
+    delete     = "DELETE" "FROM" ident [ where ] ;
+    select     = "SELECT" ( "*" | ident { "," ident } ) "FROM" ident
+                 [ where ] [ "NEAREST" integer "TO" row ] ;
+    where      = "WHERE" predicate { "AND" predicate } ;
+    predicate  = ident ( op number | "BETWEEN" number "AND" number ) ;
+    op         = "<" | "<=" | ">" | ">=" | "=" | "!=" ;
+    explain    = "EXPLAIN" select ;
+
+All errors are :class:`SqlError` with the offending token's line/column.
+``WHERE`` and ``NEAREST`` are mutually exclusive on a ``SELECT``.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    COMPARISON_OPS,
+    Between,
+    ColumnDef,
+    Comparison,
+    CreateTable,
+    Delete,
+    Explain,
+    Insert,
+    Nearest,
+    Select,
+)
+from repro.sql.errors import SqlError
+from repro.sql.lexer import Token, tokenize
+
+__all__ = ["parse_script", "parse_statement"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, message: str, tok: "Token | None" = None) -> SqlError:
+        tok = tok if tok is not None else self.cur
+        return SqlError(message, tok.line, tok.column)
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def at_keyword(self, word: str) -> bool:
+        return self.cur.kind == "KEYWORD" and self.cur.value == word
+
+    def at_op(self, op: str) -> bool:
+        return self.cur.kind == "OP" and self.cur.value == op
+
+    def accept_op(self, op: str) -> bool:
+        if self.at_op(op):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.at_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.at_keyword(word):
+            raise self.error(f"expected {word}, found {self.cur.describe()}")
+        return self.advance()
+
+    def expect_op(self, op: str) -> Token:
+        if not self.at_op(op):
+            raise self.error(f"expected {op!r}, found {self.cur.describe()}")
+        return self.advance()
+
+    def expect_ident(self, what: str) -> Token:
+        if self.cur.kind != "IDENT":
+            raise self.error(f"expected {what}, found {self.cur.describe()}")
+        return self.advance()
+
+    def expect_number(self, what: str = "number") -> float:
+        if self.cur.kind != "NUMBER":
+            raise self.error(f"expected {what}, found {self.cur.describe()}")
+        return float(self.advance().value)
+
+    def expect_integer(self, what: str) -> int:
+        tok = self.cur
+        value = self.expect_number(what)
+        if value != int(value) or value <= 0:
+            raise self.error(f"{what} must be a positive integer, got {value!r}", tok)
+        return int(value)
+
+    # -- grammar ----------------------------------------------------------
+    def script(self) -> list:
+        statements = []
+        while True:
+            while self.accept_op(";"):
+                pass
+            if self.cur.kind == "EOF":
+                return statements
+            statements.append(self.statement())
+            if self.cur.kind == "EOF":
+                return statements
+            self.expect_op(";")
+
+    def statement(self):
+        if self.at_keyword("CREATE"):
+            return self.create_table()
+        if self.at_keyword("INSERT"):
+            return self.insert()
+        if self.at_keyword("DELETE"):
+            return self.delete()
+        if self.at_keyword("SELECT"):
+            return self.select()
+        if self.at_keyword("EXPLAIN"):
+            tok = self.advance()
+            if not self.at_keyword("SELECT"):
+                raise self.error("EXPLAIN supports only SELECT statements")
+            return Explain(self.select(), line=tok.line, column_no=tok.column)
+        raise self.error(f"expected a statement, found {self.cur.describe()}")
+
+    def create_table(self) -> CreateTable:
+        tok = self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        name = self.expect_ident("table name").value
+        self.expect_op("(")
+        columns = [self.column_def()]
+        while self.accept_op(","):
+            columns.append(self.column_def())
+        self.expect_op(")")
+        self.expect_keyword("USING")
+        indexes = [self.index_name()]
+        while self.accept_op(","):
+            indexes.append(self.index_name())
+        if len(set(indexes)) != len(indexes):
+            raise self.error("duplicate index in USING clause", tok)
+        capacity = None
+        if self.accept_keyword("CAPACITY"):
+            capacity = self.expect_integer("CAPACITY")
+        seen = set()
+        for col in columns:
+            if col.name in seen:
+                raise self.error(f"duplicate column {col.name!r}", tok)
+            seen.add(col.name)
+        return CreateTable(
+            name=name,
+            columns=tuple(columns),
+            indexes=tuple(indexes),
+            capacity=capacity,
+            line=tok.line,
+            column_no=tok.column,
+        )
+
+    def column_def(self) -> ColumnDef:
+        name_tok = self.expect_ident("column name")
+        self.expect_keyword("REAL")
+        self.expect_op("(")
+        lo = self.expect_number("domain lower bound")
+        self.expect_op(",")
+        hi = self.expect_number("domain upper bound")
+        self.expect_op(")")
+        if not hi > lo:
+            raise self.error(
+                f"column {name_tok.value!r} domain is empty: REAL({lo!r}, {hi!r})",
+                name_tok,
+            )
+        return ColumnDef(name=name_tok.value, lo=lo, hi=hi)
+
+    def index_name(self) -> str:
+        if self.at_keyword("GRIDFILE") or self.at_keyword("RTREE"):
+            return self.advance().value.lower()
+        raise self.error(f"expected GRIDFILE or RTREE, found {self.cur.describe()}")
+
+    def insert(self) -> Insert:
+        tok = self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident("table name").value
+        self.expect_keyword("VALUES")
+        rows = [self.row()]
+        while self.accept_op(","):
+            rows.append(self.row())
+        widths = {len(r) for r in rows}
+        if len(widths) != 1:
+            raise self.error("INSERT rows have inconsistent arity", tok)
+        return Insert(table=table, rows=tuple(rows), line=tok.line, column_no=tok.column)
+
+    def row(self) -> tuple:
+        self.expect_op("(")
+        values = [self.expect_number()]
+        while self.accept_op(","):
+            values.append(self.expect_number())
+        self.expect_op(")")
+        return tuple(values)
+
+    def delete(self) -> Delete:
+        tok = self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident("table name").value
+        where = self.where_clause()
+        return Delete(table=table, where=where, line=tok.line, column_no=tok.column)
+
+    def select(self) -> Select:
+        tok = self.expect_keyword("SELECT")
+        if self.accept_op("*"):
+            columns: tuple = ()
+        else:
+            cols = [self.expect_ident("column name").value]
+            while self.accept_op(","):
+                cols.append(self.expect_ident("column name").value)
+            columns = tuple(cols)
+        self.expect_keyword("FROM")
+        table = self.expect_ident("table name").value
+        where = self.where_clause()
+        nearest = None
+        if self.at_keyword("NEAREST"):
+            near_tok = self.advance()
+            if where:
+                raise self.error("WHERE and NEAREST cannot be combined", near_tok)
+            k = self.expect_integer("NEAREST k")
+            self.expect_keyword("TO")
+            nearest = Nearest(k=k, point=self.row())
+        return Select(
+            table=table,
+            columns=columns,
+            where=where,
+            nearest=nearest,
+            line=tok.line,
+            column_no=tok.column,
+        )
+
+    def where_clause(self) -> tuple:
+        if not self.accept_keyword("WHERE"):
+            return ()
+        preds = [self.predicate()]
+        while self.accept_keyword("AND"):
+            preds.append(self.predicate())
+        return tuple(preds)
+
+    def predicate(self):
+        col_tok = self.expect_ident("column name")
+        if self.accept_keyword("BETWEEN"):
+            lo = self.expect_number()
+            self.expect_keyword("AND")
+            hi = self.expect_number()
+            return Between(
+                column=col_tok.value,
+                lo=lo,
+                hi=hi,
+                line=col_tok.line,
+                column_no=col_tok.column,
+            )
+        if self.cur.kind == "OP" and self.cur.value in COMPARISON_OPS:
+            op = self.advance().value
+            value = self.expect_number()
+            return Comparison(
+                column=col_tok.value,
+                op=op,
+                value=value,
+                line=col_tok.line,
+                column_no=col_tok.column,
+            )
+        raise self.error(
+            f"expected a comparison operator or BETWEEN, found {self.cur.describe()}"
+        )
+
+
+def parse_script(text: str) -> list:
+    """Parse a ``;``-separated script into a list of statements."""
+    return _Parser(tokenize(text)).script()
+
+
+def parse_statement(text: str):
+    """Parse exactly one statement; trailing input is an error."""
+    parser = _Parser(tokenize(text))
+    while parser.accept_op(";"):
+        pass
+    stmt = parser.statement()
+    while parser.accept_op(";"):
+        pass
+    if parser.cur.kind != "EOF":
+        raise parser.error(
+            f"unexpected input after statement: {parser.cur.describe()}"
+        )
+    return stmt

@@ -55,6 +55,35 @@ def test_exact_glob_match_is_clean(tmp_path):
     assert rc == 0
 
 
+def test_exact_key_missing_on_either_side_is_regression():
+    base = _payload(series=[{"storage.commits": 10, "storage.wal.fsyncs": 3}])
+    curr = _payload(series=[{"storage.commits": 10, "storage.checkpoints": 1}])
+    lines, regressions = bench_compare.compare(
+        base, curr, threshold=0.05, exact=["series.*.storage.*"]
+    )
+    # Both the vanished and the newly-appeared counter are regressions.
+    assert "series.0.storage.wal.fsyncs only in baseline: 3" in regressions
+    assert "series.0.storage.checkpoints only in current: 1" in regressions
+    assert len(regressions) == 2
+
+
+def test_all_mismatched_keys_are_reported():
+    base = _payload(series=[{f"k{i}": i for i in range(20)}])
+    curr = _payload(series=[{}])
+    lines, _ = bench_compare.compare(base, curr, threshold=0.05)
+    # Every one-sided key is listed individually — no truncation.
+    for i in range(20):
+        assert any(f"series.0.k{i}:" in ln for ln in lines)
+
+
+def test_non_exact_one_sided_keys_are_informational():
+    base = _payload(extra_column=5)
+    curr = _payload()
+    lines, regressions = bench_compare.compare(base, curr, threshold=0.05)
+    assert not regressions
+    assert any("only in baseline" in ln for ln in lines)
+
+
 def test_main_usage_error_on_missing_file(tmp_path):
     rc = bench_compare.main([str(tmp_path / "nope.json"), str(tmp_path / "nope2.json")])
     assert rc == 2

@@ -1,0 +1,173 @@
+"""Golden neutrality pins for the SQL front end.
+
+The SQL layer must be a *pure routing layer*: a fixed SQL script driven
+through the cluster yields cluster reports byte-for-byte identical to the
+equivalent hand-built workload (same inserts through
+:class:`OnlineCluster`, same boxes as :class:`RangeQuery` through
+:class:`ParallelGridFile`).  Canonical-JSON sha256 over the full report
+payloads — the same pin discipline as ``tests/test_engine_neutrality.py``.
+
+If the identity breaks, SQL execution perturbed the simulation (extra
+metrics in the per-run registry, a different page set, a reordered
+request) — that is a bug, not drift to re-pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.gridfile import GridFile
+from repro.gridfile.query import RangeQuery
+from repro.parallel import ClusterParams, OnlineCluster, ParallelGridFile
+from repro.parallel.stores import make_store
+from repro.sim.workload import Operation
+from repro.sql import SqlEngine
+
+pytestmark = pytest.mark.sql
+
+N_DISKS = 4
+CAPACITY = 20
+DOMAIN_LO, DOMAIN_HI = [0.0, 0.0], [1000.0, 1000.0]
+#: Closed query boxes (x_lo, x_hi, y_lo, y_hi); small enough that the
+#: planner picks the gridfile path for every one of them.
+BOXES = [
+    (10.0, 60.0, 10.0, 60.0),
+    (200.0, 280.0, 640.0, 720.0),
+    (500.0, 540.0, 0.0, 1000.0),
+    (900.0, 990.0, 900.0, 990.0),
+    (333.0, 366.0, 333.0, 366.0),
+]
+
+
+def _points(n=600, seed=42):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1000.0, size=(n, 2))
+
+
+def _script():
+    rows = ", ".join(f"({float(x)!r}, {float(y)!r})" for x, y in _points())
+    selects = "".join(
+        f"SELECT * FROM pts WHERE x BETWEEN {a!r} AND {b!r} "
+        f"AND y BETWEEN {c!r} AND {d!r};"
+        for a, b, c, d in BOXES
+    )
+    return (
+        "CREATE TABLE pts (x REAL(0.0, 1000.0), y REAL(0.0, 1000.0)) "
+        f"USING GRIDFILE CAPACITY {CAPACITY};"
+        f"INSERT INTO pts VALUES {rows};" + selects
+    )
+
+
+def _sha(obj) -> str:
+    canon = json.dumps(obj, sort_keys=True, separators=(",", ":"), default=float)
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def _perf_data(p) -> dict:
+    return {
+        "n_queries": p.n_queries,
+        "n_nodes": p.n_nodes,
+        "n_disks": p.n_disks,
+        "blocks_fetched": p.blocks_fetched,
+        "blocks_requested_total": p.blocks_requested_total,
+        "blocks_read": p.blocks_read,
+        "comm_time": p.comm_time,
+        "elapsed_time": p.elapsed_time,
+        "records_returned": p.records_returned,
+        "cache_hit_rate": p.cache_hit_rate,
+        "completion": p.completion_times.tolist(),
+        "latencies": p.latencies.tolist(),
+        "disk_util": p.disk_utilization.tolist(),
+        "timeouts": p.timeouts,
+        "retries": p.retries,
+        "failovers": p.failovers,
+        "messages_lost": p.messages_lost,
+        "aborted": p.aborted_queries,
+        "metrics": p.metrics,
+    }
+
+
+def _online_data(r) -> dict:
+    return {
+        "perf": _perf_data(r.perf),
+        "n_ops": r.n_ops,
+        "n_inserts": r.n_inserts,
+        "n_deletes": r.n_deletes,
+        "n_splits": r.n_splits,
+        "n_merges": r.n_merges,
+        "policy_moves": r.policy_moves,
+        "final_buckets": r.final_buckets,
+        "final_records": r.final_records,
+    }
+
+
+@pytest.fixture(scope="module")
+def sql_run():
+    eng = SqlEngine(n_disks=N_DISKS)
+    results = eng.execute_script(_script())
+    return eng, results
+
+
+@pytest.fixture(scope="module")
+def hand_run():
+    """The same workload with no SQL anywhere near it."""
+    gf = GridFile.empty(DOMAIN_LO, DOMAIN_HI, capacity=CAPACITY)
+    store = make_store(gf, backend="memory")
+    assignment = np.zeros(gf.n_buckets, dtype=np.int64)
+    ops = [
+        Operation(kind="insert", point=np.asarray(row, dtype=np.float64))
+        for row in _points()
+    ]
+    cluster = OnlineCluster(
+        store,
+        assignment,
+        N_DISKS,
+        params=ClusterParams(),
+        placement="rr-least-loaded",
+        seed=1996,
+    )
+    online = cluster.run(ops)
+    assignment = np.asarray(cluster.pgf.coordinator.assignment, dtype=np.int64)
+    queries = [
+        RangeQuery(np.array([a, c]), np.array([b, d])) for a, b, c, d in BOXES
+    ]
+    perf = ParallelGridFile(store, assignment, N_DISKS, ClusterParams()).run_queries(
+        queries
+    )
+    return online, perf
+
+
+def test_planner_picked_gridfile_for_every_box(sql_run):
+    _, results = sql_run
+    selects = [r for r in results if r.kind == "select"]
+    assert len(selects) == len(BOXES)
+    assert all(r.plan.chosen == "gridfile" for r in selects)
+    # The batch shared one cluster run.
+    assert all(r.perf is selects[0].perf for r in selects)
+    assert selects[0].perf.n_queries == len(BOXES)
+
+
+def test_select_batch_report_identical_to_hand_built_workload(sql_run, hand_run):
+    _, results = sql_run
+    _, hand_perf = hand_run
+    sql_perf = next(r for r in results if r.kind == "select").perf
+    assert _sha(_perf_data(sql_perf)) == _sha(_perf_data(hand_perf))
+
+
+def test_insert_report_identical_to_hand_built_online_run(sql_run, hand_run):
+    _, results = sql_run
+    hand_online, _ = hand_run
+    sql_online = next(r for r in results if r.kind == "insert").online
+    assert _sha(_online_data(sql_online)) == _sha(_online_data(hand_online))
+
+
+def test_sql_run_is_deterministic(sql_run):
+    _, results = sql_run
+    again = SqlEngine(n_disks=N_DISKS).execute_script(_script())
+    first = next(r for r in results if r.kind == "select").perf
+    second = next(r for r in again if r.kind == "select").perf
+    assert _sha(_perf_data(first)) == _sha(_perf_data(second))

@@ -1,0 +1,161 @@
+"""Lexer/parser unit tests: grammar, round-trips, error positions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import SqlError, parse_script, parse_statement, unparse
+from repro.sql.ast import Between, Comparison, CreateTable, Delete, Explain, Insert, Select
+from repro.sql.lexer import tokenize
+
+pytestmark = pytest.mark.sql
+
+
+# ----------------------------------------------------------------- lexer
+
+
+def test_tokenize_positions_and_kinds():
+    toks = tokenize("SELECT *\nFROM t1  -- comment\nWHERE x <= 1.5e2;")
+    kinds = [(t.kind, t.value) for t in toks]
+    assert kinds == [
+        ("KEYWORD", "SELECT"),
+        ("OP", "*"),
+        ("KEYWORD", "FROM"),
+        ("IDENT", "t1"),
+        ("KEYWORD", "WHERE"),
+        ("IDENT", "x"),
+        ("OP", "<="),
+        ("NUMBER", 150.0),
+        ("OP", ";"),
+        ("EOF", None),
+    ]
+    where = toks[4]
+    assert (where.line, where.column) == (3, 1)
+    num = toks[7]
+    assert (num.line, num.column) == (3, 12)
+
+
+def test_tokenize_signed_and_scientific_numbers():
+    toks = tokenize("(-1.5, +2, 3e-2, .5)")
+    nums = [t.value for t in toks if t.kind == "NUMBER"]
+    assert nums == [-1.5, 2.0, 0.03, 0.5]
+
+
+def test_tokenize_keywords_case_insensitive():
+    toks = tokenize("select Select SELECT sELeCt")
+    assert all(t.kind == "KEYWORD" and t.value == "SELECT" for t in toks[:-1])
+
+
+def test_tokenize_illegal_character_position():
+    with pytest.raises(SqlError) as exc:
+        tokenize("SELECT * FROM t WHERE x @ 1")
+    assert exc.value.line == 1
+    assert exc.value.column == 25
+
+
+# ---------------------------------------------------------------- parser
+
+
+def test_parse_create_table_full():
+    stmt = parse_statement(
+        "CREATE TABLE pts (x REAL(0, 100), y REAL(-5, 5)) "
+        "USING GRIDFILE, RTREE CAPACITY 16"
+    )
+    assert isinstance(stmt, CreateTable)
+    assert stmt.name == "pts"
+    assert [c.name for c in stmt.columns] == ["x", "y"]
+    assert stmt.columns[1].lo == -5.0 and stmt.columns[1].hi == 5.0
+    assert stmt.indexes == ("gridfile", "rtree")
+    assert stmt.capacity == 16
+
+
+def test_parse_insert_multi_row():
+    stmt = parse_statement("INSERT INTO t VALUES (1, 2), (3, 4)")
+    assert isinstance(stmt, Insert)
+    assert stmt.rows == ((1.0, 2.0), (3.0, 4.0))
+
+
+def test_parse_select_where_and_between():
+    stmt = parse_statement(
+        "SELECT x, y FROM t WHERE x BETWEEN 1 AND 2 AND y >= 0 AND x != 1.5"
+    )
+    assert isinstance(stmt, Select)
+    assert stmt.columns == ("x", "y")
+    assert isinstance(stmt.where[0], Between)
+    assert isinstance(stmt.where[1], Comparison) and stmt.where[1].op == ">="
+    assert stmt.where[2].op == "!="
+
+
+def test_parse_select_nearest():
+    stmt = parse_statement("SELECT * FROM t NEAREST 5 TO (10, 20)")
+    assert stmt.nearest.k == 5
+    assert stmt.nearest.point == (10.0, 20.0)
+
+
+def test_parse_delete_and_explain():
+    d = parse_statement("DELETE FROM t WHERE x < 3")
+    assert isinstance(d, Delete) and len(d.where) == 1
+    e = parse_statement("EXPLAIN SELECT * FROM t")
+    assert isinstance(e, Explain)
+
+
+def test_parse_script_multiple_statements_and_empty_statements():
+    stmts = parse_script("; ;SELECT * FROM a;;DELETE FROM b;")
+    assert [type(s) for s in stmts] == [Select, Delete]
+
+
+@pytest.mark.parametrize(
+    "text, fragment",
+    [
+        ("SELECT FROM t", "expected"),
+        ("SELECT * t", "expected FROM"),
+        ("CREATE TABLE t (x REAL(1, 1)) USING GRIDFILE", "domain is empty"),
+        ("CREATE TABLE t (x REAL(0, 1), x REAL(0, 1)) USING GRIDFILE", "duplicate column"),
+        ("CREATE TABLE t (x REAL(0, 1)) USING GRIDFILE, GRIDFILE", "duplicate index"),
+        ("CREATE TABLE t (x REAL(0, 1)) USING BTREE", "GRIDFILE or RTREE"),
+        ("CREATE TABLE t (x REAL(0, 1)) USING GRIDFILE CAPACITY 0", "positive integer"),
+        ("INSERT INTO t VALUES (1), (1, 2)", "inconsistent arity"),
+        ("SELECT * FROM t WHERE x BETWEEN 1", "expected AND"),
+        ("SELECT * FROM t WHERE x", "comparison operator or BETWEEN"),
+        ("SELECT * FROM t WHERE x < 1 NEAREST 2 TO (0)", "cannot be combined"),
+        ("SELECT * FROM t NEAREST 2.5 TO (0)", "positive integer"),
+        ("EXPLAIN DELETE FROM t", "only SELECT"),
+        ("SELECT * FROM t extra", "unexpected input after statement"),
+        ("", "expected a statement"),
+    ],
+)
+def test_parse_errors_are_sql_errors(text, fragment):
+    with pytest.raises(SqlError) as exc:
+        parse_statement(text)
+    assert fragment.lower() in str(exc.value).lower()
+    assert exc.value.line >= 1 and exc.value.column >= 1
+
+
+def test_parse_error_points_at_offending_token():
+    with pytest.raises(SqlError) as exc:
+        parse_script("SELECT * FROM t;\nSELECT * WHERE")
+    assert exc.value.line == 2
+    assert exc.value.column == 10  # the WHERE where FROM was expected
+
+
+# ------------------------------------------------------------ round-trip
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "CREATE TABLE t (x REAL(0.0, 1.5), y REAL(-2.0, 2.0)) USING GRIDFILE, RTREE CAPACITY 8",
+        "INSERT INTO t VALUES (0.1, 0.2), (0.3, 0.4)",
+        "DELETE FROM t WHERE x BETWEEN 0.1 AND 0.9 AND y != 0.5",
+        "SELECT * FROM t",
+        "SELECT x FROM t WHERE x <= 0.25 AND y > 0.1",
+        "SELECT * FROM t NEAREST 3 TO (0.5, 0.5)",
+        "EXPLAIN SELECT y, x FROM t WHERE x = 0.75",
+    ],
+)
+def test_unparse_round_trip(text):
+    stmt = parse_statement(text)
+    rendered = unparse(stmt)
+    assert parse_statement(rendered) == stmt
+    # Canonical output is a fixed point.
+    assert unparse(parse_statement(rendered)) == rendered

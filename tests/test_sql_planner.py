@@ -1,0 +1,155 @@
+"""Planner tests: the R(q) cost model picks each access path where it is
+predicted cheapest, EXPLAIN renders the decision, and routed queries carry
+their resolved page sets into the coordinator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.coordinator import Coordinator
+from repro.sql import SqlEngine, SqlError, parse_statement
+from repro.sql.plan import RoutedQuery, bound_box, predicate_mask
+
+pytestmark = pytest.mark.sql
+
+N_DISKS = 4
+
+
+@pytest.fixture(scope="module")
+def loaded_engine():
+    """2,000 uniform points in a GRIDFILE+RTREE table (one-time build)."""
+    rng = np.random.default_rng(7)
+    pts = rng.uniform(0, 100, size=(2000, 2))
+    rows = ", ".join(f"({float(x)!r}, {float(y)!r})" for x, y in pts)
+    eng = SqlEngine(n_disks=N_DISKS)
+    eng.execute_script(
+        "CREATE TABLE pts (x REAL(0, 100), y REAL(0, 100)) "
+        f"USING GRIDFILE, RTREE CAPACITY 8; INSERT INTO pts VALUES {rows};"
+    )
+    return eng
+
+
+def _plan(eng, sql):
+    return eng.execute(parse_statement("EXPLAIN " + sql)).plan
+
+
+def test_small_range_picks_gridfile(loaded_engine):
+    plan = _plan(
+        loaded_engine,
+        "SELECT * FROM pts WHERE x BETWEEN 40 AND 42 AND y BETWEEN 40 AND 42",
+    )
+    assert plan.chosen == "gridfile"
+    ests = plan.estimates
+    assert set(ests) == {"gridfile", "rtree", "scan"}
+    assert ests["gridfile"].total_s == min(e.total_s for e in ests.values())
+
+
+def test_equality_partial_match_picks_rtree(loaded_engine):
+    plan = _plan(loaded_engine, "SELECT * FROM pts WHERE x = 50.0")
+    assert plan.chosen == "rtree"
+    # The grid directory must fetch the whole slab; the R-tree only buckets
+    # holding actual matches — far fewer expected pages.
+    assert plan.estimates["rtree"].est_pages < plan.estimates["gridfile"].est_pages
+
+
+def test_full_table_picks_scan(loaded_engine):
+    plan = _plan(loaded_engine, "SELECT * FROM pts")
+    assert plan.chosen == "scan"
+    # Scan pays no lookup/plan CPU; the index paths fetch the same pages.
+    assert plan.estimates["scan"].cpu_s == 0.0
+
+
+def test_knn_plans_and_fetches_owning_buckets(loaded_engine):
+    plan = _plan(loaded_engine, "SELECT * FROM pts NEAREST 5 TO (50, 50)")
+    assert plan.chosen in ("gridfile", "rtree")
+    assert plan.record_ids.size == 5
+    assert 1 <= plan.page_ids.size <= 5
+
+
+def test_explain_text_shows_all_paths(loaded_engine):
+    res = loaded_engine.execute(parse_statement("EXPLAIN SELECT * FROM pts WHERE x < 1"))
+    for token in ("access path:", "gridfile", "rtree", "scan", "total=", "fetch:"):
+        assert token in res.text
+
+
+def test_gridfile_only_table_never_plans_rtree():
+    eng = SqlEngine(n_disks=N_DISKS)
+    eng.execute_script(
+        "CREATE TABLE g (x REAL(0, 10)) USING GRIDFILE;"
+        "INSERT INTO g VALUES (1), (2), (3);"
+    )
+    plan = _plan(eng, "SELECT * FROM g WHERE x <= 2")
+    assert set(plan.estimates) == {"gridfile", "scan"}
+
+
+def test_unsatisfiable_conjunction_plans_empty_fetch(loaded_engine):
+    plan = _plan(loaded_engine, "SELECT * FROM pts WHERE x < 10 AND x > 90")
+    assert plan.page_ids.size == 0
+    assert plan.record_ids.size == 0
+
+
+def test_unknown_column_in_where_is_positioned_sql_error(loaded_engine):
+    with pytest.raises(SqlError) as exc:
+        _plan(loaded_engine, "SELECT * FROM pts WHERE z < 1")
+    assert "unknown column 'z'" in str(exc.value)
+    assert exc.value.column > 1
+
+
+def test_nearest_arity_mismatch_is_sql_error(loaded_engine):
+    with pytest.raises(SqlError, match="coordinates"):
+        _plan(loaded_engine, "SELECT * FROM pts NEAREST 2 TO (1, 2, 3)")
+
+
+# ------------------------------------------------------- building blocks
+
+
+def test_bound_box_intersects_predicates():
+    stmt = parse_statement(
+        "SELECT * FROM t WHERE x BETWEEN 2 AND 8 AND x < 6 AND y >= 3 AND y != 4"
+    )
+    cols = parse_statement(
+        "CREATE TABLE t (x REAL(0, 10), y REAL(0, 10)) USING GRIDFILE"
+    ).columns
+    lo, hi, empty = bound_box(cols, stmt.where)
+    assert not empty
+    assert lo.tolist() == [2.0, 3.0]
+    assert hi.tolist() == [6.0, 10.0]
+
+
+def test_predicate_mask_strict_and_boundary_semantics():
+    cols = parse_statement(
+        "CREATE TABLE t (x REAL(0, 10)) USING GRIDFILE"
+    ).columns
+    coords = np.array([[1.0], [2.0], [3.0]])
+    where = parse_statement("SELECT * FROM t WHERE x < 2").where
+    assert predicate_mask(where, cols, coords).tolist() == [True, False, False]
+    where = parse_statement("SELECT * FROM t WHERE x BETWEEN 1 AND 2").where
+    assert predicate_mask(where, cols, coords).tolist() == [True, True, False]
+    where = parse_statement("SELECT * FROM t WHERE x != 2").where
+    assert predicate_mask(where, cols, coords).tolist() == [True, False, True]
+
+
+def test_routed_query_page_ids_override_store_resolution(small_gridfile):
+    assignment = np.arange(small_gridfile.n_buckets) % N_DISKS
+    coord = Coordinator(small_gridfile, assignment, N_DISKS)
+    routed = RoutedQuery(
+        np.array([0.0, 0.0]), np.array([2000.0, 2000.0]), page_ids=(0, 1)
+    )
+    plan = coord.plan(0, routed)
+    fetched = np.concatenate([r.bucket_ids for r in plan.requests])
+    assert sorted(fetched.tolist()) == [0, 1]
+    # An empty pre-resolved page set produces an empty plan, not a scan.
+    empty = RoutedQuery(np.array([0.0, 0.0]), np.array([1.0, 1.0]), page_ids=())
+    assert coord.plan(1, empty).requests == []
+
+
+def test_planner_counters_land_in_engine_metrics(loaded_engine):
+    _plan(loaded_engine, "SELECT * FROM pts WHERE x BETWEEN 40 AND 41 AND y BETWEEN 40 AND 41")
+    _plan(loaded_engine, "SELECT * FROM pts WHERE y = 12.5")
+    _plan(loaded_engine, "SELECT * FROM pts")
+    snap = loaded_engine.metrics.snapshot()
+    counters = snap["counters"]
+    assert counters["sql.plan.pick.gridfile"] >= 1
+    assert counters["sql.plan.pick.rtree"] >= 1
+    assert counters["sql.plan.pick.scan"] >= 1

@@ -16,6 +16,10 @@ usage errors).  Keys ending in ``_seconds``/``_ms``/``_time`` are treated as
 reported informationally only — unless its dotted path matches an ``--exact``
 glob, in which case any difference at all is a regression (use this for
 deterministic counters, e.g. ``--exact 'series.*.storage.*'``).
+
+Every mismatched key is reported.  Keys present in only one of the two
+files are listed individually; when such a key matches an ``--exact`` glob
+its disappearance (or appearance) is itself flagged as a regression.
 """
 
 from __future__ import annotations
@@ -57,7 +61,22 @@ def compare(
     curr = _flatten(current.get("data", {}))
     lines: list[str] = []
     regressions: list[str] = []
-    for path in sorted(set(base) & set(curr)):
+    for path in sorted(set(base) | set(curr)):
+        if path not in base or path not in curr:
+            # A key present on only one side is a structural difference.
+            # Under an --exact glob that is a regression in its own right
+            # (a deterministic counter vanished or appeared); otherwise
+            # it is reported informationally.  Every such key is listed.
+            side = "baseline" if path in base else "current"
+            value = base.get(path, curr.get(path))
+            if any(fnmatch.fnmatch(path, pat) for pat in exact):
+                lines.append(
+                    f"  {path}: only in {side} ({value!r}) [exact: REGRESSED]"
+                )
+                regressions.append(f"{path} only in {side}: {value!r}")
+            else:
+                lines.append(f"  {path}: only in {side} ({value!r}) [info]")
+            continue
         b, c = base[path], curr[path]
         if any(fnmatch.fnmatch(path, pat) for pat in exact):
             mark = "ok" if b == c else "REGRESSED"
@@ -84,10 +103,6 @@ def compare(
                 regressions.append(f"{path} dropped {rel:+.1%}")
         elif abs(rel) > threshold:
             lines.append(f"  {path}: {b:.6g} -> {c:.6g} ({rel:+.1%}) [info]")
-    missing = sorted(set(base) - set(curr))
-    if missing:
-        lines.append(f"  (keys only in baseline: {', '.join(missing[:8])}"
-                     + (" ..." if len(missing) > 8 else "") + ")")
     return lines, regressions
 
 
