@@ -381,6 +381,71 @@ def _cmd_online_sim(args) -> int:
     return 0
 
 
+def _cmd_autoscale_sim(args) -> int:
+    from repro.parallel import AutoscaleCluster, AutoscaleParams, ScalePlan
+    from repro.sim import flash_crowd_queries
+
+    ds = load(args.name, rng=args.seed)
+    gf = build_gridfile(ds)
+    method = make_method(args.method)
+    assignment = method.assign(gf, args.disks, rng=args.seed)
+    queries = flash_crowd_queries(
+        args.queries, args.ratio, ds.domain_lo, ds.domain_hi,
+        start=args.crowd_start, duration=args.crowd_duration,
+        intensity=args.crowd_intensity, width=args.crowd_width,
+        rng=args.seed,
+    )
+    plan = ScalePlan()
+    for t in args.join or []:
+        plan.join(t)
+    for t in args.leave or []:
+        plan.leave(t)
+    try:
+        autoscale = AutoscaleParams(
+            policy=args.policy,
+            budget=args.budget,
+            alpha=args.alpha,
+            interval=args.interval,
+            add_heat=args.add_heat,
+            evict_heat=args.evict_heat,
+            min_dwell=args.min_dwell,
+        )
+        params = _engine_params(
+            args, autoscale=autoscale,
+            cache_blocks=args.cache_blocks, pipeline_depth=args.pipeline_depth,
+        )
+        cluster = AutoscaleCluster(
+            gf, assignment, args.disks, params,
+            plan=plan if plan.sorted_events() else None,
+            pool_disks=args.pool_disks,
+            seed=args.seed,
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rep = cluster.run(queries)
+    print(f"dataset            : {ds.name} ({gf.stats()})")
+    print(f"method             : {method.name}, disks={args.disks} "
+          f"(pool {rep.pool_disks})")
+    print(f"policy             : {args.policy}, budget={args.budget}, "
+          f"alpha={args.alpha}, interval={args.interval}")
+    print(f"workload           : {args.queries} queries (r={args.ratio}), "
+          f"flash crowd [{args.crowd_start}, "
+          f"{args.crowd_start + args.crowd_duration}) "
+          f"intensity {args.crowd_intensity}")
+    print(f"membership         : {rep.n_disks_start} -> {rep.n_disks_end} disks "
+          f"({rep.joins} joins, {rep.leaves} leaves)")
+    print(f"replication        : {rep.replicas_created} created, "
+          f"{rep.replicas_evicted} evicted, peak {rep.peak_replicas}, "
+          f"final {rep.final_replicas}")
+    print(f"movement           : {rep.moves} bucket moves, {rep.promotions} "
+          f"promotions, {rep.blocks_copied} blocks copied")
+    print(f"control steps      : {rep.control_steps}")
+    print(f"availability       : {rep.perf.availability:.4f}")
+    _print_perf(rep.perf)
+    return 0
+
+
 def _cmd_fsck(args) -> int:
     from pathlib import Path
 
@@ -663,6 +728,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fsync the WAL on every commit, or only at checkpoints")
     _add_engine_flags(o)
 
+    a = sub.add_parser(
+        "autoscale-sim",
+        help="flash-crowd run with popularity-driven replication and "
+        "elastic membership",
+    )
+    a.add_argument("name", choices=sorted(DATASETS))
+    a.add_argument("--method", default="minimax", help="method spec (see `list`)")
+    a.add_argument("--disks", type=int, default=8, help="active disks at start")
+    a.add_argument("--pool-disks", type=int, default=None,
+                   help="provisioned pool (>= --disks; default: sized to the plan)")
+    a.add_argument("--policy", default="heat-replicate",
+                   help="autoscale policy (null | static | heat-replicate)")
+    a.add_argument("--budget", type=int, default=8,
+                   help="replica storage budget (buckets)")
+    a.add_argument("--alpha", type=float, default=0.6,
+                   help="EWMA smoothing for the heat tracker (0, 1]")
+    a.add_argument("--interval", type=int, default=4,
+                   help="control-loop period (completed queries per tick)")
+    a.add_argument("--add-heat", type=float, default=2.0,
+                   help="replicate buckets whose score exceeds this watermark")
+    a.add_argument("--evict-heat", type=float, default=0.25,
+                   help="evict replicas whose score falls below this watermark")
+    a.add_argument("--min-dwell", type=int, default=4,
+                   help="ticks a replica survives after creation (anti-thrash)")
+    a.add_argument("--join", type=float, action="append", metavar="T",
+                   help="activate one pool disk at time T (repeatable)")
+    a.add_argument("--leave", type=float, action="append", metavar="T",
+                   help="drain one active disk at time T (repeatable)")
+    a.add_argument("--ratio", type=float, default=0.01, help="query volume ratio r")
+    a.add_argument("--queries", type=int, default=500)
+    a.add_argument("--crowd-start", type=float, default=0.2,
+                   help="crowd onset (fraction of the query stream)")
+    a.add_argument("--crowd-duration", type=float, default=0.6,
+                   help="crowd length (fraction of the query stream)")
+    a.add_argument("--crowd-intensity", type=float, default=0.95,
+                   help="fraction of crowd-window queries aimed at the hot spot")
+    a.add_argument("--crowd-width", type=float, default=0.01,
+                   help="hot-spot spread (fraction of the domain extent)")
+    a.add_argument("--cache-blocks", type=int, default=0,
+                   help="per-node LRU cache (blocks); 0 keeps the crowd disk-bound")
+    a.add_argument("--pipeline-depth", type=int, default=8,
+                   help="closed-loop concurrency (queries in flight)")
+    _add_engine_flags(a)
+
     fs = sub.add_parser(
         "fsck", help="verify (and optionally repair) a durable store's pages"
     )
@@ -757,6 +866,8 @@ def main(argv=None) -> int:
         return _cmd_fault_sim(args)
     if args.command == "online-sim":
         return _cmd_online_sim(args)
+    if args.command == "autoscale-sim":
+        return _cmd_autoscale_sim(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "fsck":

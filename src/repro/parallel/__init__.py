@@ -18,6 +18,14 @@ depend on the cost model at all.
 """
 
 from repro._util.lru import LRUCache
+from repro.parallel.autoscale import (
+    AUTOSCALE_POLICIES,
+    AutoscaleCluster,
+    AutoscaleParams,
+    AutoscaleReport,
+    ScalePlan,
+    make_autoscale_policy,
+)
 from repro.parallel.cluster import ClusterParams, LoadReport, ParallelGridFile, PerfReport
 from repro.parallel.des import Event, Resource, Simulator
 from repro.parallel.engine import (
@@ -72,4 +80,10 @@ __all__ = [
     "OnlineCluster",
     "OnlineReport",
     "DegradationMonitor",
+    "AutoscaleParams",
+    "AutoscaleCluster",
+    "AutoscaleReport",
+    "ScalePlan",
+    "AUTOSCALE_POLICIES",
+    "make_autoscale_policy",
 ]

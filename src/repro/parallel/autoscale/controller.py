@@ -1,0 +1,480 @@
+"""Pure replication/membership controller — no simulator, no clock.
+
+:class:`AutoscaleController` is the decision core of the autoscaler,
+deliberately decoupled from the discrete-event engine so the stateful
+property harness (``tests/test_autoscale_stateful.py``) can drive it
+through arbitrary interleavings of heat spikes, node join/leave and budget
+changes without simulating a single disk read.  The engine-side adapter
+(:mod:`repro.parallel.autoscale.policy`) feeds it query touches and charges
+the simulated cost of every :class:`Action` it emits.
+
+State model
+-----------
+* A **pool** of provisioned disks, of which the prefix ``[0, active)`` is
+  live.  Joining activates the next disks of the pool; leaving drains the
+  suffix (so the simulated node list never changes mid-run — capacity
+  does).
+* Every bucket has exactly one **primary** copy on an active disk, and at
+  most one **replica** on a different active disk.  Replicas never exceed
+  the storage ``budget``.
+* Per-bucket **heat** is an EWMA over query touches
+  (:class:`HeatTracker`); the score driving decisions is heat-per-byte
+  (``heat / size``), so a small hot bucket beats a big warm one for the
+  same storage.
+
+Invariants (checked by :meth:`AutoscaleController.check_invariants` and
+pinned by the stateful machine):
+
+1. every primary lives on an active disk — every bucket keeps ≥ 1 alive
+   copy through any join/leave/budget interleaving;
+2. ``len(replicas) <= budget`` at all times;
+3. a control tick emits at most ``max_actions`` actions; a join moves at
+   most ``(new - old) · ⌈N/new⌉`` primaries; a leave moves or promotes
+   only the primaries stranded on drained disks.
+
+Drain reuses the degraded-mode failover idea: a stranded primary whose
+replica survives is **promoted** in place (zero blocks move — the copy is
+already there), which is what makes replicated drains cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.autoscale.params import AutoscaleParams
+
+__all__ = ["Action", "HeatTracker", "AutoscaleController"]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One physical consequence of a controller decision.
+
+    ``replicate``: copy bucket from primary ``src`` to new replica ``dst``;
+    ``evict``: drop the replica on ``src`` (``dst`` = -1, free);
+    ``promote``: replica on ``dst`` becomes primary, ``src`` copy is
+    abandoned (free — the data is already there);
+    ``move``: ship the primary from ``src`` to ``dst``.
+    """
+
+    kind: str
+    bucket: int
+    src: int
+    dst: int = -1
+
+    @property
+    def copies_block(self) -> bool:
+        """Whether this action physically transfers a block."""
+        return self.kind in ("replicate", "move")
+
+
+class HeatTracker:
+    """EWMA popularity per bucket, fed by query touches.
+
+    Touches accumulate in a window; :meth:`roll` folds the window into the
+    EWMA (one control tick).  Bucket renumbering mirrors the grid file's
+    swap-removal so online splits/merges keep ids aligned.
+    """
+
+    def __init__(self, n: int, alpha: float):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self.ewma = [0.0] * n
+        self.window = [0.0] * n
+
+    def __len__(self) -> int:
+        return len(self.ewma)
+
+    def touch(self, bucket_ids) -> None:
+        """Record one query touch per listed bucket (repeats accumulate)."""
+        for b in bucket_ids:
+            self.window[int(b)] += 1.0
+
+    def roll(self) -> None:
+        """Fold the touch window into the EWMA (one control tick)."""
+        a = self.alpha
+        for i, w in enumerate(self.window):
+            self.ewma[i] = (1.0 - a) * self.ewma[i] + a * w
+            self.window[i] = 0.0
+
+    def add(self) -> None:
+        """A new bucket appears (grid-file split), initially cold."""
+        self.ewma.append(0.0)
+        self.window.append(0.0)
+
+    def overwrite(self, dst: int, src: int) -> None:
+        """Renumbering: bucket ``src``'s heat takes over slot ``dst``."""
+        self.ewma[dst] = self.ewma[src]
+        self.window[dst] = self.window[src]
+
+    def pop(self) -> None:
+        """Drop the last slot (swap-removal tail)."""
+        self.ewma.pop()
+        self.window.pop()
+
+
+class AutoscaleController:
+    """Replica placement + elastic membership under a storage budget.
+
+    Parameters
+    ----------
+    assignment:
+        ``(n,)`` initial primary disk per bucket, all within
+        ``[0, active_disks)``.
+    active_disks:
+        Live prefix of the pool at start.
+    pool_disks:
+        Provisioned disks (upper bound for joins); >= ``active_disks``.
+    params:
+        The control-loop knobs (:class:`AutoscaleParams`).
+    sizes:
+        Optional per-bucket record counts for the heat-per-byte score
+        (``None`` = unit sizes, score == heat).
+    expand_fn:
+        Optional ``f(assignment, old, new) -> target`` producing the
+        join-time rebalance (e.g. :func:`repro.core.redistribute.
+        minimax_expand`); the fallback is a geometry-free balanced steal.
+        Only buckets whose target is a **new** disk may move.
+    """
+
+    def __init__(
+        self,
+        assignment,
+        active_disks: int,
+        pool_disks: int,
+        params: "AutoscaleParams | None" = None,
+        sizes=None,
+        expand_fn=None,
+    ):
+        self.p = params or AutoscaleParams()
+        self.active = int(active_disks)
+        self.pool = int(pool_disks)
+        if not 1 <= self.active <= self.pool:
+            raise ValueError(
+                f"need 1 <= active_disks ({self.active}) <= pool_disks ({self.pool})"
+            )
+        self.assignment = [int(d) for d in assignment]
+        for d in self.assignment:
+            if not 0 <= d < self.active:
+                raise ValueError(f"primary disk {d} outside the active prefix")
+        n = len(self.assignment)
+        if sizes is None:
+            self.sizes = [1.0] * n
+        else:
+            # Normalize to mean 1 so the heat-per-byte score (and the
+            # add/evict watermarks) stay in touches-per-tick units: a
+            # mean-sized bucket's score equals its heat, smaller buckets
+            # score higher per touch, larger ones lower.
+            raw = [max(1.0, float(s)) for s in sizes]
+            if len(raw) != n:
+                raise ValueError("sizes must match the assignment length")
+            mean = sum(raw) / len(raw) if raw else 1.0
+            self.sizes = [s / mean for s in raw]
+        self.heat = HeatTracker(n, self.p.alpha)
+        self.budget = self.p.budget
+        #: bucket -> replica disk (at most one replica per bucket).
+        self.replicas: dict[int, int] = {}
+        #: bucket -> control tick its replica was created (dwell guard).
+        self.born: dict[int, int] = {}
+        self.tick = 0
+        #: Copies (primary + replica) per pool disk.
+        self.load = [0] * self.pool
+        for d in self.assignment:
+            self.load[d] += 1
+        self.expand_fn = expand_fn
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(self, bucket_ids) -> None:
+        """Feed the touches of one completed query into the heat tracker."""
+        self.heat.touch(bucket_ids)
+
+    def score(self, b: int) -> float:
+        """Heat-per-byte of bucket ``b`` (the greedy ranking key)."""
+        return self.heat.ewma[b] / self.sizes[b]
+
+    def copies(self, b: int) -> list[int]:
+        """Disks holding bucket ``b``, primary first."""
+        r = self.replicas.get(b)
+        return [self.assignment[b]] if r is None else [self.assignment[b], r]
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    # -- primitive actions ---------------------------------------------------
+
+    def _evict(self, b: int) -> Action:
+        d = self.replicas.pop(b)
+        self.born.pop(b, None)
+        self.load[d] -= 1
+        return Action("evict", b, d)
+
+    def heat_loads(self) -> list[float]:
+        """Expected hot traffic per active disk.
+
+        Each bucket's score is split evenly across its copies (the router
+        alternates between them), so a disk's heat load is the sum of the
+        shares it hosts.  Placement ranks by this rather than the raw copy
+        count: a disk with few buckets may still be the worst destination
+        because one of them is the current hot spot.
+        """
+        hl = [0.0] * self.pool
+        for b, primary in enumerate(self.assignment):
+            share = self.score(b) / (2.0 if b in self.replicas else 1.0)
+            hl[primary] += share
+            r = self.replicas.get(b)
+            if r is not None:
+                hl[r] += share
+        return hl
+
+    def replicate(self, b: int) -> "Action | None":
+        """Create a replica of ``b`` on the coolest other active disk.
+
+        Returns ``None`` when no eligible disk exists (already replicated,
+        single-disk farm, or budget exhausted).
+        """
+        if b in self.replicas or self.n_replicas >= self.budget:
+            return None
+        primary = self.assignment[b]
+        cands = [d for d in range(self.active) if d != primary]
+        if not cands:
+            return None
+        hl = self.heat_loads()
+        dst = min(cands, key=lambda d: (hl[d], self.load[d], d))
+        self.replicas[b] = dst
+        self.born[b] = self.tick
+        self.load[dst] += 1
+        return Action("replicate", b, primary, dst)
+
+    def drop_replicas(self, b: int) -> list[Action]:
+        """Invalidate the replica of ``b`` (its content changed — online
+        write-invalidation coherence).  Free: metadata only."""
+        return [self._evict(b)] if b in self.replicas else []
+
+    # -- the control loop ----------------------------------------------------
+
+    def control_step(self) -> list[Action]:
+        """One tick: roll heat, evict cooled replicas, replicate hot buckets.
+
+        Emits at most ``max_actions`` actions (evictions first — they free
+        budget for the adds that follow).  A replica survives a cold tick
+        while younger than ``min_dwell`` ticks, and is only created once
+        its score clears ``add_heat`` — the watermark gap plus the dwell is
+        the anti-thrash hysteresis.
+        """
+        self.tick += 1
+        self.heat.roll()
+        p = self.p
+        actions: list[Action] = []
+        for b in sorted(self.replicas):
+            if len(actions) >= p.max_actions:
+                return actions
+            if self.score(b) <= p.evict_heat and self.tick - self.born[b] >= p.min_dwell:
+                actions.append(self._evict(b))
+        hot = [
+            b
+            for b in range(len(self.assignment))
+            if b not in self.replicas and self.score(b) > p.add_heat
+        ]
+        hot.sort(key=lambda b: (-self.score(b), b))
+        for b in hot:
+            if len(actions) >= p.max_actions or self.n_replicas >= self.budget:
+                break
+            act = self.replicate(b)
+            if act is not None:
+                actions.append(act)
+        return actions
+
+    def set_budget(self, budget: int) -> list[Action]:
+        """Change the storage budget; trims the coldest replicas at once."""
+        if budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        self.budget = int(budget)
+        actions = []
+        while self.n_replicas > self.budget:
+            coldest = min(self.replicas, key=lambda b: (self.score(b), b))
+            actions.append(self._evict(coldest))
+        return actions
+
+    # -- elastic membership --------------------------------------------------
+
+    def join(self, count: int = 1) -> list[Action]:
+        """Activate the next ``count`` pool disks and rebalance primaries.
+
+        The rebalance target comes from ``expand_fn`` (minimax-style
+        bounded movement) or the internal balanced steal; either way only
+        buckets heading to a *new* disk move, and at most
+        ``count · ⌈N/new⌉`` of them — the bounded-movement contract.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        old, new = self.active, self.active + count
+        if new > self.pool:
+            raise ValueError(f"cannot activate {new} disks from a pool of {self.pool}")
+        if self.expand_fn is not None:
+            target = [int(d) for d in self.expand_fn(np.asarray(self.assignment), old, new)]
+            if len(target) != len(self.assignment):
+                raise ValueError("expand_fn changed the number of buckets")
+        else:
+            target = self._steal_balanced(old, new)
+        self.active = new
+        actions: list[Action] = []
+        for b, dst in enumerate(target):
+            src = self.assignment[b]
+            if dst == src:
+                continue
+            if not old <= dst < new:
+                raise ValueError(
+                    f"expand_fn moved bucket {b} to disk {dst}, not a new disk"
+                )
+            if self.replicas.get(b) == dst:
+                # The new primary location already holds the replica copy:
+                # promote it instead of shipping a duplicate block.
+                del self.replicas[b]
+                self.born.pop(b, None)
+                self.load[src] -= 1
+                self.assignment[b] = dst
+                actions.append(Action("promote", b, src, dst))
+                continue
+            self.assignment[b] = dst
+            self.load[src] -= 1
+            self.load[dst] += 1
+            actions.append(Action("move", b, src, dst))
+        return actions
+
+    def _steal_balanced(self, old: int, new: int) -> list[int]:
+        """Geometry-free join target: each new disk steals the lowest bucket
+        ids from the currently most-loaded over-quota disk until balanced
+        (the shape of ``minimax_expand`` without the proximity rule)."""
+        n = len(self.assignment)
+        quota = -(-n // new)
+        out = list(self.assignment)
+        prim = [0] * new
+        for d in out:
+            prim[d] += 1
+        for t in range(old, new):
+            while prim[t] < quota:
+                over = [d for d in range(new) if d != t and prim[d] > quota]
+                if not over:
+                    break
+                src = max(over, key=lambda d: (prim[d], -d))
+                b = min(i for i in range(n) if out[i] == src)
+                out[b] = t
+                prim[src] -= 1
+                prim[t] += 1
+        return out
+
+    def leave(self, count: int = 1) -> list[Action]:
+        """Drain the last ``count`` active disks.
+
+        Replicas on drained disks vanish with their storage; a stranded
+        primary whose replica survives is *promoted* (free — the drain
+        reuse of the failover path), otherwise it moves to the least-loaded
+        surviving disk.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        new_active = self.active - count
+        if new_active < 1:
+            raise ValueError(
+                f"cannot drain {count} of {self.active} active disks"
+            )
+        actions: list[Action] = []
+        for b in sorted(b for b, d in self.replicas.items() if d >= new_active):
+            actions.append(self._evict(b))
+        for b in range(len(self.assignment)):
+            src = self.assignment[b]
+            if src < new_active:
+                continue
+            rd = self.replicas.get(b)
+            if rd is not None:
+                del self.replicas[b]
+                self.born.pop(b, None)
+                self.load[src] -= 1
+                self.assignment[b] = rd
+                actions.append(Action("promote", b, src, rd))
+            else:
+                dst = min(range(new_active), key=lambda d: (self.load[d], d))
+                self.assignment[b] = dst
+                self.load[src] -= 1
+                self.load[dst] += 1
+                actions.append(Action("move", b, src, dst))
+        self.active = new_active
+        return actions
+
+    # -- online renumbering hooks (grid-file listener relays) ----------------
+
+    def add_bucket(self, disk: int) -> None:
+        """A split created a bucket, placed on ``disk`` by the placement
+        policy (already an active disk in online runs)."""
+        if not 0 <= disk < self.active:
+            raise ValueError(f"new bucket placed on inactive disk {disk}")
+        self.assignment.append(int(disk))
+        self.sizes.append(1.0)
+        self.heat.add()
+        self.load[disk] += 1
+
+    def set_primary(self, b: int, disk: int) -> None:
+        """The online driver moved bucket ``b``'s primary to ``disk``."""
+        if not 0 <= disk < self.active:
+            raise ValueError(f"primary moved to inactive disk {disk}")
+        src = self.assignment[b]
+        if src == disk:
+            return
+        self.assignment[b] = int(disk)
+        self.load[src] -= 1
+        self.load[disk] += 1
+        if self.replicas.get(b) == disk:
+            # Primary landed on its replica's disk; the replica is redundant.
+            self._evict(b)
+
+    def remove_bucket(self, bucket_id: int, moved_id: "int | None") -> None:
+        """Mirror the grid file's swap-removal renumbering."""
+        self.drop_replicas(bucket_id)
+        if moved_id is None:
+            self.load[self.assignment[bucket_id]] -= 1
+        else:
+            self.drop_replicas(moved_id)
+            self.load[self.assignment[bucket_id]] -= 1
+            self.assignment[bucket_id] = self.assignment[moved_id]
+            self.sizes[bucket_id] = self.sizes[moved_id]
+            self.heat.overwrite(bucket_id, moved_id)
+        self.assignment.pop()
+        self.sizes.pop()
+        self.heat.pop()
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` when any structural invariant is broken
+        (driven after every rule by the stateful harness)."""
+        n = len(self.assignment)
+        if not 1 <= self.active <= self.pool:
+            raise AssertionError(f"active {self.active} outside [1, {self.pool}]")
+        if len(self.sizes) != n or len(self.heat) != n:
+            raise AssertionError("heat/size arrays out of sync with assignment")
+        for b, d in enumerate(self.assignment):
+            if not 0 <= d < self.active:
+                raise AssertionError(f"bucket {b} primary on inactive disk {d}")
+        if self.n_replicas > self.budget:
+            raise AssertionError(
+                f"{self.n_replicas} replicas exceed budget {self.budget}"
+            )
+        for b, d in self.replicas.items():
+            if not 0 <= b < n:
+                raise AssertionError(f"replica of unknown bucket {b}")
+            if not 0 <= d < self.active:
+                raise AssertionError(f"replica of {b} on inactive disk {d}")
+            if d == self.assignment[b]:
+                raise AssertionError(f"replica of {b} collocated with its primary")
+        want = [0] * self.pool
+        for d in self.assignment:
+            want[d] += 1
+        for d in self.replicas.values():
+            want[d] += 1
+        if want != self.load:
+            raise AssertionError(f"load ledger drifted: {self.load} != {want}")

@@ -93,6 +93,14 @@ class ClusterParams:
     #: waited longer than this in the admission queue is *shed* instead of
     #: run (requires/implies a ``max_inflight`` bound).
     deadline: "float | None" = None
+    #: Popularity-driven autoscaling: None (default — no heat tracking, no
+    #: replicas, byte-identical to the pre-autoscale engine), a policy name
+    #: ("null", "static", "heat-replicate") or a full
+    #: :class:`repro.parallel.autoscale.AutoscaleParams`.  The replicating
+    #: policies own read routing and replica placement themselves, so they
+    #: are mutually exclusive with ``replication``/``replica_policy``.  See
+    #: `repro.parallel.autoscale` and ``docs/autoscale.md``.
+    autoscale: "object | None" = None
     #: Pending-event queue of the DES kernel: None (default, consults the
     #: ``REPRO_DES_QUEUE`` env var, falling back to "heap") or an explicit
     #: "heap" / "calendar".  The calendar queue drops the heap's O(log n)
@@ -130,6 +138,23 @@ def validate_params(params: ClusterParams) -> None:
                 f"unknown des_queue {params.des_queue!r}; "
                 f"choose from {sorted(EVENT_QUEUES)}"
             )
+    if params.autoscale is not None:
+        from repro.parallel.autoscale.policy import make_autoscale_policy
+
+        # Resolves the policy name (ValueError lists the registry) and, via
+        # AutoscaleParams.__post_init__, validates the numeric knobs.
+        policy = make_autoscale_policy(params.autoscale)
+        if policy.routes:
+            if params.replication is not None:
+                raise ValueError(
+                    f"autoscale policy {policy.name!r} manages replicas itself "
+                    "and is mutually exclusive with ClusterParams.replication"
+                )
+            if params.replica_policy != "primary-only":
+                raise ValueError(
+                    f"autoscale policy {policy.name!r} owns read routing; "
+                    "replica_policy must stay 'primary-only'"
+                )
     # Unknown policy names fall through to the registry's own error
     # (make_replica_policy lists the valid choices).
     from repro.parallel.engine.replicas import REPLICA_POLICIES

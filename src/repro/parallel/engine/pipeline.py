@@ -112,6 +112,14 @@ class RequestPipeline:
         self.selector = make_replica_policy(self.params.replica_policy)
         self.selector.bind(self)
         self.admission = None  # installed by the open runner
+        #: Autoscale policy seam (None unless ``params.autoscale`` is set;
+        #: the import is deferred to keep the package acyclic).
+        self.autoscale = None
+        if self.params.autoscale is not None:
+            from repro.parallel.autoscale.policy import make_autoscale_policy
+
+            self.autoscale = make_autoscale_policy(self.params.autoscale)
+            self.autoscale.bind(self)
 
         # -- degraded mode (timeout/retry/suspect/failover/abort) ------------
         self.degraded = DegradedMode(self)
@@ -172,7 +180,10 @@ class RequestPipeline:
         if not plan.requests:
             self.sim.schedule_at(lookup_end, self._complete, qid)
             return
-        requests = self.selector.route(plan, plan.requests)
+        if self.autoscale is not None and self.autoscale.routes:
+            requests = self.autoscale.route(plan, plan.requests)
+        else:
+            requests = self.selector.route(plan, plan.requests)
         if requests is None:
             self.sim.schedule_at(lookup_end, self.degraded.abort, qid)
             return
@@ -300,6 +311,8 @@ class RequestPipeline:
             span = self._qspan.pop(qid, None)
             if span is not None:
                 self.tracer.span_close(span, self.sim.now, aborted=qid in self.aborted)
+        if self.autoscale is not None:
+            self.autoscale.query_complete(qid)
         if self.admission is not None:
             self.admission.query_done(qid)
         if self.on_complete is not None:
@@ -324,6 +337,12 @@ class RequestPipeline:
     def suspected_disks(self) -> set:
         """Global disk ids owned by currently suspected nodes."""
         return self.degraded.suspected_disks()
+
+    def route_failover(self, plan, req):
+        """Re-route one timed-out request's buckets (autoscale-aware)."""
+        if self.autoscale is not None and self.autoscale.routes:
+            return self.autoscale.failover(plan, req)
+        return self.selector.failover(plan, req)
 
     # -- reporting -----------------------------------------------------------
 

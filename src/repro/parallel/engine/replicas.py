@@ -39,7 +39,42 @@ __all__ = [
     "FastestEstimatedSelector",
     "REPLICA_POLICIES",
     "make_replica_policy",
+    "regroup_requests",
 ]
+
+
+def regroup_requests(pipe, plan, bucket_ids, choose) -> "list | None":
+    """Group per-bucket disk choices into per-node block requests.
+
+    ``choose(bucket) -> global disk | None``; ``None`` means no live copy
+    can serve the bucket and the whole routing fails (the caller aborts).
+    Shared by the balancing replica selectors and the autoscale router —
+    the grouping and field computation are byte-identical to the original
+    ``_BalancingSelector`` implementation.
+    """
+    by_node: dict[int, list] = {}
+    for b in bucket_ids:
+        b = int(b)
+        disk = choose(b)
+        if disk is None:
+            return None
+        by_node.setdefault(pipe.coordinator.node_of_disk(disk), []).append((b, disk))
+    qid = plan.query_id
+    out = []
+    for node in sorted(by_node):
+        pairs = by_node[node]
+        out.append(
+            BlockRequest(
+                query_id=qid,
+                node_id=node,
+                bucket_ids=np.array([b for b, _ in pairs], dtype=np.int64),
+                candidates=sum(plan.candidates_per_bucket[b] for b, _ in pairs),
+                qualified=sum(plan.qualified_per_bucket[b] for b, _ in pairs),
+                attempt=0,
+                target_disks=np.array([d for _, d in pairs], dtype=np.int64),
+            )
+        )
+    return out
 
 
 class ReplicaSelector:
@@ -125,29 +160,12 @@ class _BalancingSelector(ReplicaSelector):
         """Select a disk per bucket and regroup into per-node requests."""
         pipe = self.pipe
         failed = pipe.suspected_disks()
-        by_node: dict[int, list] = {}
-        for b in bucket_ids:
-            b = int(b)
-            disk = self._choose(int(pipe.coordinator.assignment[b]), failed)
-            if disk is None:
-                return None
-            by_node.setdefault(pipe.coordinator.node_of_disk(disk), []).append((b, disk))
-        qid = plan.query_id
-        out = []
-        for node in sorted(by_node):
-            pairs = by_node[node]
-            out.append(
-                BlockRequest(
-                    query_id=qid,
-                    node_id=node,
-                    bucket_ids=np.array([b for b, _ in pairs], dtype=np.int64),
-                    candidates=sum(plan.candidates_per_bucket[b] for b, _ in pairs),
-                    qualified=sum(plan.qualified_per_bucket[b] for b, _ in pairs),
-                    attempt=0,
-                    target_disks=np.array([d for _, d in pairs], dtype=np.int64),
-                )
-            )
-        return out
+        return regroup_requests(
+            pipe,
+            plan,
+            bucket_ids,
+            lambda b: self._choose(int(pipe.coordinator.assignment[b]), failed),
+        )
 
     def route(self, plan, requests):
         bids = [int(b) for req in requests for b in req.bucket_ids]

@@ -184,6 +184,12 @@ class _OnlineDriver:
         )
         if self.durable is not None:
             self.durable.engine.metrics = self.metrics
+        #: Autoscale seam (None unless ``params.autoscale`` is set): query
+        #: completions feed its heat tracker through the pipeline; the
+        #: listener hooks below keep its controller's bucket bookkeeping
+        #: aligned with the live structure (splits, renumbering, moves) and
+        #: invalidate replicas whose content a write changed.
+        self.autoscale = self.pipe.autoscale
         self.policy: PlacementPolicy = policy
         self.monitor = monitor
         self.assign_list = [int(d) for d in owner.coordinator.assignment]
@@ -406,6 +412,8 @@ class _OnlineDriver:
             arrive = send_end + self.net.latency
         write_end = self._disk_op(dst, arrive)
         self.assign_list[b] = dst
+        if self.autoscale is not None:
+            self.autoscale.primary_moved(b, dst)
         self._invalidate(b, "move")
         if self.trace:
             self.tracer.event(
@@ -476,6 +484,9 @@ class _OnlineDriver:
 
     def on_record(self, gf, bucket_id: int, kind: str) -> None:
         self._write_bucket = bucket_id
+        if self.autoscale is not None:
+            # Write-invalidation coherence: the replica copy went stale.
+            self.autoscale.bucket_dirty(bucket_id)
         self._invalidate(bucket_id, kind)
 
     def on_split(self, gf, bucket_id: int, new_bucket_id: int) -> None:
@@ -488,6 +499,9 @@ class _OnlineDriver:
                 f"policy {self.policy.name!r} placed bucket on disk {disk}"
             )
         self.assign_list.append(disk)
+        if self.autoscale is not None:
+            self.autoscale.bucket_added(disk)
+            self.autoscale.bucket_dirty(bucket_id)
         self._pending_new.append((new_bucket_id, disk))
         self.n_splits += 1
         self.metrics.counter("online.splits").inc()
@@ -505,6 +519,9 @@ class _OnlineDriver:
     def on_merge(self, gf, survivor_id: int, absorbed_id: int) -> None:
         self.n_merges += 1
         self.metrics.counter("online.merges").inc()
+        if self.autoscale is not None:
+            self.autoscale.bucket_dirty(survivor_id)
+            self.autoscale.bucket_dirty(absorbed_id)
         self._invalidate(survivor_id, "merge")
         self._invalidate(absorbed_id, "merge")
         if self.trace:
@@ -518,6 +535,8 @@ class _OnlineDriver:
 
     def on_remove(self, gf, bucket_id: int, moved_id: "int | None") -> None:
         # Swap-removal renumbering: the last bucket takes over ``bucket_id``.
+        if self.autoscale is not None:
+            self.autoscale.bucket_removed(bucket_id, moved_id)
         if moved_id is None:
             self.assign_list.pop()
         else:
@@ -574,7 +593,10 @@ class OnlineCluster:
     params:
         Cost model (:class:`repro.parallel.cluster.ClusterParams`).
         Replication is not supported online (writes to replicas are not
-        modeled) — and with it the replica-balancing read policies; the
+        modeled) — and with it the replica-balancing read policies.
+        ``params.autoscale`` *is* supported: autoscaler replicas stay
+        coherent by write-invalidation (a write to a bucket drops its
+        replica; the heat loop may re-create it later).  The
         online stream is sequential, so ``pipeline_depth`` is effectively 1
         and open-system admission control (``max_inflight``/``deadline``)
         does not apply.  The ``scheduler`` seam works online.

@@ -1,0 +1,83 @@
+"""Null-autoscale neutrality: the seam is invisible until switched on.
+
+``ClusterParams(autoscale="null")`` must reproduce the PR 5 golden digests
+byte for byte on the closed, open and online runs — wiring the autoscale
+hooks through the pipeline, the degraded path and the online driver cannot
+perturb a single event when the policy does not route.  The digests are
+imported from ``tests/test_engine_neutrality.py`` (the canonical pins), so
+a legitimate engine change that re-pins them cannot silently fork this
+file's expectations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_method
+from repro.parallel import (
+    AutoscaleCluster,
+    ClusterParams,
+    DegradationMonitor,
+    OnlineCluster,
+    ParallelGridFile,
+)
+from repro.sim import mixed_workload, square_queries
+from tests.test_engine_neutrality import (
+    DOMAIN,
+    GOLDEN_CLOSED,
+    GOLDEN_ONLINE,
+    GOLDEN_OPEN,
+    _build,
+    _online_data,
+    _perf_data,
+    _sha,
+)
+
+NULL = ClusterParams(autoscale="null")
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    gf = _build()
+    assignment = make_method("minimax").assign(gf, 8, rng=42)
+    queries = square_queries(40, 0.06, *DOMAIN, rng=42)
+    return gf, assignment, queries
+
+
+def test_null_closed_run_matches_golden(deployment):
+    gf, assignment, queries = deployment
+    rep = ParallelGridFile(gf, assignment, 8, NULL).run_queries(queries)
+    assert _sha(_perf_data(rep)) == GOLDEN_CLOSED
+
+
+def test_null_driver_closed_run_matches_golden(deployment):
+    """The elastic driver with the null policy and no plan is the plain
+    closed loop, to the digest."""
+    gf, assignment, queries = deployment
+    rep = AutoscaleCluster(gf, assignment, 8, NULL).run(queries)
+    assert _sha(_perf_data(rep.perf)) == GOLDEN_CLOSED
+
+
+def test_null_open_run_matches_golden(deployment):
+    gf, assignment, queries = deployment
+    rep = ParallelGridFile(gf, assignment, 8, NULL).run_open(
+        queries, arrival_rate=150.0, rng=9
+    )
+    assert _sha(_perf_data(rep)) == GOLDEN_OPEN
+
+
+def test_null_online_run_matches_golden():
+    gf = _build()
+    assignment = make_method("minimax").assign(gf, 8, rng=42)
+    ops = mixed_workload(150, 0.3, *DOMAIN, rng=13)
+    monitor = DegradationMonitor(window=16, threshold=1.2, cooldown=16, budget=0.3)
+    rep = OnlineCluster(
+        gf, assignment, 8, params=NULL,
+        placement="rr-least-loaded", monitor=monitor, seed=42,
+    ).run(ops)
+    assert _sha(_online_data(rep)) == GOLDEN_ONLINE
+
+
+def test_default_autoscale_is_off():
+    """The seam defaults to absent — not even the null policy object."""
+    assert ClusterParams().autoscale is None

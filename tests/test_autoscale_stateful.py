@@ -1,0 +1,175 @@
+"""Stateful property tests: the autoscaler under adversarial interleavings.
+
+Hypothesis drives :class:`AutoscaleController` as a state machine — random
+sequences of heat spikes, control ticks, node joins/drains, budget changes
+and online bucket churn (splits, moves, swap-removals) — and checks after
+*every* step the invariants the engine-side policy takes for granted:
+
+* every bucket keeps at least one alive copy (its primary is always on an
+  active disk) through any membership change;
+* replicas never exceed the storage budget, never sit on inactive disks
+  and never collocate with their primary;
+* the per-disk copy ledger matches a recount from scratch;
+* movement per step is bounded: a control tick emits at most
+  ``max_actions`` actions, a join moves at most ``count * ceil(N/new)``
+  primaries, a drain touches only the stranded primaries.
+
+The mirror of ``tests/test_gridfile_stateful.py``: the fast class runs in
+tier 1, the deep class (``REPRO_AUTOSCALE_EXAMPLES``, 300+) in the slow CI
+job with the derandomized ``ci`` profile.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.parallel.autoscale import AutoscaleController, AutoscaleParams
+
+POOL = 6
+START_BUCKETS = 8
+
+
+class AutoscaleMachine(RuleBasedStateMachine):
+    """Random spikes / ticks / membership churn against the controller."""
+
+    def __init__(self):
+        super().__init__()
+        self.params = AutoscaleParams(
+            budget=4, alpha=0.5, add_heat=1.5, evict_heat=0.5,
+            min_dwell=2, max_actions=4,
+        )
+        self.ctl = AutoscaleController(
+            [b % 2 for b in range(START_BUCKETS)],
+            active_disks=2,
+            pool_disks=POOL,
+            params=self.params,
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.ctl.assignment)
+
+    # -- heat ---------------------------------------------------------------
+
+    @rule(data=st.data())
+    def spike(self, data):
+        """A burst of touches concentrated on a few random buckets."""
+        buckets = data.draw(
+            st.lists(
+                st.integers(0, self.n - 1), min_size=1, max_size=12
+            ),
+            label="touches",
+        )
+        self.ctl.observe(buckets)
+
+    @rule()
+    def control_tick(self):
+        actions = self.ctl.control_step()
+        assert len(actions) <= self.params.max_actions
+        for a in actions:
+            assert a.kind in ("replicate", "evict")
+
+    # -- membership ---------------------------------------------------------
+
+    @precondition(lambda self: self.ctl.active < POOL)
+    @rule(data=st.data())
+    def join(self, data):
+        old = self.ctl.active
+        count = data.draw(st.integers(1, POOL - old), label="join-count")
+        new = old + count
+        actions = self.ctl.join(count)
+        assert self.ctl.active == new
+        moved = [a for a in actions if a.kind in ("move", "promote")]
+        assert len(moved) <= count * (-(-self.n // new))
+        for a in moved:
+            assert old <= a.dst < new  # only toward the new disks
+
+    @precondition(lambda self: self.ctl.active > 1)
+    @rule(data=st.data())
+    def leave(self, data):
+        old = self.ctl.active
+        count = data.draw(st.integers(1, old - 1), label="leave-count")
+        stranded = sum(1 for d in self.ctl.assignment if d >= old - count)
+        actions = self.ctl.leave(count)
+        assert self.ctl.active == old - count
+        moved = [a for a in actions if a.kind in ("move", "promote")]
+        assert len(moved) == stranded  # drains touch only stranded primaries
+        # promotions are free; only unreplicated stranded primaries copied
+        assert sum(a.copies_block for a in moved) <= stranded
+
+    @rule(budget=st.integers(0, 6))
+    def change_budget(self, budget):
+        self.ctl.set_budget(budget)
+        assert self.ctl.n_replicas <= budget
+
+    # -- online bucket churn ------------------------------------------------
+
+    @rule(data=st.data())
+    def split_adds_bucket(self, data):
+        disk = data.draw(st.integers(0, self.ctl.active - 1), label="disk")
+        self.ctl.add_bucket(disk)
+
+    @precondition(lambda self: len(self.ctl.assignment) > 1)
+    @rule(data=st.data())
+    def merge_removes_bucket(self, data):
+        b = data.draw(st.integers(0, self.n - 1), label="victim")
+        last = self.n - 1
+        self.ctl.remove_bucket(b, None if b == last else last)
+
+    @rule(data=st.data())
+    def move_primary(self, data):
+        b = data.draw(st.integers(0, self.n - 1), label="bucket")
+        disk = data.draw(st.integers(0, self.ctl.active - 1), label="disk")
+        self.ctl.set_primary(b, disk)
+
+    @rule(data=st.data())
+    def explicit_replicate(self, data):
+        b = data.draw(st.integers(0, self.n - 1), label="bucket")
+        act = self.ctl.replicate(b)
+        if act is not None:
+            assert act.dst != self.ctl.assignment[act.bucket]
+
+    @rule(data=st.data())
+    def write_invalidates(self, data):
+        b = data.draw(st.integers(0, self.n - 1), label="bucket")
+        self.ctl.drop_replicas(b)
+        assert b not in self.ctl.replicas
+
+    # -- invariants (checked after every step) ------------------------------
+
+    @invariant()
+    def controller_is_consistent(self):
+        self.ctl.check_invariants()
+
+    @invariant()
+    def every_bucket_has_an_alive_copy(self):
+        for b in range(self.n):
+            assert any(
+                0 <= d < self.ctl.active for d in self.ctl.copies(b)
+            )
+
+    @invariant()
+    def replicas_within_budget(self):
+        assert self.ctl.n_replicas <= self.ctl.budget
+
+
+class TestAutoscaleStateful(AutoscaleMachine.TestCase):
+    """Fast tier-1 run."""
+
+    settings = settings(max_examples=30, stateful_step_count=30, deadline=None)
+
+
+@pytest.mark.slow
+class TestAutoscaleStatefulDeep(AutoscaleMachine.TestCase):
+    """Deep run for the dedicated CI job (derandomized ``ci`` profile)."""
+
+    settings = settings(
+        max_examples=int(os.environ.get("REPRO_AUTOSCALE_EXAMPLES", "500")),
+        stateful_step_count=50,
+        deadline=None,
+    )

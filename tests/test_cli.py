@@ -258,6 +258,57 @@ class TestTraceCommand:
         assert "disk_slowdown=1" in capsys.readouterr().out
 
 
+class TestAutoscaleSimCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["autoscale-sim", "hot.2d"])
+        assert args.policy == "heat-replicate"
+        assert args.budget == 8
+        assert args.alpha == 0.6
+        assert not args.join and not args.leave
+
+    def test_runs_with_elastic_plan(self, capsys):
+        rc = main(
+            ["--seed", "3", "autoscale-sim", "uniform.2d",
+             "--disks", "6", "--queries", "80", "--join", "1.0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "membership         : 6 -> 7 disks (1 joins, 0 leaves)" in out
+        assert "availability" in out and "blocks copied" in out
+
+    def test_null_policy_runs(self, capsys):
+        rc = main(
+            ["--seed", "3", "autoscale-sim", "uniform.2d",
+             "--disks", "4", "--queries", "40", "--policy", "null"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replication        : 0 created" in out
+
+    def test_unknown_policy(self, capsys):
+        rc = main(["autoscale-sim", "uniform.2d", "--policy", "bogus"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown autoscale policy" in err
+        for name in ("null", "static", "heat-replicate"):
+            assert name in err
+
+    def test_null_policy_rejects_plan(self, capsys):
+        rc = main(
+            ["autoscale-sim", "uniform.2d", "--policy", "null", "--join", "0.5"]
+        )
+        assert rc == 2
+        assert "no controller" in capsys.readouterr().err
+
+    def test_bad_hysteresis_rejected(self, capsys):
+        rc = main(
+            ["autoscale-sim", "uniform.2d",
+             "--add-heat", "0.5", "--evict-heat", "0.9"]
+        )
+        assert rc == 2
+        assert "hysteresis" in capsys.readouterr().err
+
+
 class TestFsckCommand:
     def _make_store(self, tmp_path, checkpoint=False):
         from repro.storage import default_workload, run_workload

@@ -69,6 +69,24 @@ class TestRegistries:
         with pytest.raises(ValueError, match="primary-only"):
             make_replica_policy("random")
 
+    def test_unknown_scheduler_error_names_every_option(self):
+        """The error is a usable menu: the bad name plus every registered
+        discipline, so a typo at the CLI never requires reading source."""
+        with pytest.raises(ValueError) as exc:
+            make_scheduler("elevator")
+        msg = str(exc.value)
+        assert "elevator" in msg
+        for name in sorted(SCHEDULERS):
+            assert name in msg
+
+    def test_unknown_replica_policy_error_names_every_option(self):
+        with pytest.raises(ValueError) as exc:
+            make_replica_policy("random")
+        msg = str(exc.value)
+        assert "random" in msg
+        for name in sorted(REPLICA_POLICIES):
+            assert name in msg
+
     def test_bad_names_rejected_at_construction(self, deployed):
         gf, a = deployed
         with pytest.raises(ValueError, match="unknown scheduler"):

@@ -66,6 +66,19 @@ class TestExactSearch:
         assert a.shape == (5,)
         assert a.min() >= 0 and a.max() < 2
 
+    def test_inactive_fill_preserves_whole_file_balance(self, rng):
+        """Regression: the least-loaded fill of never-queried buckets keeps
+        the ⌈N/M⌉ balance cap over the *whole* file, not just the active
+        subset.  A round-robin fill that ignored the active loads could
+        stack inactive buckets onto an already-full disk."""
+        for _ in range(10):
+            n, m = 12, 3
+            # few active buckets, most inactive: the fill dominates balance
+            bls = [rng.choice(4, size=2, replace=False) for _ in range(3)]
+            a, _ = exact_optimal_assignment(bls, n, m)
+            cap = -(-n // m)
+            assert np.bincount(a, minlength=m).max() <= cap
+
     def test_node_limit(self, rng):
         bls = [rng.choice(14, size=7, replace=False) for _ in range(12)]
         with pytest.raises(RuntimeError):

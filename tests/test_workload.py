@@ -1,9 +1,19 @@
 """Tests for the query workload generators."""
 
+import hashlib
+import json
+
 import numpy as np
 import pytest
 
-from repro.sim import animation_queries, square_queries
+from repro.sim import (
+    animation_queries,
+    diurnal_queries,
+    flash_crowd_queries,
+    hotspot_shift_queries,
+    mixed_workload,
+    square_queries,
+)
 
 LO2, HI2 = np.zeros(2), np.array([2000.0, 2000.0])
 
@@ -133,3 +143,135 @@ class TestDataCorrelatedCenters:
         b = square_queries(20, 0.05, LO2, HI2, rng=9, centers=pool)
         for qa, qb in zip(a, b):
             assert np.array_equal(qa.lo, qb.lo)
+
+
+def _centers(queries):
+    return np.array([(q.lo + q.hi) / 2 for q in queries])
+
+
+class TestMixedWorkloadNeutrality:
+    #: Pinned digest of the seed-7 stream.  The online neutrality goldens
+    #: depend on this rng discipline — a change to the draw order inside
+    #: ``mixed_workload`` shows up here first, with a readable diff.
+    GOLDEN = "dafb02898614aa164fe1c1ee88183754971f38d92f5fd8b8ec6d9e087fadbfa7"
+
+    @staticmethod
+    def _digest(ops) -> str:
+        rows = []
+        for op in ops:
+            rows.append(
+                {
+                    "kind": op.kind,
+                    "query": None
+                    if op.query is None
+                    else [op.query.lo.tolist(), op.query.hi.tolist()],
+                    "point": None if op.point is None else op.point.tolist(),
+                    "delete_rank": op.delete_rank,
+                    "time": op.time,
+                }
+            )
+        blob = json.dumps(rows, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def test_stream_pinned(self):
+        ops = mixed_workload(120, 0.3, LO2, HI2, ratio=0.05, rng=7)
+        assert self._digest(ops) == self.GOLDEN
+
+    def test_read_only_stream_is_square_queries(self):
+        """write_ratio == 0 consumes the rng exactly like square_queries."""
+        ops = mixed_workload(40, 0.0, LO2, HI2, ratio=0.05, rng=3)
+        queries = square_queries(40, 0.05, LO2, HI2, rng=3)
+        assert all(op.kind == "query" for op in ops)
+        for op, q in zip(ops, queries):
+            assert np.array_equal(op.query.lo, q.lo)
+            assert np.array_equal(op.query.hi, q.hi)
+
+
+class TestDiurnalQueries:
+    def test_count_and_reproducible(self):
+        a = diurnal_queries(100, 0.01, LO2, HI2, rng=5)
+        b = diurnal_queries(100, 0.01, LO2, HI2, rng=5)
+        assert len(a) == 100
+        for qa, qb in zip(a, b):
+            assert np.array_equal(qa.lo, qb.lo)
+
+    def test_hot_spot_orbits(self):
+        """Hot queries track the moving center: consecutive windows of a
+        fully-hot stream have nearby centroids that drift over the day."""
+        qs = diurnal_queries(
+            400, 0.01, LO2, HI2, hot_fraction=1.0, width=0.01, rng=5
+        )
+        c = _centers(qs)
+        early = c[:50].mean(axis=0)
+        late = c[200:250].mean(axis=0)
+        # half a period later the orbit is on the other side of the domain
+        assert np.linalg.norm(early - late) > 500
+        # within a window the crowd is tight around the orbit
+        assert c[:50].std(axis=0).max() < 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_queries(10, 0.01, LO2, HI2, periods=0.0)
+        with pytest.raises(ValueError):
+            diurnal_queries(10, 0.01, LO2, HI2, width=0.0)
+        with pytest.raises(ValueError):
+            diurnal_queries(10, 0.01, LO2, HI2, radius=0.7)
+        with pytest.raises(ValueError):
+            diurnal_queries(10, 0.01, LO2, HI2, hot_fraction=1.5)
+
+
+class TestFlashCrowdQueries:
+    def test_crowd_confined_to_window(self):
+        center = np.array([500.0, 500.0])
+        qs = flash_crowd_queries(
+            200, 0.01, LO2, HI2,
+            start=0.4, duration=0.3, intensity=1.0, width=0.01,
+            center=center, rng=5,
+        )
+        c = _centers(qs)
+        crowd = c[80:140]
+        outside = np.concatenate([c[:80], c[140:]])
+        assert np.abs(crowd - center).max() < 200  # tight around the spot
+        assert outside.std(axis=0).min() > 300  # uniform elsewhere
+
+    def test_hot_mask_does_not_shift_the_uniform_stream(self):
+        """The mask and spot are drawn before the per-query rows, so
+        changing the intensity leaves every *cold* query untouched."""
+        a = flash_crowd_queries(100, 0.01, LO2, HI2, intensity=0.9,
+                                center=[500.0, 500.0], rng=5)
+        b = flash_crowd_queries(100, 0.01, LO2, HI2, intensity=0.1,
+                                center=[500.0, 500.0], rng=5)
+        frac = np.arange(100) / 100
+        outside = (frac < 0.4) | (frac >= 0.7)
+        for i in np.nonzero(outside)[0]:
+            assert np.array_equal(a[i].lo, b[i].lo)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flash_crowd_queries(10, 0.01, LO2, HI2, duration=0.0)
+        with pytest.raises(ValueError):
+            flash_crowd_queries(10, 0.01, LO2, HI2, width=-1.0)
+        with pytest.raises(ValueError):
+            flash_crowd_queries(10, 0.01, LO2, HI2, start=1.5)
+        with pytest.raises(ValueError):
+            flash_crowd_queries(10, 0.01, LO2, HI2, center=[1.0, 2.0, 3.0])
+
+
+class TestHotspotShiftQueries:
+    def test_epochs_hit_distinct_spots(self):
+        qs = hotspot_shift_queries(
+            300, 0.01, LO2, HI2, shift_every=100, intensity=1.0,
+            width=0.005, rng=5,
+        )
+        c = _centers(qs)
+        spots = [c[i * 100 : (i + 1) * 100].mean(axis=0) for i in range(3)]
+        for i in range(3):
+            assert c[i * 100 : (i + 1) * 100].std(axis=0).max() < 100
+            for j in range(i + 1, 3):
+                assert np.linalg.norm(spots[i] - spots[j]) > 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_shift_queries(10, 0.01, LO2, HI2, shift_every=0)
+        with pytest.raises(ValueError):
+            hotspot_shift_queries(10, 0.01, LO2, HI2, width=0.0)
