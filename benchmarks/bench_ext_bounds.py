@@ -1,0 +1,83 @@
+"""Extension benchmark: bounds-tightness harness over the whole registry.
+
+Runs :func:`repro.theory.tightness_report` for every registered scheme on
+a small (grid shape, disk count) matrix: build the scheme on a Cartesian
+product file, measure the **exact** worst-case additive error over every
+box query, and place it between the scheme's theory ceiling (its registry
+``bound_family``) and the scheme-independent DHW floor.
+
+The payload is fully deterministic — errors are exact maxima over an
+exhaustively enumerated query set, bounds are closed-form — so the CI
+gate diffs every number against the committed baseline with ``--exact``.
+A ``within == False`` row is a refutation of a claimed bound and fails
+the bench itself, before any baseline comparison.
+"""
+
+from __future__ import annotations
+
+from conftest import FULL, SEED, once
+
+from repro._util import format_table
+from repro.theory import tightness_report
+
+SHAPES = [(8, 8), (16, 16), (8, 8, 8)] if FULL else [(8, 8), (16, 16)]
+DISKS = [8, 16, 32] if FULL else [8, 16]
+
+
+def _fmt_shape(shape) -> str:
+    return "x".join(str(n) for n in shape)
+
+
+def _run():
+    report = tightness_report(shapes=SHAPES, disks=DISKS, rng=SEED)
+    rows, series = [], []
+    for r in report:
+        rows.append(
+            [
+                r.spec,
+                _fmt_shape(r.shape),
+                r.n_disks,
+                r.error,
+                "-" if r.bound is None else f"{r.bound:g}",
+                r.bound_family or "-",
+                f"{r.lower:.2f}",
+                "yes" if r.within_bound else "VIOLATED",
+            ]
+        )
+        series.append(
+            {
+                "spec": r.spec,
+                "shape": _fmt_shape(r.shape),
+                "disks": r.n_disks,
+                "error": r.error,
+                "bound": r.bound,
+                "family": r.bound_family,
+                "lower": r.lower,
+                "within": r.within_bound,
+            }
+        )
+    return rows, series
+
+
+def test_ext_bounds_tightness(benchmark, report_sink):
+    rows, series = once(benchmark, _run)
+    report_sink(
+        "ext_bounds",
+        format_table(
+            ["method", "grid", "disks", "error", "bound", "family", "lower", "within"],
+            rows,
+            title="Extension: measured worst-case additive error vs theory bounds",
+        ),
+        data={"series": series},
+    )
+    # Soundness: no scheme may violate its claimed ceiling.
+    violations = [s for s in series if not s["within"]]
+    assert violations == [], f"bound violations: {violations}"
+    # The latin-square scheme must sit under the DHW ceiling in every cell
+    # (the headline guarantee this harness exists to keep honest).
+    lsq = [s for s in series if s["spec"].startswith("lsq")]
+    assert lsq and all(s["family"] == "dhw" for s in lsq)
+    assert all(s["error"] <= s["bound"] for s in lsq)
+    # DM's bound is exact (Theorem 1 residue counting): zero slack, always.
+    dm = [s for s in series if s["spec"].startswith("dm")]
+    assert dm and all(s["error"] == s["bound"] for s in dm)

@@ -19,7 +19,7 @@ Run::
 
 import numpy as np
 
-from repro import available_methods, evaluate_queries, make_method, square_queries
+from repro import default_method_slate, evaluate_queries, make_method, square_queries
 from repro.datasets import build_gridfile, load
 from repro.gridfile import PartialMatchQuery, RangeQuery
 from repro.sim import degree_of_data_balance
@@ -56,7 +56,7 @@ def main() -> None:
     print(f"\ndeclustering over {n_disks} disks:")
     print(f"{'method':>10} | {'mean response':>13} | {'balance':>7}")
     results = {}
-    for spec in available_methods():
+    for spec in default_method_slate():
         method = make_method(spec)
         assignment = method.assign(gf, n_disks, rng=1996)
         ev = evaluate_queries(gf, assignment, queries, n_disks)

@@ -31,6 +31,7 @@ from repro.core import (
     MSTDecluster,
     ShortSpanningPath,
     available_methods,
+    default_method_slate,
     make_method,
     optimal_response_time,
     proximity_index,
@@ -68,6 +69,7 @@ __all__ = [
     "MSTDecluster",
     "make_method",
     "available_methods",
+    "default_method_slate",
     "proximity_index",
     "optimal_response_time",
     "square_queries",

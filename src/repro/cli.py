@@ -34,6 +34,11 @@ Subcommands
     Walk a durable store's pages, verify every CRC and the allocator
     free-list, and report (with ``--repair``: repair from the WAL)
     corrupt pages (see ``docs/storage.md``).
+``bounds``
+    Bounds-tightness report: measure each scheme's exact worst-case
+    additive error over every box query of a Cartesian grid and place it
+    between its theory ceiling and the best known lower bound (see
+    ``docs/methods.md``).
 """
 
 from __future__ import annotations
@@ -542,6 +547,56 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_bounds(args) -> int:
+    from repro._util.tables import format_table
+    from repro.theory import tightness_report
+
+    def parse_shape(text: str) -> tuple:
+        try:
+            shape = tuple(int(p) for p in text.lower().split("x"))
+        except ValueError:
+            raise ValueError(f"bad shape {text!r}; use e.g. 16x16 or 8x8x8")
+        if not shape or any(n < 1 for n in shape):
+            raise ValueError(f"bad shape {text!r}; sides must be >= 1")
+        return shape
+
+    try:
+        shapes = [parse_shape(s) for s in (args.shape or ["16x16"])]
+        specs = args.methods.split(",") if args.methods else None
+        rows = tightness_report(
+            specs=specs,
+            shapes=shapes,
+            disks=args.disks or [16],
+            rng=args.seed,
+            lower_bound=args.lower,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    table = [
+        [
+            r.spec,
+            "x".join(str(n) for n in r.shape),
+            r.n_disks,
+            r.error,
+            "-" if r.bound is None else f"{r.bound:g}",
+            r.bound_family or "-",
+            f"{r.lower:.2f}",
+            "yes" if r.within_bound else "VIOLATED",
+        ]
+        for r in rows
+    ]
+    print(format_table(
+        ["method", "grid", "disks", "error", "bound", "family", "lower", "within"],
+        table,
+        title=f"Additive-error tightness (all box queries, lower bound: {args.lower})",
+    ))
+    if not all(r.within_bound for r in rows):
+        print("error: a scheme exceeded its theory bound", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_sql(args) -> int:
     from repro.sql import SqlEngine, SqlError
 
@@ -553,6 +608,7 @@ def _cmd_sql(args) -> int:
             n_disks=args.disks,
             params=_engine_params(args),
             placement=args.placement,
+            method=args.method,
             store_backend=args.store,
             store_path=args.store_path,
             wal_sync=args.wal_sync,
@@ -823,6 +879,10 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--disks", type=int, default=4, help="cluster size (disks)")
     q.add_argument("--placement", default="rr-least-loaded",
                    help="online placement policy for buckets born from splits")
+    q.add_argument("--method", default=None,
+                   help="re-decluster tables with this method spec after every"
+                   " write batch (default: keep the placement policy's"
+                   " incremental assignment)")
     q.add_argument("--store", default="memory", choices=["memory", "file", "mmap"],
                    help="per-table storage backend")
     q.add_argument("--store-path", default=None,
@@ -833,6 +893,21 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("-v", "--verbose", action="store_true",
                    help="print each SELECT's plan (EXPLAIN) to stderr")
     _add_engine_flags(q)
+
+    b = sub.add_parser(
+        "bounds",
+        help="measure schemes' worst-case additive error against theory bounds",
+    )
+    b.add_argument("--methods", default=None,
+                   help="comma-separated method specs (default: every"
+                   " registered scheme)")
+    b.add_argument("--shape", action="append", metavar="NxN",
+                   help="Cartesian grid shape, e.g. 16x16 or 8x8x8"
+                   " (repeatable; default 16x16)")
+    b.add_argument("--disks", type=int, action="append", metavar="M",
+                   help="disk count (repeatable; default 16)")
+    b.add_argument("--lower", default="dhw",
+                   help="lower-bound family to report against (trivial | dhw)")
 
     r = sub.add_parser("report", help="run every experiment into a markdown report")
     r.add_argument("output", help="output .md path")
@@ -874,6 +949,8 @@ def main(argv=None) -> int:
         return _cmd_fsck(args)
     if args.command == "sql":
         return _cmd_sql(args)
+    if args.command == "bounds":
+        return _cmd_bounds(args)
     if args.command == "report":
         from repro.experiments.runall import write_full_report
 

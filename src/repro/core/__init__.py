@@ -33,8 +33,10 @@ from repro.core.diskmodulo import DiskModulo, GeneralizedDiskModulo
 from repro.core.fieldwisexor import FieldwiseXor
 from repro.core.hcam import HCAM
 from repro.core.kl import KLRefine
+from repro.core.latinsquare import LatinSquare
 from repro.core.localsearch import WorkloadTuned
 from repro.core.minimax import Minimax
+from repro.core.onion import OnionScheme
 from repro.core.mst import MSTDecluster
 from repro.core.random_assign import RandomBalanced, RandomDecluster
 from repro.core.placement import (
@@ -57,7 +59,15 @@ from repro.core.proximity import (
     proximity_index,
     proximity_matrix,
 )
-from repro.core.registry import available_methods, make_method
+from repro.core.registry import (
+    REGISTRY,
+    MethodSpec,
+    SchemeEntry,
+    available_methods,
+    default_method_slate,
+    make_method,
+    register_scheme,
+)
 from repro.core.scalable import (
     ProximityGraph,
     ScalableMinimax,
@@ -76,6 +86,8 @@ __all__ = [
     "FieldwiseXor",
     "HCAM",
     "KLRefine",
+    "LatinSquare",
+    "OnionScheme",
     "Minimax",
     "ScalableMinimax",
     "ProximityGraph",
@@ -112,6 +124,11 @@ __all__ = [
     "optimal_response_time",
     "optimal_response_times",
     "available_methods",
+    "default_method_slate",
     "make_method",
+    "MethodSpec",
+    "SchemeEntry",
+    "REGISTRY",
+    "register_scheme",
     "validate_assignment",
 ]

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 
 from repro._util import as_rng, check_positive_int
-from repro.core.registry import available_methods, make_method
+from repro.core.registry import default_method_slate, make_method
 from repro.gridfile.gridfile import GridFile
 from repro.sim.diskmodel import evaluate_queries, query_buckets
 from repro.sim.metrics import degree_of_data_balance
@@ -69,7 +69,7 @@ def recommend(
     if not queries:
         raise ValueError("need a non-empty sample workload")
     if candidates is None:
-        candidates = available_methods()
+        candidates = default_method_slate()
     rng = as_rng(rng)
     bucket_lists = query_buckets(gf, queries)
     sizes = gf.bucket_sizes()

@@ -1,0 +1,27 @@
+"""Onion-curve allocation scheme.
+
+Round robin along the Onion curve (:class:`repro.sfc.OnionCurve`, Xu,
+Nguyen & Tirthapura, ICDE 2018) — HCAM's dealing rule with the
+concentric-shell linearization instead of Hilbert.  The point of the
+curve is clustering quality: a range query decomposes into few maximal
+curve runs, and round robin over ``r`` runs has additive error at most
+``r`` (the ``"curve_runs"`` bound family of :mod:`repro.theory`), so a
+low-run curve is a low-error declustering.
+"""
+
+from __future__ import annotations
+
+from repro.core.hcam import HCAM
+
+__all__ = ["OnionScheme"]
+
+
+class OnionScheme(HCAM):
+    """Round robin along the Onion curve (``onion`` in the registry)."""
+
+    def __init__(self, conflict: str = "data_balance", mode: str = "rank"):
+        super().__init__(conflict, curve="onion", mode=mode)
+        # HCAM brands non-Hilbert curves "HCAM[OnionCurve]"; this is a
+        # first-class scheme with its own spec name, so rebrand.
+        self.base_name = "ONION"
+        self.name = f"ONION/{self._SUFFIX[conflict]}"

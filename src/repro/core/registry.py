@@ -1,34 +1,57 @@
-"""Method registry: construct declustering methods from compact spec strings.
+"""Declarative method registry: spec strings -> declustering methods.
 
-Spec grammar (case-insensitive)::
+Spec grammar (case-insensitive, whitespace-tolerant)::
 
-    dm | fx | hcam | gdm    index-based, default data-balance conflicts
-    dm/R dm/F dm/D dm/A     explicit conflict heuristic
-                            (R=random F=most-frequent D=data A=area balance)
-    hcam:zorder/D           HCAM over an alternative curve
-    ssp | mst | minimax     proximity/similarity-based
-    minimax:euclidean       minimax with the Euclidean ablation weight
-    sminimax                scalable hierarchical minimax (large-N path)
-    sminimax:euclidean      ... with the Euclidean ablation weight
-    kl | kl:minimax         Kernighan-Lin refinement of a base method
-    random | randomrr       unstructured baselines
+    spec     := name [":" option] ["/" conflict]
+    name     := letter (letter | digit | "_")*
+    option   := (letter | digit | "_")+
+    conflict := "R" | "F" | "D" | "A"
+                (R=random F=most-frequent D=data A=area balance)
 
-Used by the CLI, the experiment drivers and the benchmark harness so that a
-configuration is a plain list of strings.
+Parsing produces a :class:`MethodSpec` AST node that round-trips through
+``str()`` (``parse(str(s)) == s``); malformed specs raise ``ValueError``
+with the offending position and context, never escape.
+
+Every scheme is a :class:`SchemeEntry` record in :data:`REGISTRY` carrying
+a *lazy* factory (the implementing module is imported only when the scheme
+is actually built, so this module participates in no import cycles) plus
+capability metadata: scheme kind (index-based vs proximity-based vs
+unstructured baseline), whether it accepts a conflict heuristic or an
+option, whether it scales past O(N²), and which theory-bound family of
+:mod:`repro.theory` covers it.  :func:`available_methods` and every error
+message are derived from the registry, so they can never drift from it.
+
+Built-in schemes::
+
+    dm | fx | gdm | hcam | lsq | onion   index-based (take "/R /F /D /A")
+    hcam:zorder/D                        HCAM over an alternative curve
+    lsq                                  DHW latin-square (good-lattice) scheme
+    onion                                round robin along the Onion curve
+    ssp | mst | minimax                  proximity/similarity-based
+    minimax:euclidean                    minimax with the Euclidean weight
+    sminimax[:euclidean]                 scalable hierarchical minimax
+    kl | kl:minimax                      Kernighan-Lin refinement of a base
+    random | randomrr                    unstructured baselines
+
+Used by the CLI, the experiment drivers, the SQL engine and the benchmark
+harness so that a configuration is a plain list of strings.
 """
 
 from __future__ import annotations
 
-from repro.core.base import DeclusteringMethod
-from repro.core.diskmodulo import DiskModulo, GeneralizedDiskModulo
-from repro.core.fieldwisexor import FieldwiseXor
-from repro.core.hcam import HCAM
-from repro.core.minimax import Minimax
-from repro.core.mst import MSTDecluster
-from repro.core.random_assign import RandomBalanced, RandomDecluster
-from repro.core.ssp import ShortSpanningPath
+import importlib
+import re
+from dataclasses import dataclass, field
 
-__all__ = ["make_method", "available_methods"]
+__all__ = [
+    "MethodSpec",
+    "SchemeEntry",
+    "REGISTRY",
+    "register_scheme",
+    "make_method",
+    "available_methods",
+    "default_method_slate",
+]
 
 _CONFLICT_BY_LETTER = {
     "R": "random",
@@ -37,71 +60,419 @@ _CONFLICT_BY_LETTER = {
     "A": "area_balance",
 }
 
-
-def available_methods() -> list[str]:
-    """Canonical spec strings for every built-in method."""
-    return [
-        "dm/D",
-        "fx/D",
-        "hcam/D",
-        "ssp",
-        "mst",
-        "minimax",
-    ]
+_NAME_RE = re.compile(r"[A-Za-z][A-Za-z0-9_]*")
+_OPTION_RE = re.compile(r"[A-Za-z0-9_]+")
 
 
-def make_method(spec: str) -> DeclusteringMethod:
-    """Build a :class:`DeclusteringMethod` from a spec string (see module doc)."""
-    spec = spec.strip()
-    if not spec:
-        raise ValueError("empty method spec")
-    base, _, conflict_letter = spec.partition("/")
-    base = base.strip()
-    name, _, option = base.partition(":")
-    name = name.lower()
-    option = option.strip().lower()
+@dataclass(frozen=True)
+class MethodSpec:
+    """Parsed form of one method spec string (``name[:option][/conflict]``).
 
-    conflict = "data_balance"
-    if conflict_letter:
-        letter = conflict_letter.strip().upper()
-        if letter not in _CONFLICT_BY_LETTER:
-            raise ValueError(
-                f"unknown conflict letter {conflict_letter!r}; use one of R F D A"
+    ``name`` and ``option`` are canonically lower-case, ``conflict`` is one
+    of the upper-case letters ``R F D A`` (or None when the spec carries no
+    conflict suffix).  ``str()`` renders the canonical spec string and
+    ``parse(str(spec)) == spec`` holds for every valid spec.
+    """
+
+    name: str
+    option: "str | None" = None
+    conflict: "str | None" = None
+
+    def __str__(self) -> str:
+        out = self.name
+        if self.option is not None:
+            out += f":{self.option}"
+        if self.conflict is not None:
+            out += f"/{self.conflict}"
+        return out
+
+    @property
+    def conflict_name(self) -> "str | None":
+        """Full conflict-heuristic name for the letter (None if absent)."""
+        return _CONFLICT_BY_LETTER[self.conflict] if self.conflict else None
+
+    @classmethod
+    def parse(cls, text: str) -> "MethodSpec":
+        """Parse a spec string, raising ``ValueError`` with position/context.
+
+        Whitespace around tokens is tolerated and case is normalized, so
+        ``" DM :ZOrder / d "`` parses to ``dm:zorder/D``.
+        """
+        if not isinstance(text, str):
+            raise TypeError(f"method spec must be a string, got {type(text).__name__}")
+        s = text.strip()
+        if not s:
+            raise ValueError("empty method spec")
+
+        def err(pos: int, msg: str) -> "ValueError":
+            return ValueError(
+                f"bad method spec {text!r}: {msg} at position {pos} "
+                f"(grammar: name[:option][/conflict])"
             )
-        conflict = _CONFLICT_BY_LETTER[letter]
 
-    if name == "dm":
-        return DiskModulo(conflict)
-    if name == "fx":
-        return FieldwiseXor(conflict)
-    if name == "gdm":
-        return GeneralizedDiskModulo(conflict)
-    if name == "hcam":
-        if option:
-            return HCAM(conflict, curve=option)
-        return HCAM(conflict)
-    if conflict_letter:
-        raise ValueError(f"method {name!r} does not take a conflict heuristic")
-    if name == "ssp":
-        return ShortSpanningPath()
-    if name == "mst":
-        return MSTDecluster()
-    if name == "minimax":
-        if option:
-            return Minimax(weight=option)
-        return Minimax()
-    if name == "sminimax":
-        from repro.core.scalable import ScalableMinimax  # local import breaks the cycle
+        def skip_ws(i: int) -> int:
+            while i < len(s) and s[i].isspace():
+                i += 1
+            return i
 
-        if option:
-            return ScalableMinimax(weight=option)
-        return ScalableMinimax()
-    if name == "kl":
-        from repro.core.kl import KLRefine  # local import breaks the cycle
+        i = 0
+        m = _NAME_RE.match(s, i)
+        if not m:
+            raise err(i, f"expected a method name, found {s[i:i + 8]!r}")
+        name = m.group().lower()
+        i = skip_ws(m.end())
 
-        return KLRefine(base=option) if option else KLRefine()
-    if name == "random":
-        return RandomDecluster()
-    if name == "randomrr":
-        return RandomBalanced()
-    raise ValueError(f"unknown declustering method {spec!r}")
+        option = None
+        if i < len(s) and s[i] == ":":
+            i = skip_ws(i + 1)
+            m = _OPTION_RE.match(s, i)
+            if not m:
+                raise err(i, "expected an option after ':'")
+            option = m.group().lower()
+            i = skip_ws(m.end())
+
+        conflict = None
+        if i < len(s) and s[i] == "/":
+            i = skip_ws(i + 1)
+            if i >= len(s):
+                raise err(i, "expected a conflict letter after '/'")
+            letter = s[i].upper()
+            if letter not in _CONFLICT_BY_LETTER:
+                raise err(
+                    i, f"unknown conflict letter {s[i]!r}; use one of R F D A"
+                )
+            conflict = letter
+            i = skip_ws(i + 1)
+
+        if i < len(s):
+            raise err(i, f"unexpected trailing text {s[i:]!r}")
+        return cls(name=name, option=option, conflict=conflict)
+
+
+def _load(module: str, attr: str):
+    """Import ``module`` lazily and fetch ``attr`` — the factory seam that
+    keeps this module free of compile-time dependencies on scheme modules
+    (and therefore free of the old ``sminimax``/``kl`` import cycles)."""
+    return getattr(importlib.import_module(module), attr)
+
+
+@dataclass(frozen=True)
+class SchemeEntry:
+    """One registered declustering scheme plus its capability metadata.
+
+    Parameters
+    ----------
+    name:
+        Canonical spec name (the grammar's ``name`` token).
+    summary:
+        One-line description for listings and docs.
+    kind:
+        ``"index"`` (per-cell function lifted through conflict resolution),
+        ``"proximity"`` (works on bucket regions directly) or ``"baseline"``
+        (unstructured reference).
+    factory:
+        ``factory(spec: MethodSpec) -> DeclusteringMethod``; imports the
+        implementing module lazily.
+    accepts_conflict:
+        Whether ``/R /F /D /A`` suffixes are legal (index-based schemes).
+    option_name:
+        What the ``:option`` token means (``"curve"``, ``"weight"``,
+        ``"base"``) or None when the scheme takes no option.
+    option_values:
+        Enumerable option values for listings (None = free-form or no
+        option).  May be a callable for lazily-resolved value sets.
+    scalable:
+        Whether the scheme stays practical far past O(N²) bucket counts.
+    bound_family:
+        The :mod:`repro.theory` additive-error bound family covering the
+        scheme (``"dm"``, ``"fx"``, ``"dhw"``, ``"curve_runs"``) or None.
+    in_default_slate:
+        Whether the scheme belongs to the canonical paper slate used by the
+        method advisor and the quick-start examples.
+    """
+
+    name: str
+    summary: str
+    kind: str
+    factory: "object" = field(repr=False, default=None)
+    accepts_conflict: bool = False
+    option_name: "str | None" = None
+    option_values: "object" = None
+    scalable: bool = False
+    bound_family: "str | None" = None
+    in_default_slate: bool = False
+
+    def options(self) -> "tuple[str, ...]":
+        """Enumerable option values (empty when free-form or option-less)."""
+        values = self.option_values
+        if values is None:
+            return ()
+        if callable(values):
+            values = values()
+        return tuple(values)
+
+    def default_spec(self) -> str:
+        """Canonical spec string selecting this scheme with its defaults."""
+        return f"{self.name}/D" if self.accepts_conflict else self.name
+
+
+#: Name -> entry, in registration (presentation) order.
+REGISTRY: "dict[str, SchemeEntry]" = {}
+
+
+def register_scheme(entry: SchemeEntry) -> SchemeEntry:
+    """Add ``entry`` to :data:`REGISTRY` (rejects duplicate names)."""
+    if entry.name in REGISTRY:
+        raise ValueError(f"scheme {entry.name!r} is already registered")
+    if entry.kind not in ("index", "proximity", "baseline"):
+        raise ValueError(f"unknown scheme kind {entry.kind!r}")
+    REGISTRY[entry.name] = entry
+    return entry
+
+
+# --------------------------------------------------------------- factories
+def _conflict(spec: MethodSpec) -> str:
+    return spec.conflict_name or "data_balance"
+
+
+def _dm_factory(spec):
+    return _load("repro.core.diskmodulo", "DiskModulo")(_conflict(spec))
+
+
+def _gdm_factory(spec):
+    return _load("repro.core.diskmodulo", "GeneralizedDiskModulo")(_conflict(spec))
+
+
+def _fx_factory(spec):
+    return _load("repro.core.fieldwisexor", "FieldwiseXor")(_conflict(spec))
+
+
+def _hcam_factory(spec):
+    cls = _load("repro.core.hcam", "HCAM")
+    if spec.option:
+        return cls(_conflict(spec), curve=spec.option)
+    return cls(_conflict(spec))
+
+
+def _lsq_factory(spec):
+    return _load("repro.core.latinsquare", "LatinSquare")(_conflict(spec))
+
+
+def _onion_factory(spec):
+    return _load("repro.core.onion", "OnionScheme")(_conflict(spec))
+
+
+def _ssp_factory(spec):
+    return _load("repro.core.ssp", "ShortSpanningPath")()
+
+
+def _mst_factory(spec):
+    return _load("repro.core.mst", "MSTDecluster")()
+
+
+def _minimax_factory(spec):
+    cls = _load("repro.core.minimax", "Minimax")
+    return cls(weight=spec.option) if spec.option else cls()
+
+
+def _sminimax_factory(spec):
+    cls = _load("repro.core.scalable", "ScalableMinimax")
+    return cls(weight=spec.option) if spec.option else cls()
+
+
+def _kl_factory(spec):
+    cls = _load("repro.core.kl", "KLRefine")
+    return cls(base=spec.option) if spec.option else cls()
+
+
+def _random_factory(spec):
+    return _load("repro.core.random_assign", "RandomDecluster")()
+
+
+def _randomrr_factory(spec):
+    return _load("repro.core.random_assign", "RandomBalanced")()
+
+
+def _curve_names() -> "tuple[str, ...]":
+    return tuple(sorted(_load("repro.sfc", "CURVES")))
+
+
+# ---------------------------------------------------------------- entries
+register_scheme(SchemeEntry(
+    name="dm",
+    summary="Disk Modulo: disk = (i_1 + ... + i_d) mod M",
+    kind="index",
+    factory=_dm_factory,
+    accepts_conflict=True,
+    scalable=True,
+    bound_family="dm",
+    in_default_slate=True,
+))
+register_scheme(SchemeEntry(
+    name="fx",
+    summary="Fieldwise XOR: disk = (i_1 XOR ... XOR i_d) mod M",
+    kind="index",
+    factory=_fx_factory,
+    accepts_conflict=True,
+    scalable=True,
+    bound_family="fx",
+    in_default_slate=True,
+))
+register_scheme(SchemeEntry(
+    name="gdm",
+    summary="Generalized Disk Modulo: disk = (sum c_k * i_k) mod M",
+    kind="index",
+    factory=_gdm_factory,
+    accepts_conflict=True,
+    scalable=True,
+))
+register_scheme(SchemeEntry(
+    name="hcam",
+    summary="Round robin along a space-filling curve (default Hilbert)",
+    kind="index",
+    factory=_hcam_factory,
+    accepts_conflict=True,
+    option_name="curve",
+    option_values=_curve_names,
+    scalable=True,
+    bound_family="curve_runs",
+    in_default_slate=True,
+))
+register_scheme(SchemeEntry(
+    name="lsq",
+    summary="DHW latin-square scheme: good-lattice multipliers, "
+            "discrepancy-bounded additive error",
+    kind="index",
+    factory=_lsq_factory,
+    accepts_conflict=True,
+    scalable=True,
+    bound_family="dhw",
+))
+register_scheme(SchemeEntry(
+    name="onion",
+    summary="Round robin along the Onion curve (near-optimal clustering)",
+    kind="index",
+    factory=_onion_factory,
+    accepts_conflict=True,
+    scalable=True,
+    bound_family="curve_runs",
+))
+register_scheme(SchemeEntry(
+    name="ssp",
+    summary="Short Spanning Path similarity baseline (Fang et al.)",
+    kind="proximity",
+    factory=_ssp_factory,
+    in_default_slate=True,
+))
+register_scheme(SchemeEntry(
+    name="mst",
+    summary="Minimum-spanning-tree similarity baseline (Fang et al.)",
+    kind="proximity",
+    factory=_mst_factory,
+    in_default_slate=True,
+))
+register_scheme(SchemeEntry(
+    name="minimax",
+    summary="The paper's minimax spanning-tree algorithm (O(N^2))",
+    kind="proximity",
+    factory=_minimax_factory,
+    option_name="weight",
+    option_values=("euclidean",),
+    in_default_slate=True,
+))
+register_scheme(SchemeEntry(
+    name="sminimax",
+    summary="Scalable hierarchical minimax (sparse k-NN graph, large N)",
+    kind="proximity",
+    factory=_sminimax_factory,
+    option_name="weight",
+    option_values=("euclidean",),
+    scalable=True,
+))
+register_scheme(SchemeEntry(
+    name="kl",
+    summary="Kernighan-Lin max-cut refinement of a base method",
+    kind="proximity",
+    factory=_kl_factory,
+    option_name="base",
+    option_values=("minimax",),
+))
+register_scheme(SchemeEntry(
+    name="random",
+    summary="Uniform random assignment (unstructured baseline)",
+    kind="baseline",
+    factory=_random_factory,
+))
+register_scheme(SchemeEntry(
+    name="randomrr",
+    summary="Random balanced (shuffled round robin) baseline",
+    kind="baseline",
+    factory=_randomrr_factory,
+))
+
+
+# ------------------------------------------------------------ public API
+def make_method(spec: "str | MethodSpec"):
+    """Build a :class:`~repro.core.base.DeclusteringMethod` from a spec.
+
+    Accepts a spec string (see module doc for the grammar) or an
+    already-parsed :class:`MethodSpec`.  Raises ``ValueError`` naming every
+    registered scheme for unknown names, and rejecting conflict/option
+    tokens on schemes whose registry entry does not accept them.
+    """
+    if isinstance(spec, str):
+        spec = MethodSpec.parse(spec)
+    entry = REGISTRY.get(spec.name)
+    if entry is None:
+        raise ValueError(
+            f"unknown declustering method {spec.name!r}; "
+            f"choose from {sorted(REGISTRY)}"
+        )
+    if spec.conflict is not None and not entry.accepts_conflict:
+        raise ValueError(
+            f"method {spec.name!r} does not take a conflict heuristic"
+        )
+    if spec.option is not None and entry.option_name is None:
+        raise ValueError(
+            f"method {spec.name!r} does not take a ':{spec.option}' option"
+        )
+    return entry.factory(spec)
+
+
+def available_methods() -> "list[str]":
+    """Canonical spec strings for **every** registered scheme and variant.
+
+    Derived from :data:`REGISTRY`, so it can never drift from what
+    :func:`make_method` accepts: for each scheme the conflict variants (if
+    the scheme accepts a conflict heuristic) and each enumerable option
+    with the default conflict.  Every returned spec is constructible.
+    """
+    out: "list[str]" = []
+    for entry in REGISTRY.values():
+        if entry.accepts_conflict:
+            out.extend(f"{entry.name}/{letter}" for letter in "RFDA")
+        else:
+            out.append(entry.name)
+        default = _default_option(entry)
+        for opt in entry.options():
+            if opt == default:
+                continue
+            spec = MethodSpec(entry.name, opt, "D" if entry.accepts_conflict else None)
+            out.append(str(spec))
+    return out
+
+
+def _default_option(entry: SchemeEntry) -> "str | None":
+    """The option value the bare spec already selects (skip in listings)."""
+    if entry.name == "hcam":
+        return "hilbert"
+    return None
+
+
+def default_method_slate() -> "list[str]":
+    """The canonical paper slate (advisor candidates, quick-start examples).
+
+    Derived from the registry's ``in_default_slate`` flag; matches the
+    pre-refactor ``available_methods()`` output.
+    """
+    return [e.default_spec() for e in REGISTRY.values() if e.in_default_slate]

@@ -20,6 +20,7 @@ into the smallest enclosing cube).
 from repro.sfc.base import SpaceFillingCurve, bits_for
 from repro.sfc.gray import GrayCurve
 from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.onion import OnionCurve
 from repro.sfc.scan import ScanCurve
 from repro.sfc.zorder import ZOrderCurve
 
@@ -28,6 +29,7 @@ CURVES = {
     "zorder": ZOrderCurve,
     "gray": GrayCurve,
     "scan": ScanCurve,
+    "onion": OnionCurve,
 }
 
 __all__ = [
@@ -36,6 +38,7 @@ __all__ = [
     "ZOrderCurve",
     "GrayCurve",
     "ScanCurve",
+    "OnionCurve",
     "CURVES",
     "bits_for",
 ]

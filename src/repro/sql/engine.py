@@ -131,6 +131,14 @@ class SqlEngine:
         Cluster cost model / pipeline seams (defaults mirror the repo).
     placement:
         Online placement policy name for buckets born from splits.
+    method:
+        Optional declustering method spec (any string accepted by
+        :func:`repro.core.registry.make_method`, e.g. ``"lsq/D"``).  When
+        set, every table is re-declustered with that method after each
+        write batch, instead of keeping the placement policy's incremental
+        assignment.  Default None preserves the incremental behavior
+        bit-for-bit.  Invalid specs are rejected here, at engine
+        construction.
     store_backend, store_path, wal_sync:
         Storage backend per table (``memory`` / ``file`` / ``mmap``; file
         backends persist under ``store_path/<table>.gfdb``).
@@ -141,14 +149,20 @@ class SqlEngine:
         n_disks: int = 4,
         params: "ClusterParams | None" = None,
         placement: str = "rr-least-loaded",
+        method: "str | None" = None,
         store_backend: str = "memory",
         store_path=None,
         wal_sync: str = "commit",
         seed: int = 1996,
     ):
+        from repro.core.registry import make_method
+
         self.n_disks = int(n_disks)
         self.params = params or ClusterParams()
         self.placement = placement
+        self.method = method
+        if method is not None:
+            make_method(method)  # fail fast on a bad spec
         self.store_backend = store_backend
         self.store_path = store_path
         self.wal_sync = wal_sync
@@ -194,6 +208,12 @@ class SqlEngine:
         table.assignment = np.asarray(
             cluster.pgf.coordinator.assignment, dtype=np.int64
         )
+        if self.method is not None:
+            from repro.core.registry import make_method
+
+            table.assignment = make_method(self.method).assign(
+                table.gf, self.n_disks, rng=self.seed
+            )
         table.mark_dirty()
         return report
 

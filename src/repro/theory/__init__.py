@@ -1,0 +1,52 @@
+"""Theory layer: additive-error bounds, measured exactly.
+
+The paper states per-scheme response-time theorems (Theorem 1 for DM,
+Theorem 2 for FX); later declustering theory (Doerr–Hebbinghaus–Werth,
+the Onion-curve analysis) instead speaks one common language — worst-case
+**additive error** over box queries, relative to the ideal
+``ceil(|Q|/M)``.  This package generalizes the repo's theorem modules
+into that language:
+
+* :mod:`repro.theory.additive` — exact worst-case additive error of any
+  scheme over *all* box queries of a grid (prefix-sum sweep, not
+  sampling), plus the exact worst-case curve run count;
+* :mod:`repro.theory.bounds` — pluggable registries of lower bounds
+  (floors no scheme can beat) and per-family additive bounds (ceilings
+  schemes promise), keyed by ``SchemeEntry.bound_family``;
+* :mod:`repro.theory.harness` — the tightness report that pins every
+  registered scheme between its ceiling and the floor, used by the
+  ``repro bounds`` CLI, the test suite and the ``bounds`` CI gate.
+"""
+
+from repro.theory.additive import (
+    AdditiveErrorResult,
+    curve_rank_grid,
+    max_box_runs,
+    scheme_disk_grid,
+    worst_additive_error,
+)
+from repro.theory.bounds import (
+    ADDITIVE_BOUNDS,
+    LOWER_BOUNDS,
+    AdditiveBound,
+    LowerBound,
+    make_additive_bound,
+    make_lower_bound,
+)
+from repro.theory.harness import TightnessRow, tightness_report
+
+__all__ = [
+    "AdditiveErrorResult",
+    "scheme_disk_grid",
+    "worst_additive_error",
+    "curve_rank_grid",
+    "max_box_runs",
+    "LowerBound",
+    "AdditiveBound",
+    "LOWER_BOUNDS",
+    "ADDITIVE_BOUNDS",
+    "make_lower_bound",
+    "make_additive_bound",
+    "TightnessRow",
+    "tightness_report",
+]

@@ -1,0 +1,172 @@
+"""Pluggable bound families: what theory promises each scheme.
+
+Generalizes the paper-specific closed forms of
+:mod:`repro.analysis.theorem1` (DM) and :mod:`repro.analysis.theorem2`
+(FX) into two registries keyed by family name, mirroring the method
+registry convention:
+
+* :data:`LOWER_BOUNDS` — scheme-independent floors: no declustering of a
+  d-dimensional grid onto M disks can have worst-case additive error below
+  this (``"dhw"`` is the Doerr–Hebbinghaus–Werth
+  ``Omega((log M)^((d-1)/2))`` bound, stated here with a deliberately
+  conservative constant so it never overclaims at small M).
+* :data:`ADDITIVE_BOUNDS` — per-family ceilings on a scheme's worst-case
+  additive error, referenced from ``SchemeEntry.bound_family``:
+
+  - ``"dm"``: **exact** — Theorem 1's residue-counting argument
+    generalizes to any box via ``dm_response_exact_box`` (position
+    independent), maximized over all query shapes of the grid;
+  - ``"dhw"``: the latin-square discrepancy bound
+    ``(log2 M)^(d-1) + 1`` for :class:`repro.core.latinsquare.LatinSquare`;
+  - ``"curve_runs"``: for round-robin-along-a-curve schemes,
+    ``err(Q) <= runs(Q) - 1`` (a contiguous run deals perfectly; each
+    extra run costs at most one), instantiated with the exact worst-case
+    run count of the scheme's own curve on the grid;
+  - ``"fx"``: no worst-case additive form — Theorem 2 bounds FX's
+    *expected* response on power-of-two squares, so the family resolves
+    to None and reports show an em dash (the expected-response analysis
+    stays in :mod:`repro.analysis.theorem2`).
+
+Every bound here is falsified or confirmed by exact measurement in
+:mod:`repro.theory.harness`; nothing is trusted on paper authority alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from math import ceil, log2, prod
+
+from repro.theory.additive import curve_rank_grid, max_box_runs
+
+__all__ = [
+    "LowerBound",
+    "AdditiveBound",
+    "LOWER_BOUNDS",
+    "ADDITIVE_BOUNDS",
+    "make_lower_bound",
+    "make_additive_bound",
+]
+
+
+@dataclass(frozen=True)
+class LowerBound:
+    """A scheme-independent floor on worst-case additive error."""
+
+    name: str
+    description: str
+    fn: "object"  # (n_disks, dims) -> float
+
+    def __call__(self, n_disks: int, dims: int) -> float:
+        return float(self.fn(n_disks, dims))
+
+
+@dataclass(frozen=True)
+class AdditiveBound:
+    """A per-family ceiling on a scheme's worst-case additive error.
+
+    ``fn(shape, n_disks, method)`` returns the bound for that grid and
+    disk count (``method`` is the built scheme, for families like
+    ``"curve_runs"`` that interrogate the instance), or None when the
+    family has no worst-case form.
+    """
+
+    name: str
+    description: str
+    exact: bool  # True when the bound is attained, not just an upper bound
+    fn: "object"  # (shape, n_disks, method) -> float | None
+
+    def __call__(self, shape, n_disks: int, method=None) -> "float | None":
+        out = self.fn(shape, n_disks, method)
+        return None if out is None else float(out)
+
+
+def _dhw_lower(n_disks: int, dims: int) -> float:
+    if dims < 2 or n_disks < 2:
+        return 0.0
+    return log2(n_disks) ** ((dims - 1) / 2) / 8.0
+
+
+LOWER_BOUNDS: "dict[str, LowerBound]" = {
+    "trivial": LowerBound(
+        "trivial", "zero: additive error is nonnegative by definition", lambda m, d: 0.0
+    ),
+    "dhw": LowerBound(
+        "dhw",
+        "Doerr-Hebbinghaus-Werth Omega((log M)^((d-1)/2)) floor "
+        "(conservative constant 1/8)",
+        _dhw_lower,
+    ),
+}
+
+
+def _dm_additive(shape, n_disks, method):
+    from repro.analysis.theorem1 import dm_response_exact_box
+
+    worst = 0
+    for qshape in product(*(range(1, int(n) + 1) for n in shape)):
+        err = dm_response_exact_box(qshape, n_disks) - ceil(prod(qshape) / n_disks)
+        worst = max(worst, err)
+    return worst
+
+
+def _dhw_additive(shape, n_disks, method):
+    if n_disks < 2:
+        return 0.0
+    return log2(n_disks) ** (len(tuple(shape)) - 1) + 1.0
+
+
+def _curve_runs_additive(shape, n_disks, method):
+    if method is None:
+        return None
+    ranks = curve_rank_grid(method, shape)
+    if ranks is None:
+        return None
+    return max_box_runs(ranks) - 1
+
+
+ADDITIVE_BOUNDS: "dict[str, AdditiveBound]" = {
+    "dm": AdditiveBound(
+        "dm",
+        "exact worst box-query error from Theorem 1's residue counts",
+        exact=True,
+        fn=_dm_additive,
+    ),
+    "dhw": AdditiveBound(
+        "dhw",
+        "latin-square discrepancy bound (log2 M)^(d-1) + 1",
+        exact=False,
+        fn=_dhw_additive,
+    ),
+    "curve_runs": AdditiveBound(
+        "curve_runs",
+        "round robin over r curve runs errs by at most r - 1 "
+        "(instantiated with the curve's exact worst-case run count)",
+        exact=False,
+        fn=_curve_runs_additive,
+    ),
+    "fx": AdditiveBound(
+        "fx",
+        "no worst-case form; Theorem 2 bounds FX's expected response only",
+        exact=False,
+        fn=lambda shape, m, method: None,
+    ),
+}
+
+
+def make_lower_bound(name: str) -> LowerBound:
+    """Look up a lower-bound family (unknown names list every valid one)."""
+    if name not in LOWER_BOUNDS:
+        raise ValueError(
+            f"unknown lower bound {name!r}; choose from {sorted(LOWER_BOUNDS)}"
+        )
+    return LOWER_BOUNDS[name]
+
+
+def make_additive_bound(name: str) -> AdditiveBound:
+    """Look up an additive-bound family (unknown names list every valid one)."""
+    if name not in ADDITIVE_BOUNDS:
+        raise ValueError(
+            f"unknown additive bound {name!r}; choose from {sorted(ADDITIVE_BOUNDS)}"
+        )
+    return ADDITIVE_BOUNDS[name]

@@ -1,0 +1,120 @@
+"""Bounds-tightness harness: measured worst case vs promised bounds.
+
+For each (scheme, grid shape, disk count) triple the harness builds the
+scheme on a Cartesian product file, measures the **exact** worst-case
+additive error over every box query (:mod:`repro.theory.additive`), and
+places it between the scheme's theory ceiling (its registry
+``bound_family``) and the best known scheme-independent floor
+(:mod:`repro.theory.bounds`).  The result answers two questions the
+paper-era tables cannot:
+
+* *soundness* — does any scheme violate its claimed bound?  (a row with
+  ``within_bound == False`` is a refutation, and the test suite and the
+  ``bounds`` CI gate both fail on it);
+* *tightness* — how much daylight is there between what a scheme achieves
+  and what the theory promises (``slack``), and how close is the best
+  scheme to the floor below which no scheme can go?
+
+Exposed on the command line as ``repro bounds`` and benchmarked (with an
+exactly-gated baseline) in ``benchmarks/bench_ext_bounds.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.registry import REGISTRY, MethodSpec, make_method
+from repro.theory.additive import scheme_disk_grid, worst_additive_error
+from repro.theory.bounds import make_additive_bound, make_lower_bound
+
+__all__ = ["TightnessRow", "tightness_report"]
+
+
+@dataclass(frozen=True)
+class TightnessRow:
+    """One (scheme, grid, disks) measurement placed between its bounds."""
+
+    spec: str
+    shape: "tuple[int, ...]"
+    n_disks: int
+    error: int
+    worst_query: "tuple[tuple[int, ...], tuple[int, ...]]"
+    n_queries: int
+    bound_family: "str | None"
+    bound: "float | None"
+    lower: float
+
+    @property
+    def within_bound(self) -> bool:
+        """True unless the measurement refutes the scheme's ceiling."""
+        return self.bound is None or self.error <= self.bound
+
+    @property
+    def slack(self) -> "float | None":
+        """Ceiling minus measurement (how loose the theory is); None if
+        the scheme has no worst-case bound."""
+        return None if self.bound is None else self.bound - self.error
+
+
+def tightness_report(
+    specs=None,
+    shapes=((16, 16),),
+    disks=(16,),
+    rng=1996,
+    lower_bound: str = "dhw",
+) -> "list[TightnessRow]":
+    """Measure every requested scheme against its bounds.
+
+    Parameters
+    ----------
+    specs:
+        Method spec strings (default: one default spec per registered
+        scheme — the whole registry).
+    shapes:
+        Grid shapes to evaluate; every box query of each grid is
+        enumerated exactly, so keep cell counts moderate (<= ~10^4).
+    disks:
+        Disk counts M.
+    rng:
+        Seed for randomized schemes, so reports are reproducible.
+    lower_bound:
+        Name of the scheme-independent floor family to report against.
+
+    Returns
+    -------
+    list[TightnessRow]
+        One row per (spec, shape, M), in the given order.
+    """
+    if specs is None:
+        specs = [entry.default_spec() for entry in REGISTRY.values()]
+    floor = make_lower_bound(lower_bound)
+    rows: "list[TightnessRow]" = []
+    for spec in specs:
+        parsed = MethodSpec.parse(spec) if isinstance(spec, str) else spec
+        entry = REGISTRY.get(parsed.name)
+        family = entry.bound_family if entry is not None else None
+        for shape in shapes:
+            shape = tuple(int(n) for n in shape)
+            for n_disks in disks:
+                method = make_method(parsed)
+                grid = scheme_disk_grid(method, shape, n_disks, rng=rng)
+                res = worst_additive_error(grid, n_disks)
+                bound = (
+                    make_additive_bound(family)(shape, n_disks, method)
+                    if family is not None
+                    else None
+                )
+                rows.append(
+                    TightnessRow(
+                        spec=str(parsed),
+                        shape=shape,
+                        n_disks=n_disks,
+                        error=res.error,
+                        worst_query=res.witness,
+                        n_queries=res.n_queries,
+                        bound_family=family,
+                        bound=bound,
+                        lower=floor(n_disks, len(shape)),
+                    )
+                )
+    return rows

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.core",
     "repro.sim",
     "repro.analysis",
+    "repro.theory",
     "repro.parallel",
     "repro.storage",
     "repro.rtree",

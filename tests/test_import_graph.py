@@ -1,0 +1,92 @@
+"""Import-graph hygiene for the declarative registry.
+
+The old registry imported scheme modules at module level and needed
+function-local imports to dodge two cycles (``repro.core.scalable`` and
+``repro.core.kl`` both import the registry back).  The declarative rewrite
+resolves schemes through lazy factories instead, so these tests pin the
+property that made the workarounds unnecessary: the registry *module*
+depends on no scheme module (it executes standalone, without the repro
+package loaded at all), and every scheme module — which may import the
+registry freely — still loads without a cycle.
+"""
+
+import ast
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REGISTRY_PATH = Path(__file__).parent.parent / "src" / "repro" / "core" / "registry.py"
+
+SCHEME_MODULES = [
+    "repro.core.diskmodulo",
+    "repro.core.fieldwisexor",
+    "repro.core.hcam",
+    "repro.core.latinsquare",
+    "repro.core.onion",
+    "repro.core.ssp",
+    "repro.core.mst",
+    "repro.core.minimax",
+    "repro.core.scalable",
+    "repro.core.kl",
+    "repro.core.random_assign",
+]
+
+
+def test_registry_has_no_module_level_repro_imports():
+    """Statically: no ``import repro...`` anywhere at registry module level."""
+    tree = ast.parse(REGISTRY_PATH.read_text())
+    offenders = []
+    for node in tree.body:  # module level only — factory bodies are exempt
+        if isinstance(node, ast.Import):
+            offenders += [a.name for a in node.names if a.name.startswith("repro")]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.startswith("repro"):
+                offenders.append(node.module)
+    assert offenders == [], f"registry imports {offenders} at module level"
+
+
+def test_registry_executes_standalone():
+    """Dynamically: registry.py runs without the repro package loaded."""
+    code = (
+        "import importlib.util, sys\n"
+        f"spec = importlib.util.spec_from_file_location('reg', {str(REGISTRY_PATH)!r})\n"
+        "mod = importlib.util.module_from_spec(spec)\n"
+        "sys.modules['reg'] = mod\n"
+        "spec.loader.exec_module(mod)\n"
+        "assert 'repro' not in sys.modules, 'registry pulled in repro'\n"
+        "assert len(mod.REGISTRY) >= 13\n"
+        "print('ok')\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert out.returncode == 0, out.stderr
+    assert "ok" in out.stdout
+
+
+@pytest.mark.parametrize("module", SCHEME_MODULES + ["repro.core.localsearch"])
+def test_scheme_modules_import_cleanly(module):
+    """Each scheme module loads in a fresh interpreter (no import cycles)."""
+    out = subprocess.run(
+        [sys.executable, "-c", f"import {module}\nprint('ok')"],
+        capture_output=True,
+        text=True,
+    )
+    assert out.returncode == 0, out.stderr
+
+
+def test_factories_import_lazily_then_resolve():
+    """Scheme modules load on first factory call, not at registry import."""
+    spec = importlib.util.spec_from_file_location("_registry_standalone", REGISTRY_PATH)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    try:
+        spec.loader.exec_module(mod)
+        for entry in mod.REGISTRY.values():
+            method = mod.make_method(entry.default_spec())
+            assert hasattr(method, "assign")
+    finally:
+        sys.modules.pop(spec.name, None)

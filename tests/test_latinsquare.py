@@ -1,0 +1,70 @@
+"""Tests for the DHW latin-square scheme and its multiplier selection."""
+
+from math import gcd
+
+import pytest
+
+from repro.core.latinsquare import (
+    LatinSquare,
+    best_multiplier,
+    lattice_multipliers,
+    max_partial_quotient,
+)
+
+
+class TestMultipliers:
+    def test_partial_quotients_of_golden_like_ratio(self):
+        # 8/13 = [0; 1, 1, 1, 1, 1, 2]: consecutive Fibonacci numbers give
+        # the all-ones expansion, the best possible lattice.
+        assert max_partial_quotient(8, 13) == 2
+
+    def test_partial_quotients_of_bad_ratio(self):
+        assert max_partial_quotient(1, 64) == 64
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            max_partial_quotient(5, 5)
+        with pytest.raises(ValueError):
+            max_partial_quotient(0, 5)
+
+    @pytest.mark.parametrize("m", [2, 3, 5, 8, 16, 17, 32, 64])
+    def test_best_multiplier_is_a_unit(self, m):
+        assert gcd(best_multiplier(m), m) == 1
+
+    @pytest.mark.parametrize("m", [8, 16, 32, 64])
+    def test_best_multiplier_beats_one(self, m):
+        a = best_multiplier(m)
+        assert max_partial_quotient(a, m) < max_partial_quotient(1, m)
+
+    def test_korobov_form(self):
+        m = 16
+        a = best_multiplier(m)
+        assert lattice_multipliers(m, 4) == (1, a, a * a % m, pow(a, 3, m))
+
+    def test_degenerate_cases(self):
+        assert lattice_multipliers(1, 3) == (0, 0, 0)
+        assert lattice_multipliers(2, 2) == (1, 1)
+        with pytest.raises(ValueError):
+            lattice_multipliers(4, 0)
+
+
+class TestLatinSquareScheme:
+    def test_name(self):
+        assert LatinSquare("data_balance").name == "LSQ/D"
+        assert LatinSquare("random").name == "LSQ/R"
+
+    @pytest.mark.parametrize("m", [5, 8, 16])
+    def test_every_mxm_tile_is_a_latin_square(self, m):
+        """Rows and columns of any M x M tile are permutations of disks."""
+        grid = LatinSquare().disk_grid((2 * m, 2 * m), m)
+        for r0 in (0, m // 2):
+            tile = grid[r0 : r0 + m, r0 : r0 + m]
+            for row in tile:
+                assert sorted(row.tolist()) == list(range(m))
+            for col in tile.T:
+                assert sorted(col.tolist()) == list(range(m))
+
+    def test_reduces_to_dm_like_form(self):
+        # disk = (i + a*j) mod M: first column is the identity diagonal.
+        grid = LatinSquare().disk_grid((8, 8), 8)
+        assert grid[:, 0].tolist() == list(range(8))

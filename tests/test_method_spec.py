@@ -1,0 +1,105 @@
+"""Property tests for the method-spec grammar (``name[:option][/conflict]``).
+
+Two laws, checked by generation rather than enumeration:
+
+* the parse is a *fixed point* under rendering: ``parse(str(s)) == s`` for
+  every valid spec, however oddly cased or spaced the input was;
+* malformed specs never escape — every mutation that breaks the grammar
+  raises ``ValueError`` carrying the offending position and the grammar
+  reminder, so a typo in a config file points at itself.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import MethodSpec
+
+NAMES = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,11}", fullmatch=True)
+OPTIONS = st.from_regex(r"[A-Za-z0-9_]{1,12}", fullmatch=True)
+CONFLICTS = st.sampled_from("RFDA")
+PADDING = st.text(alphabet=" \t", max_size=2)
+
+
+@st.composite
+def valid_specs(draw):
+    """A random valid spec plus a noisy (padded, case-shuffled) rendering."""
+    name = draw(NAMES)
+    option = draw(st.none() | OPTIONS)
+    conflict = draw(st.none() | CONFLICTS)
+    spec = MethodSpec(name.lower(), option and option.lower(), conflict)
+    pad = lambda: draw(PADDING)  # noqa: E731
+    text = pad() + name
+    if option is not None:
+        text += pad() + ":" + pad() + option
+    if conflict is not None:
+        text += pad() + "/" + pad() + draw(st.sampled_from([conflict, conflict.lower()]))
+    text += pad()
+    return spec, text
+
+
+class TestRoundTrip:
+    @settings(max_examples=300, deadline=None)
+    @given(valid_specs())
+    def test_parse_str_parse_fixed_point(self, spec_and_text):
+        spec, text = spec_and_text
+        parsed = MethodSpec.parse(text)
+        assert parsed == spec
+        assert MethodSpec.parse(str(parsed)) == parsed
+
+    @settings(max_examples=100, deadline=None)
+    @given(valid_specs())
+    def test_str_is_canonical(self, spec_and_text):
+        spec, _ = spec_and_text
+        # Canonical rendering contains no whitespace and parses to itself.
+        assert str(spec) == str(spec).strip()
+        assert " " not in str(spec)
+
+
+class TestMalformedSpecsAlwaysRaise:
+    @settings(max_examples=300, deadline=None)
+    @given(valid_specs(), st.data())
+    def test_mutation_fuzzing(self, spec_and_text, data):
+        """Inserting a grammar-breaking character anywhere raises ValueError
+        (or yields another *valid* spec, which must then round-trip)."""
+        _, text = spec_and_text
+        pos = data.draw(st.integers(min_value=0, max_value=len(text)))
+        bad = data.draw(st.sampled_from("!#%&*()[]{}=;,.<>?|\\\"'`~^$@-+"))
+        mutated = text[:pos] + bad + text[pos:]
+        try:
+            parsed = MethodSpec.parse(mutated)
+        except ValueError as exc:
+            msg = str(exc)
+            assert "position" in msg and "grammar" in msg
+        else:
+            assert MethodSpec.parse(str(parsed)) == parsed
+
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("", "empty method spec"),
+            ("   ", "empty method spec"),
+            ("9dm", "expected a method name"),
+            (":zorder", "expected a method name"),
+            ("dm:", "expected an option after ':'"),
+            ("dm:/D", "expected an option after ':'"),
+            ("dm/", "expected a conflict letter after '/'"),
+            ("dm/X", "unknown conflict letter 'X'"),
+            ("dm/DD", "unexpected trailing text"),
+            ("dm/D extra", "unexpected trailing text"),
+            ("hcam:zorder:gray", "unexpected trailing text"),
+        ],
+    )
+    def test_error_messages_name_the_problem(self, text, fragment):
+        with pytest.raises(ValueError, match="method spec"):
+            try:
+                MethodSpec.parse(text)
+            except ValueError as exc:
+                assert fragment in str(exc)
+                raise
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            MethodSpec.parse(None)
+        with pytest.raises(TypeError):
+            MethodSpec.parse(42)

@@ -1,0 +1,71 @@
+"""Registry completeness: every entry is listed, constructible and tested.
+
+The declarative registry is only trustworthy if nothing can hide in it:
+a scheme that ``available_methods()`` does not list is invisible to
+users, and a scheme no test ever names is unverified.  These checks make
+both states impossible — registering a scheme without covering it fails
+CI (the ``bounds`` job runs this module explicitly).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.registry import (
+    REGISTRY,
+    MethodSpec,
+    available_methods,
+    default_method_slate,
+    make_method,
+)
+
+TESTS_DIR = Path(__file__).parent
+
+
+def test_every_entry_is_reachable_from_available_methods():
+    listed = {MethodSpec.parse(s).name for s in available_methods()}
+    assert listed == set(REGISTRY)
+
+
+def test_every_listed_spec_is_constructible():
+    for spec in available_methods():
+        method = make_method(spec)
+        assert hasattr(method, "assign"), spec
+
+
+def test_every_enumerable_option_is_listed():
+    parsed = [MethodSpec.parse(s) for s in available_methods()]
+    for entry in REGISTRY.values():
+        listed_opts = {p.option for p in parsed if p.name == entry.name}
+        missing = set(entry.options()) - listed_opts
+        # At most the default option may be implicit (the bare spec selects
+        # it); everything else must be spelled out.
+        assert len(missing) <= 1, f"{entry.name} options missing: {missing}"
+        if missing:
+            assert None in listed_opts, f"{entry.name}: no bare spec listed"
+
+
+def test_default_slate_is_a_subset_of_available_methods():
+    assert set(default_method_slate()) <= set(available_methods())
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_every_entry_is_exercised_by_some_test(name):
+    """Each registered scheme name appears in at least one *other* test
+    module — registering a scheme without writing a test for it fails."""
+    this = Path(__file__).name
+    for path in sorted(TESTS_DIR.glob("test_*.py")):
+        if path.name == this:
+            continue
+        source = path.read_text()
+        if f'"{name}' in source or f"'{name}" in source:
+            return
+    pytest.fail(f"scheme {name!r} is registered but named by no test")
+
+
+def test_every_bound_family_resolves():
+    from repro.theory.bounds import ADDITIVE_BOUNDS
+
+    for entry in REGISTRY.values():
+        if entry.bound_family is not None:
+            assert entry.bound_family in ADDITIVE_BOUNDS, entry.name

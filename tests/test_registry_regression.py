@@ -1,0 +1,135 @@
+"""Byte-identity pins for every pre-refactor method spec.
+
+The declarative registry (PR 10) replaced the imperative spec parser in
+``repro.core.registry``.  These pins prove the refactor is behaviour
+preserving: ``make_method(spec)`` for every spec string that existed
+before the refactor still produces assignments *byte-identical* to the
+pre-refactor implementation on the fig6/fig7 grid files (hot.2d is the
+fig6 2-d grid, dsmc.3d the fig6/table2 3-d grid; fig7's stock.3d adds no
+new code path).  Hashes were captured at commit 6afe8c8 with the exact
+recipe below; any drift means an existing scheme's behaviour changed.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import make_method
+from repro.datasets import build_gridfile, load
+
+SEED = 1996
+N_DISKS = 16
+
+#: Every spec string the pre-refactor registry accepted (canonical forms
+#: plus the default-conflict shorthands and both option families).
+PRE_REFACTOR_SPECS = [
+    "dm", "dm/R", "dm/F", "dm/D", "dm/A",
+    "fx", "fx/R", "fx/F", "fx/D", "fx/A",
+    "gdm", "gdm/R", "gdm/F", "gdm/D", "gdm/A",
+    "hcam", "hcam/R", "hcam/F", "hcam/D", "hcam/A",
+    "hcam:zorder/D", "hcam:gray/D", "hcam:scan/D",
+    "ssp", "mst", "minimax", "minimax:euclidean",
+    "sminimax", "sminimax:euclidean",
+    "kl", "kl:minimax", "random", "randomrr",
+]
+
+# sha256 over the little-endian int64 assignment bytes, captured from the
+# pre-refactor registry (commit 6afe8c8):
+#   make_method(spec).assign(build_gridfile(load(ds, rng=1996)), 16, rng=1996)
+GOLDEN = {
+    "hot.2d|dm": "b998edf7a13707d2e362a300044cab9d3a9e8d4140c403e13e887e490f12b609",
+    "hot.2d|dm/R": "e1d0484400005941e0dfa19412e4aceebe9bf068897f7fdee2e4f34186bec9c1",
+    "hot.2d|dm/F": "4e5d071d1da256e14d92b0ef4b8d1ac634db1e26c7413fae037435f7c1d39f00",
+    "hot.2d|dm/D": "b998edf7a13707d2e362a300044cab9d3a9e8d4140c403e13e887e490f12b609",
+    "hot.2d|dm/A": "1befcbc4addce40eca8d0111cddf126baf508f2c3de78e8863b5fe0e180c66cf",
+    "hot.2d|fx": "bc894c5a0537480383c1c9b3534cc7554494ef86a0a980aa60da0b98d1fe6242",
+    "hot.2d|fx/R": "1e267ca6a30cbcd265cca4a8c3e94f016ea0155ec73989f96feca0df52ee51b5",
+    "hot.2d|fx/F": "bba0a446de07e3a92f5db67926b7910bfaa3fdca26c83915d2516536d98882cb",
+    "hot.2d|fx/D": "bc894c5a0537480383c1c9b3534cc7554494ef86a0a980aa60da0b98d1fe6242",
+    "hot.2d|fx/A": "046fdfb15b5574b4d0158561f0f7180f6fd3312791d81846140ffb19812b627c",
+    "hot.2d|gdm": "c876260aee132e2935b99423631abc0765bad34cc3fd3e65615e21e642423ccc",
+    "hot.2d|gdm/R": "6f52de9fd3276dc24c6f3818a29fb38bc455cef148d86b6968c1eb96346a3d9a",
+    "hot.2d|gdm/F": "4c8f0676cbf22e128fb42682415f4ee76e53b6f253b6d38a1965f86e2e6e428d",
+    "hot.2d|gdm/D": "c876260aee132e2935b99423631abc0765bad34cc3fd3e65615e21e642423ccc",
+    "hot.2d|gdm/A": "cbd61d6783eede4b5372d9f56f97db2a4cf5935606ba2e77585e65df3e5856cb",
+    "hot.2d|hcam": "813e54eb8c605e7841a4aad31d2c29ab38510609b480e14cdb123d3df42b7ea0",
+    "hot.2d|hcam/R": "8d54ccf1b834ff36087dce283ee475701dbd3caad914a6e51e6a63d6c63470d8",
+    "hot.2d|hcam/F": "28059fdc8f4b8f0c7caa979cb33aea905915932d3fb380825f779648c7a872b1",
+    "hot.2d|hcam/D": "813e54eb8c605e7841a4aad31d2c29ab38510609b480e14cdb123d3df42b7ea0",
+    "hot.2d|hcam/A": "54d0e23d5584809759525979393cd43508890d9d8e7fa1604873ba26f062ddd9",
+    "hot.2d|hcam:zorder/D": "f02012ec034ea93c8ca0ce33cf6e60565c9f6d3dcfa937c141833854ac88b8a9",
+    "hot.2d|hcam:gray/D": "668c9b0067d82a53a0c348e069a0879f3605e96c08bcf4119a59412f2f863ca4",
+    "hot.2d|hcam:scan/D": "6444db66017a528dd27103973c902e6aae707e08e4672b822433106ee06eda97",
+    "hot.2d|ssp": "c4691d680bc3b3b227ab4dad6689743971dd129e322096d09c84706d8e26ca86",
+    "hot.2d|mst": "b9ab7398d6cca0a13ae1271a4d966711f93d8c2440f022e517e16c9838c8c0b0",
+    "hot.2d|minimax": "d43be8f317c8460054777e2294fd2b80886d1fc265d8de62c9c26b2dffbe7986",
+    "hot.2d|minimax:euclidean": "322ec20cd1869b07f832573fbdef10f7df9609567acf27983236ad0d3b85c1f5",
+    "hot.2d|sminimax": "d43be8f317c8460054777e2294fd2b80886d1fc265d8de62c9c26b2dffbe7986",
+    "hot.2d|sminimax:euclidean": "322ec20cd1869b07f832573fbdef10f7df9609567acf27983236ad0d3b85c1f5",
+    "hot.2d|kl": "e4e8dc576a7fcda7f8652a4ba1300ceef7b1d391c1f17b3aa6a400303d7a2e59",
+    "hot.2d|kl:minimax": "575c241cf5fa924f78e9392ba9513c35758204300d537aba3d83b46edc7b0f9f",
+    "hot.2d|random": "919105182b30c6dec2055a3f966f7af18ab00f5383405e9a64ba612f6e57cfa5",
+    "hot.2d|randomrr": "f0b0d33e613d0a842418b806b47459c1be538856399f27fc2d9b8a954cf0a6f5",
+    "dsmc.3d|dm": "c8c3f49504fe61615e3b6edab4c98003f280b6bd6f929d18f5dcb509140d37a8",
+    "dsmc.3d|dm/R": "c4fb1983672dcd1922beade49893f922b3c31ec9a8b223ed0a36ddc027985335",
+    "dsmc.3d|dm/F": "b894bbbe98c189e91b90ecdf9970a157fa03d44b84fdb596b877f7adbeaf9cb4",
+    "dsmc.3d|dm/D": "c8c3f49504fe61615e3b6edab4c98003f280b6bd6f929d18f5dcb509140d37a8",
+    "dsmc.3d|dm/A": "0235716649a1aebb1982b7d764dade276b16d474d0344d49075e56d6b7c6a689",
+    "dsmc.3d|fx": "18b21328483eb8e6290a8d5a3a625eb04e7e9872e258982db1c0cb98df19b639",
+    "dsmc.3d|fx/R": "a66e4139a201d95066b46826ea15a3a842a95a18afbaf5bc51efc272845909ae",
+    "dsmc.3d|fx/F": "91b924357020d5d0a122cb154528e8f312d7ad87ca9afb9519e2a0e28d5f0c1e",
+    "dsmc.3d|fx/D": "18b21328483eb8e6290a8d5a3a625eb04e7e9872e258982db1c0cb98df19b639",
+    "dsmc.3d|fx/A": "30e969ac196dd64e9b0cf678a219ae47c67fd7e169aa4d4c603fd3d649e0ad8e",
+    "dsmc.3d|gdm": "41fc45f9d3a1d03aa6639281a41c457a99516fc551bd24a4626af8f14208e740",
+    "dsmc.3d|gdm/R": "723dc424178e35b03e7f226dc40ccfeff7e7ae2ae64a625392796dcfa4ff99d0",
+    "dsmc.3d|gdm/F": "567aa31e639fe9b62a4d0a2a5b90e2f42094f25316ee746c787f02c3b9b30fa2",
+    "dsmc.3d|gdm/D": "41fc45f9d3a1d03aa6639281a41c457a99516fc551bd24a4626af8f14208e740",
+    "dsmc.3d|gdm/A": "369677a415dd08d1f802b08634220444e8337b6c3f6383d2aff3ec12b3ec176d",
+    "dsmc.3d|hcam": "dbe492829d96516929baf9a2354581e0793272b7c0a439017ee124232934ac9d",
+    "dsmc.3d|hcam/R": "6fc3b96cadbf29d160bc7c22866b16dbc89532bdd9183d0fd134ab0785bbe0db",
+    "dsmc.3d|hcam/F": "6fc3b96cadbf29d160bc7c22866b16dbc89532bdd9183d0fd134ab0785bbe0db",
+    "dsmc.3d|hcam/D": "dbe492829d96516929baf9a2354581e0793272b7c0a439017ee124232934ac9d",
+    "dsmc.3d|hcam/A": "8715013906315c5753681f404c2a029075adc46c8ed3e1a8b1767b63552c888c",
+    "dsmc.3d|hcam:zorder/D": "d4b27f625f8193bd50dad70cd3dd042ba02b54a2af7f11ec8046f002b4b29fb3",
+    "dsmc.3d|hcam:gray/D": "dffa620a7b14a4617b0e68d1d924c4e312dbd8c3d80067d1cdce0ba7925a6086",
+    "dsmc.3d|hcam:scan/D": "291f731887b001e53602e1bd684cb194db6923b9c8b118002195860ff354a047",
+    "dsmc.3d|ssp": "258a2efc00372d94f8201fd9de3d1af9c484b96f1778dc6298bf4111ca97fa13",
+    "dsmc.3d|mst": "329a3216cb5dd54965043a2842c58494b483063982f33f308f0191543e4c6b87",
+    "dsmc.3d|minimax": "0a7484a0975980a2faf84bdde90b9519bcf93c4e6f3da17e53a045e0ffeace87",
+    "dsmc.3d|minimax:euclidean": "f9548ecd7aacd124bc86d039765ad66721aa48c5265ccf528cde0aeaecb211bd",
+    "dsmc.3d|sminimax": "0a7484a0975980a2faf84bdde90b9519bcf93c4e6f3da17e53a045e0ffeace87",
+    "dsmc.3d|sminimax:euclidean": "f9548ecd7aacd124bc86d039765ad66721aa48c5265ccf528cde0aeaecb211bd",
+    "dsmc.3d|kl": "37259f49cdf24ffe132348377fbf4416ae8624e5096bb436eac61f297127f88a",
+    "dsmc.3d|kl:minimax": "f58df3bcb2d0a478a95ef9f65c950d96673628117597d20c6bee88603612e218",
+    "dsmc.3d|random": "a78d52680f89efc28b7c9cc8c06d1b4a053373aba8fd8ace90db48009cbe0afc",
+    "dsmc.3d|randomrr": "3603775c91c98874765bd41b6f4254e8640752dd85dd77fd306c97e4fd72345b",
+}
+
+
+@pytest.fixture(scope="module")
+def grids():
+    out = {}
+    for name in ("hot.2d", "dsmc.3d"):
+        ds = load(name, rng=SEED)
+        out[name] = build_gridfile(ds)
+    return out
+
+
+def _assignment_sha(gf, spec: str) -> str:
+    a = make_method(spec).assign(gf, N_DISKS, rng=SEED)
+    a = np.ascontiguousarray(np.asarray(a, dtype=np.int64))
+    return hashlib.sha256(a.tobytes()).hexdigest()
+
+
+@pytest.mark.parametrize("dataset", ["hot.2d", "dsmc.3d"])
+@pytest.mark.parametrize("spec", PRE_REFACTOR_SPECS)
+def test_assignment_byte_identical_to_pre_refactor(grids, dataset, spec):
+    assert _assignment_sha(grids[dataset], spec) == GOLDEN[f"{dataset}|{spec}"]
+
+
+def test_every_pre_refactor_spec_is_pinned():
+    """The pin table covers the full pre-refactor spec surface."""
+    assert set(GOLDEN) == {
+        f"{ds}|{s}" for ds in ("hot.2d", "dsmc.3d") for s in PRE_REFACTOR_SPECS
+    }

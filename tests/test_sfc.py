@@ -1,15 +1,23 @@
-"""Tests for the space-filling curves (Hilbert, Z-order, Gray, scan)."""
+"""Tests for the space-filling curves (Hilbert, Z-order, Gray, scan, onion)."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sfc import CURVES, GrayCurve, HilbertCurve, ScanCurve, ZOrderCurve, bits_for
+from repro.sfc import (
+    CURVES,
+    GrayCurve,
+    HilbertCurve,
+    OnionCurve,
+    ScanCurve,
+    ZOrderCurve,
+    bits_for,
+)
 from repro.sfc.base import deinterleave_bits, interleave_bits
 from repro.sfc.gray import gray_decode, gray_encode
 
-ALL_CURVES = [HilbertCurve, ZOrderCurve, GrayCurve, ScanCurve]
+ALL_CURVES = [HilbertCurve, ZOrderCurve, GrayCurve, ScanCurve, OnionCurve]
 
 
 class TestBitsFor:
@@ -181,9 +189,45 @@ class TestGray:
         assert np.all(diff & (diff - 1) == 0)
 
 
+class TestOnion:
+    def test_2d_unit_curve_is_the_perimeter_walk(self):
+        xy = OnionCurve(2, 1).coords(np.arange(4))
+        assert xy.tolist() == [[0, 0], [0, 1], [1, 1], [1, 0]]
+
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_2d_shells_outside_in(self, bits):
+        """Positions are sorted by shell: boundary first, core last."""
+        c = OnionCurve(2, bits)
+        n = 1 << bits
+        xy = c.coords(np.arange(c.size))
+        margin = np.minimum(xy, n - 1 - xy).min(axis=1)
+        assert (np.diff(margin) >= 0).all()
+
+    def test_2d_rings_are_contiguous_walks(self):
+        """Within a ring, consecutive positions are grid neighbours."""
+        c = OnionCurve(2, 3)
+        n = 8
+        xy = c.coords(np.arange(c.size))
+        margin = np.minimum(xy, n - 1 - xy).min(axis=1)
+        step = np.abs(np.diff(xy, axis=0)).sum(axis=1)
+        same_ring = margin[1:] == margin[:-1]
+        assert (step[same_ring] == 1).all()
+
+    def test_3d_is_shell_major(self):
+        c = OnionCurve(3, 2)
+        xyz = c.coords(np.arange(c.size))
+        margin = np.minimum(xyz, 3 - xyz).min(axis=1)
+        assert (np.diff(margin) >= 0).all()
+
+    def test_materialize_cap(self):
+        c = OnionCurve(3, 8)  # 2**24 cells > the 2**22 cap
+        with pytest.raises(ValueError, match="cap"):
+            c.coords(np.array([0]))
+
+
 class TestCurveRegistry:
     def test_names(self):
-        assert set(CURVES) == {"hilbert", "zorder", "gray", "scan"}
+        assert set(CURVES) == {"hilbert", "zorder", "gray", "scan", "onion"}
 
     def test_scan_is_row_major(self):
         c = ScanCurve(2, 2)

@@ -230,3 +230,33 @@ def test_single_statement_execute_equals_script(filled):
     res = eng.execute(parse_script("SELECT * FROM pts WHERE x <= 33;")[0])
     eng2, results2 = run_both(filled + "SELECT * FROM pts WHERE x <= 33;")
     assert list(res.record_ids) == list(results2[-1].record_ids)
+
+
+class TestMethodOverride:
+    """--method re-declusters tables with a registry spec after writes."""
+
+    SCRIPT = (
+        "CREATE TABLE m (x REAL(0, 100), y REAL(0, 100)) USING GRIDFILE;"
+        f"INSERT INTO m VALUES {_values(200, seed=9)};"
+        "SELECT * FROM m WHERE x <= 40;"
+    )
+
+    def test_results_identical_to_default(self):
+        _, default = run_both(self.SCRIPT)
+        _, overridden = run_both(self.SCRIPT, method="lsq/D")
+        for a, b in zip(default, overridden):
+            assert list(a.record_ids) == list(b.record_ids)
+
+    def test_assignment_is_the_registry_methods(self):
+        from repro.core.registry import make_method
+
+        eng, _ = run_both(self.SCRIPT, method="lsq/D")
+        table = eng.tables["m"]
+        expected = make_method("lsq/D").assign(table.gf, eng.n_disks, rng=eng.seed)
+        assert np.array_equal(table.assignment, expected)
+
+    def test_bad_spec_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="choose from"):
+            SqlEngine(method="nope")
+        with pytest.raises(ValueError, match="bad method spec"):
+            SqlEngine(method="lsq//")

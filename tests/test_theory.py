@@ -1,0 +1,189 @@
+"""Tests for the theory layer: exact additive error, bounds, tightness."""
+
+from itertools import product
+from math import ceil, log2
+
+import numpy as np
+import pytest
+
+from repro.core.registry import REGISTRY, make_method
+from repro.theory import (
+    ADDITIVE_BOUNDS,
+    LOWER_BOUNDS,
+    curve_rank_grid,
+    make_additive_bound,
+    make_lower_bound,
+    max_box_runs,
+    scheme_disk_grid,
+    tightness_report,
+    worst_additive_error,
+)
+
+
+def brute_force_error(grid, n_disks):
+    """Reference implementation: enumerate every box query directly."""
+    shape = grid.shape
+    worst = -1
+    for qshape in product(*(range(1, n + 1) for n in shape)):
+        for origin in product(*(range(n - l + 1) for n, l in zip(shape, qshape))):
+            box = grid[tuple(slice(o, o + l) for o, l in zip(origin, qshape))]
+            counts = np.bincount(box.ravel(), minlength=n_disks)
+            worst = max(worst, int(counts.max()) - ceil(box.size / n_disks))
+    return worst
+
+
+def brute_force_runs(ranks, n_disks=None):
+    """Reference run count: sort each box's ranks, count the breaks."""
+    shape = ranks.shape
+    worst = 0
+    for qshape in product(*(range(1, n + 1) for n in shape)):
+        for origin in product(*(range(n - l + 1) for n, l in zip(shape, qshape))):
+            box = ranks[tuple(slice(o, o + l) for o, l in zip(origin, qshape))]
+            r = np.sort(box.ravel())
+            worst = max(worst, 1 + int((np.diff(r) > 1).sum()))
+    return worst
+
+
+class TestWorstAdditiveError:
+    @pytest.mark.parametrize("shape", [(5, 4), (3, 3, 3), (7,)])
+    def test_matches_brute_force(self, shape):
+        rng = np.random.default_rng(7)
+        grid = rng.integers(0, 4, size=shape)
+        res = worst_additive_error(grid, 4)
+        assert res.error == brute_force_error(grid, 4)
+
+    def test_witness_query_attains_the_error(self):
+        rng = np.random.default_rng(11)
+        grid = rng.integers(0, 3, size=(6, 6))
+        res = worst_additive_error(grid, 3)
+        origin, qshape = res.witness
+        box = grid[tuple(slice(o, o + l) for o, l in zip(origin, qshape))]
+        counts = np.bincount(box.ravel(), minlength=3)
+        assert int(counts.max()) - ceil(box.size / 3) == res.error
+
+    def test_counts_every_box_query(self):
+        res = worst_additive_error(np.zeros((4, 3), dtype=int), 2)
+        # sum over shapes of prod(n_k - l_k + 1) = T(4) * T(3) = 10 * 6.
+        assert res.n_queries == 60
+
+    def test_perfect_assignment_has_zero_error_in_1d(self):
+        grid = np.arange(12) % 4
+        assert worst_additive_error(grid, 4).error == 0
+
+
+class TestMaxBoxRuns:
+    @pytest.mark.parametrize("shape", [(5, 4), (3, 3, 3)])
+    def test_matches_brute_force(self, shape):
+        rng = np.random.default_rng(3)
+        ranks = rng.permutation(int(np.prod(shape))).reshape(shape)
+        assert max_box_runs(ranks) == brute_force_runs(ranks)
+
+    def test_row_major_scan_runs_equal_rows(self):
+        # A q1 x q2 box on a row-major scan is exactly q1 runs (q2 < n2).
+        ranks = np.arange(16).reshape(4, 4)
+        assert max_box_runs(ranks) == 4
+
+    def test_runs_theorem_bounds_round_robin_error(self):
+        """err(Q) <= runs(Q) - 1 for rank-mod-M dealing: the global check."""
+        rng = np.random.default_rng(5)
+        ranks = rng.permutation(36).reshape(6, 6)
+        for m in (2, 3, 5):
+            err = worst_additive_error(ranks % m, m).error
+            assert err <= max_box_runs(ranks) - 1
+
+
+class TestBoundRegistries:
+    def test_unknown_lower_bound_names_all(self):
+        with pytest.raises(ValueError, match=r"choose from \['dhw', 'trivial'\]"):
+            make_lower_bound("nope")
+
+    def test_unknown_additive_bound_names_all(self):
+        with pytest.raises(ValueError, match="choose from"):
+            make_additive_bound("nope")
+
+    def test_every_registry_bound_family_resolves(self):
+        for entry in REGISTRY.values():
+            if entry.bound_family is not None:
+                assert entry.bound_family in ADDITIVE_BOUNDS
+
+    def test_lower_bounds_are_conservative(self):
+        # The floor must stay below what the best scheme achieves, else it
+        # overclaims: lsq reaches error 1 on 16x16 / M=16.
+        for lb in LOWER_BOUNDS.values():
+            assert lb(16, 2) <= 1.0
+
+    def test_dm_bound_is_exact(self):
+        """Theorem 1's residue counts predict DM's measured worst case."""
+        bound = make_additive_bound("dm")
+        for shape, m in [((16, 16), 8), ((16, 16), 16), ((8, 8, 8), 8)]:
+            grid = scheme_disk_grid(make_method("dm/D"), shape, m)
+            assert worst_additive_error(grid, m).error == bound(shape, m)
+
+
+class TestLsqWithinDhwBound:
+    """The headline guarantee: lsq's measured error obeys the DHW bound."""
+
+    MATRIX = [
+        ((16, 16), 4),
+        ((16, 16), 8),
+        ((16, 16), 16),
+        ((16, 16), 32),
+        ((32, 32), 16),
+        ((8, 8, 8), 8),
+        ((8, 8, 8), 16),
+        ((16, 16, 16), 16),
+    ]
+
+    @pytest.mark.parametrize("shape,m", MATRIX)
+    def test_within_bound(self, shape, m):
+        grid = scheme_disk_grid(make_method("lsq/D"), shape, m)
+        err = worst_additive_error(grid, m).error
+        bound = make_additive_bound("dhw")(shape, m)
+        assert err <= bound
+        assert bound == log2(m) ** (len(shape) - 1) + 1
+
+    def test_lsq_beats_dm_on_many_disks(self):
+        # The scheme's raison d'etre: polylog error where DM drifts linear.
+        m, shape = 32, (8, 8, 8)
+        lsq = worst_additive_error(scheme_disk_grid(make_method("lsq/D"), shape, m), m)
+        dm = worst_additive_error(scheme_disk_grid(make_method("dm/D"), shape, m), m)
+        assert lsq.error < dm.error
+
+
+class TestCurveRunBounds:
+    @pytest.mark.parametrize("spec", ["hcam/D", "onion/D", "hcam:zorder/D"])
+    def test_error_within_runs_bound(self, spec):
+        method = make_method(spec)
+        shape, m = (16, 16), 8
+        grid = scheme_disk_grid(method, shape, m)
+        err = worst_additive_error(grid, m).error
+        assert err <= make_additive_bound("curve_runs")(shape, m, method)
+
+    def test_onion_clusters_better_than_hilbert_in_2d(self):
+        """The Onion curve's claim: fewer worst-case runs than Hilbert."""
+        shape = (16, 16)
+        onion = max_box_runs(curve_rank_grid(make_method("onion/D"), shape))
+        hilbert = max_box_runs(curve_rank_grid(make_method("hcam/D"), shape))
+        assert onion < hilbert
+
+    def test_non_curve_method_has_no_runs_bound(self):
+        assert curve_rank_grid(make_method("dm/D"), (8, 8)) is None
+        assert make_additive_bound("curve_runs")((8, 8), 4, make_method("dm/D")) is None
+
+
+class TestTightnessReport:
+    def test_whole_registry_within_bounds(self):
+        rows = tightness_report(shapes=((16, 16),), disks=(8,))
+        assert {r.spec.split("/")[0].split(":")[0] for r in rows} == set(REGISTRY)
+        assert all(r.within_bound for r in rows)
+
+    def test_rows_are_reproducible(self):
+        a = tightness_report(specs=["random"], shapes=((8, 8),), disks=(4,), rng=3)
+        b = tightness_report(specs=["random"], shapes=((8, 8),), disks=(4,), rng=3)
+        assert a == b
+
+    def test_slack_and_fx_dash(self):
+        rows = tightness_report(specs=["lsq/D", "fx/D"], shapes=((16, 16),), disks=(8,))
+        lsq, fx = rows
+        assert lsq.slack == lsq.bound - lsq.error >= 0
+        assert fx.bound is None and fx.slack is None and fx.within_bound
